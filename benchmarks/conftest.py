@@ -1,0 +1,72 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper's evaluation
+section (see DESIGN.md §3 for the experiment index).  Two profiles are
+available, selected with the ``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``quick`` (default) — reduced repetitions at the ``small`` dataset scale;
+  the full suite finishes in a few minutes on a laptop.
+* ``full``  — more repetitions at the ``medium`` scale; closer to the
+  paper's averaging but takes correspondingly longer.
+
+Each benchmark renders the same rows/series the paper reports, prints them,
+and also writes them to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_PROFILES = {
+    "quick": ExperimentSettings(
+        scale="small",
+        repetitions=1,
+        granularity=6,
+        epsilons=(1.0, 2.0, 3.0, 4.0, 5.0),
+        ks=(10, 20, 40),
+        seed=2025,
+    ),
+    "full": ExperimentSettings(
+        scale="medium",
+        repetitions=3,
+        granularity=6,
+        epsilons=(1.0, 2.0, 3.0, 4.0, 5.0),
+        ks=(10, 20, 40),
+        seed=2025,
+    ),
+}
+
+
+def active_profile() -> str:
+    """Benchmark profile selected via REPRO_BENCH_PROFILE (default: quick)."""
+    return os.environ.get("REPRO_BENCH_PROFILE", "quick")
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """The sweep settings for the selected profile."""
+    profile = active_profile()
+    if profile not in _PROFILES:
+        raise KeyError(f"unknown REPRO_BENCH_PROFILE {profile!r}; use quick or full")
+    return _PROFILES[profile]
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered report under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _save

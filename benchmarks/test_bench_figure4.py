@@ -1,0 +1,22 @@
+"""Figure 4 reproduction: F1 vs privacy budget ε for k ∈ {10, 20, 40}.
+
+Paper reference: GTF < FedPEM < TAPS on every dataset, with F1 rising as ε
+grows; TAPS's advantage is largest on the most heterogeneous datasets
+(SYN, TYS).  This bench regenerates the same mechanism × ε series per
+dataset/k panel.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4_f1_vs_epsilon(benchmark, settings, save_report):
+    result = benchmark.pedantic(figure4, args=(settings,), rounds=1, iterations=1)
+    save_report("figure4_f1_vs_epsilon", result.text)
+    assert result.records
+    # Sanity of shape: every panel has all three mechanisms and every ε.
+    for (dataset, k), series in result.panels.items():
+        assert set(series) == {"gtf", "fedpem", "taps"}
+        for mech_series in series.values():
+            assert set(mech_series) == set(settings.epsilons)

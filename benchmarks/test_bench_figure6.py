@@ -1,0 +1,17 @@
+"""Figure 6 reproduction: F1 vs ε under the OUE and OLH frequency oracles (k=10).
+
+Paper reference: the ordering of the mechanisms is unchanged when the FO is
+swapped from k-RR to OUE or OLH, demonstrating that TAPS is FO-agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure6
+
+
+def test_figure6_f1_under_oue_and_olh(benchmark, settings, save_report):
+    result = benchmark.pedantic(figure6, args=(settings,), rounds=1, iterations=1)
+    save_report("figure6_f1_oue_olh", result.text)
+    oracles = {rec["oracle"] for rec in result.records}
+    assert oracles == {"oue", "olh"}
+    assert all(rec["k"] == 10 for rec in result.records)

@@ -1,0 +1,17 @@
+"""Figure 7 reproduction: TAPS vs TAP (consensus-pruning ablation).
+
+Paper reference: TAPS consistently matches or outperforms TAP across
+datasets and queries k; the gap is the contribution of the consensus-based
+pruning strategy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7
+
+
+def test_figure7_taps_vs_tap(benchmark, settings, save_report):
+    result = benchmark.pedantic(figure7, args=(settings,), rounds=1, iterations=1)
+    save_report("figure7_taps_vs_tap", result.text)
+    mechanisms = {rec["mechanism"] for rec in result.records}
+    assert mechanisms == {"tap", "taps"}

@@ -1,0 +1,35 @@
+"""Table 4 reproduction: scalability on UBA under varying user population.
+
+Paper reference: F1 stays flat as the population is subsampled from 100%
+down to 25%; communication of the prefix-tree mechanisms stays in the tens
+of kilobits while direct OUE upload would need petabytes and direct OLH
+would require an infeasible decoding scan; TAPS costs a little more than
+GTF/FedPEM (pruning exchanges, sequential phase II) but stays practical.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table4
+
+
+def test_table4_scalability_on_uba(benchmark, settings, save_report):
+    result = benchmark.pedantic(
+        table4,
+        args=(settings,),
+        kwargs={"user_fractions": (0.25, 0.5, 0.75, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table4_scalability", result.text)
+
+    records = result.records
+    assert {rec["user_fraction"] for rec in records} == {0.25, 0.5, 0.75, 1.0}
+    # Shape assertions from the paper:
+    for rec in records:
+        # Direct upload is orders of magnitude more expensive than any
+        # prefix-tree mechanism at every population size.
+        assert rec["oue_communication_bits"] > 1000 * rec["communication_bits"]
+    # TAPS ships more bits than FedPEM (pruning candidates) but stays small.
+    taps_bits = [r["communication_bits"] for r in records if r["mechanism"] == "taps"]
+    fedpem_bits = [r["communication_bits"] for r in records if r["mechanism"] == "fedpem"]
+    assert sum(taps_bits) > sum(fedpem_bits)

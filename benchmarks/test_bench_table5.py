@@ -1,0 +1,31 @@
+"""Table 5 reproduction: fixed extension numbers vs the adaptive strategy.
+
+Paper reference: the best fixed t varies per dataset (t=k on some, t=2k/3k
+on others) while the adaptive rule matches or beats every fixed choice,
+which is the argument for adapting t to the observed noisy distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.tables import table5
+
+
+def test_table5_fixed_vs_adaptive_extension(benchmark, settings, save_report):
+    result = benchmark.pedantic(table5, args=(settings,), rounds=1, iterations=1)
+    save_report("table5_extension_ablation", result.text)
+
+    records = result.records
+    assert {rec["variant"] for rec in records} == {"t=k/2", "t=k", "t=2k", "t=3k", "adaptive"}
+    # Shape: averaged over datasets, the adaptive rule should be competitive
+    # with the best fixed alternative (within a small tolerance, since the
+    # quick profile averages few repetitions).
+    by_variant = {
+        variant: float(
+            np.mean([r["f1"] for r in records if r["variant"] == variant])
+        )
+        for variant in ("t=k/2", "t=k", "t=2k", "t=3k", "adaptive")
+    }
+    best_fixed = max(v for name, v in by_variant.items() if name != "adaptive")
+    assert by_variant["adaptive"] >= best_fixed - 0.15

@@ -1,0 +1,124 @@
+"""Cross-region retail analytics: the paper's motivating Amazon scenario.
+
+Two regional branches (Europe and America) want to find the top-k products
+bought during a holiday campaign without collecting raw purchase records:
+users only release ε-LDP reports to their regional branch, and the branches
+only upload sanitised partial results to headquarters.
+
+The example builds the federated dataset directly from the library's
+primitives (no registry), injects a deliberately non-IID catalogue —
+region-exclusive bestsellers plus a shared global assortment — and compares
+all four mechanisms on utility and communication.
+
+Run with::
+
+    python examples/cross_region_retail.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FederatedDataset,
+    FedPEMMechanism,
+    GTFMechanism,
+    MechanismConfig,
+    Party,
+    TAPMechanism,
+    TAPSMechanism,
+    f1_score,
+)
+from repro.datasets.distributions import (
+    sample_from_frequencies,
+    scatter_item_ids,
+    zipf_frequencies,
+)
+from repro.utils.tables import TextTable
+
+N_BITS = 14
+N_GLOBAL_PRODUCTS = 150
+N_REGIONAL_PRODUCTS = 250
+
+
+def build_branch(
+    name: str,
+    n_customers: int,
+    global_ids: np.ndarray,
+    regional_ids: np.ndarray,
+    *,
+    global_share: float,
+    rng: np.random.Generator,
+) -> Party:
+    """One regional branch: a mix of globally and regionally popular products."""
+    global_freqs = zipf_frequencies(global_ids.size, 1.25, shift=12)
+    regional_freqs = zipf_frequencies(regional_ids.size, 1.3, shift=10)
+    n_global = int(round(n_customers * global_share))
+    purchases = np.concatenate(
+        [
+            sample_from_frequencies(global_freqs, global_ids, n_global, rng),
+            sample_from_frequencies(
+                regional_freqs, regional_ids, n_customers - n_global, rng
+            ),
+        ]
+    )
+    rng.shuffle(purchases)
+    return Party(name=name, items=purchases)
+
+
+def build_retail_dataset(seed: int = 3) -> FederatedDataset:
+    """Europe (larger) + America (smaller), with partially disjoint catalogues."""
+    rng = np.random.default_rng(seed)
+    catalogue = scatter_item_ids(
+        N_GLOBAL_PRODUCTS + 2 * N_REGIONAL_PRODUCTS, N_BITS, rng
+    )
+    global_ids = catalogue[:N_GLOBAL_PRODUCTS]
+    europe_ids = catalogue[N_GLOBAL_PRODUCTS : N_GLOBAL_PRODUCTS + N_REGIONAL_PRODUCTS]
+    america_ids = catalogue[N_GLOBAL_PRODUCTS + N_REGIONAL_PRODUCTS :]
+    europe = build_branch(
+        "amazon_europe", 18_000, global_ids, europe_ids, global_share=0.7, rng=rng
+    )
+    america = build_branch(
+        "amazon_america", 9_000, global_ids, america_ids, global_share=0.6, rng=rng
+    )
+    return FederatedDataset(
+        name="holiday_campaign", parties=[europe, america], n_bits=N_BITS
+    )
+
+
+def main() -> None:
+    dataset = build_retail_dataset()
+    k = 10
+    truth = dataset.true_top_k(k)
+    print(f"branches: {dataset.party_sizes()}")
+    print(f"exact global top-{k} products: {truth}\n")
+
+    config = MechanismConfig(k=k, epsilon=4.0, n_bits=dataset.n_bits, granularity=7)
+    table = TextTable(["mechanism", "F1", "hits", "upload kb", "runtime s"])
+    for mechanism in (
+        GTFMechanism(config),
+        FedPEMMechanism(config),
+        TAPMechanism(config),
+        TAPSMechanism(config),
+    ):
+        scores, hits, bits, runtime = [], [], [], []
+        for seed in range(3):
+            result = mechanism.run(dataset, rng=seed)
+            scores.append(f1_score(result.heavy_hitters, truth))
+            hits.append(len(set(result.heavy_hitters) & set(truth)))
+            bits.append(result.upload_bits())
+            runtime.append(result.runtime_seconds)
+        table.add_row(
+            [
+                mechanism.name,
+                float(np.mean(scores)),
+                f"{np.mean(hits):.1f}/{k}",
+                float(np.mean(bits)) / 1000.0,
+                float(np.mean(runtime)),
+            ]
+        )
+    print(table.render(title=f"Holiday campaign, epsilon={config.epsilon}, k={k}"))
+
+
+if __name__ == "__main__":
+    main()

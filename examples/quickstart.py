@@ -1,0 +1,47 @@
+"""Quickstart: identify federated heavy hitters with TAPS in ~20 lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+It loads the RDB stand-in dataset (two parties: Reddit-like and IMDB-like),
+runs the TAPS mechanism under ε-LDP, and compares the estimate against the
+exact federated top-k.
+"""
+
+from __future__ import annotations
+
+from repro import MechanismConfig, TAPSMechanism, f1_score, load_dataset, ncr_score
+
+
+def main() -> None:
+    # 1. A federated dataset: disjoint parties, each user holds one item.
+    dataset = load_dataset("rdb", scale="small", seed=7)
+    print(f"dataset: {dataset.name}, parties: {dataset.party_sizes()}")
+
+    # 2. Protocol parameters: top-10 query, privacy budget ε = 4, a 6-level
+    #    prefix tree over the dataset's binary item encoding.
+    config = MechanismConfig(
+        k=10,
+        epsilon=4.0,
+        n_bits=dataset.n_bits,
+        granularity=6,
+        oracle="krr",
+    )
+
+    # 3. Run the mechanism.  Every user reports exactly once through an
+    #    ε-LDP frequency oracle; the server only ever sees sanitised counts.
+    result = TAPSMechanism(config).run(dataset, rng=0)
+
+    # 4. Evaluate against the exact (non-private) ground truth.
+    truth = dataset.true_top_k(config.k)
+    print(f"\nestimated federated top-{config.k}: {result.heavy_hitters}")
+    print(f"exact federated top-{config.k}:     {truth}")
+    print(f"F1  = {f1_score(result.heavy_hitters, truth):.3f}")
+    print(f"NCR = {ncr_score(result.heavy_hitters, truth):.3f}")
+    print(f"privacy accounting OK: {result.accountant.satisfies_ldp()}")
+    print(f"total communication: {result.communication_bits() / 8_000:.1f} kB")
+
+
+if __name__ == "__main__":
+    main()

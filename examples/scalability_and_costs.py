@@ -1,0 +1,70 @@
+"""Scalability and cost analysis: why direct upload is infeasible.
+
+Reproduces, at example scale, the reasoning of Section 4.1 and Tables 1/4:
+the cost of uploading every user's OUE/OLH report to the central server vs
+what the prefix-tree mechanisms actually ship, plus how TAPS behaves as the
+user population grows.
+
+Run with::
+
+    python examples/scalability_and_costs.py
+"""
+
+from __future__ import annotations
+
+from repro import DirectUploadCostModel, MechanismConfig, TAPSMechanism, f1_score, load_dataset
+from repro.analysis.costs import CostModel, table1_costs
+from repro.utils.tables import TextTable
+
+
+def asymptotic_costs() -> None:
+    """Table 1 at the paper's illustrative scale (5M users, 2M items)."""
+    model = CostModel(
+        pair_bits=64,
+        k=10,
+        n_parties=6,
+        n_users=5_000_000,
+        domain_size=2_000_000,
+        pruning_levels=6,
+    )
+    print(table1_costs(model).render(title="Asymptotic costs (paper scale)"))
+    paper_example = DirectUploadCostModel.paper_scale_example()
+    print(
+        f"\ndirect OUE upload at 5M users x 2M items: "
+        f"{paper_example.communication_human()} on the wire "
+        f"({paper_example.communication_bits:.1e} bits, Section 4.1's 1e13)\n"
+    )
+
+
+def measured_scalability() -> None:
+    """TAPS on growing subsamples of the UBA stand-in (Table 4's shape)."""
+    table = TextTable(
+        ["users", "F1", "TAPS upload (kbits)", "direct OUE upload", "TAPS runtime (s)"]
+    )
+    for fraction in (0.25, 0.5, 1.0):
+        dataset = load_dataset("uba", scale="small", seed=5, user_fraction=fraction)
+        config = MechanismConfig(
+            k=10, epsilon=4.0, n_bits=dataset.n_bits, granularity=6
+        )
+        result = TAPSMechanism(config).run(dataset, rng=1)
+        truth = dataset.true_top_k(10)
+        oue = DirectUploadCostModel("oue", 4.0).costs_for_dataset(dataset)
+        table.add_row(
+            [
+                dataset.total_users,
+                f1_score(result.heavy_hitters, truth),
+                result.upload_bits() / 1000.0,
+                oue.communication_human(),
+                result.runtime_seconds,
+            ]
+        )
+    print(table.render(title="Measured scalability on the UBA stand-in"))
+
+
+def main() -> None:
+    asymptotic_costs()
+    measured_scalability()
+
+
+if __name__ == "__main__":
+    main()

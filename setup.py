@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation (offline installs).
+
+All real metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-use-pep517`` (or ``python setup.py develop``) works on
+machines that lack the ``wheel`` package and cannot reach PyPI.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — Federated heavy hitter analytics with local differential privacy.
+
+A complete reproduction of "Federated Heavy Hitter Analytics with Local
+Differential Privacy" (SIGMOD 2025): the TAP and TAPS mechanisms, every
+substrate they rely on (ε-LDP frequency oracles, prefix-tree machinery, a
+federated simulation), the paper's baselines (PEM, FedPEM, GTF), synthetic
+stand-ins for the evaluation datasets, utility metrics, and an experiment
+harness that regenerates every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import load_dataset, TAPSMechanism, MechanismConfig, f1_score
+>>> dataset = load_dataset("rdb", scale="tiny", seed=0)
+>>> config = MechanismConfig(k=10, epsilon=4.0, n_bits=dataset.n_bits, granularity=8)
+>>> result = TAPSMechanism(config).run(dataset, rng=0)
+>>> truth = dataset.true_top_k(10)
+>>> 0.0 <= f1_score(result.heavy_hitters, truth) <= 1.0
+True
+"""
+
+from repro.core import (
+    ExtensionStrategy,
+    MechanismConfig,
+    MechanismResult,
+    TAPMechanism,
+    TAPSMechanism,
+)
+from repro.baselines import (
+    DirectUploadCostModel,
+    FedPEMMechanism,
+    GTFMechanism,
+    SinglePartyPEM,
+    TrieHHBaseline,
+)
+from repro.datasets import FederatedDataset, dataset_summary_table, load_dataset
+from repro.ldp import (
+    KRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+    make_oracle,
+)
+from repro.metrics import average_local_recall, f1_score, ncr_score
+from repro.federation import Party
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExtensionStrategy",
+    "MechanismConfig",
+    "MechanismResult",
+    "TAPMechanism",
+    "TAPSMechanism",
+    "FedPEMMechanism",
+    "GTFMechanism",
+    "SinglePartyPEM",
+    "TrieHHBaseline",
+    "DirectUploadCostModel",
+    "FederatedDataset",
+    "load_dataset",
+    "dataset_summary_table",
+    "KRandomizedResponse",
+    "OptimizedUnaryEncoding",
+    "OptimizedLocalHashing",
+    "make_oracle",
+    "f1_score",
+    "ncr_score",
+    "average_local_recall",
+    "Party",
+    "__version__",
+]

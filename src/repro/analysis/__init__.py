@@ -1,0 +1,24 @@
+"""Analytic results from the paper: cost formulas and utility bounds.
+
+* :mod:`repro.analysis.costs` — the asymptotic communication/computation
+  cost formulas of Table 1, evaluated symbolically and numerically.
+* :mod:`repro.analysis.theory` — the Theorem 5.2 upper bound on the
+  probability that the adaptive extension degenerates to a constant, and
+  the FO variance curves used in its premise.
+"""
+
+from repro.analysis.costs import CostModel, MechanismCosts, table1_costs
+from repro.analysis.theory import (
+    adaptive_extension_failure_bound,
+    constant_extension_probability,
+    oracle_variance_curve,
+)
+
+__all__ = [
+    "CostModel",
+    "MechanismCosts",
+    "table1_costs",
+    "adaptive_extension_failure_bound",
+    "constant_extension_probability",
+    "oracle_variance_curve",
+]

@@ -1,0 +1,145 @@
+"""Communication/computation cost formulas of Table 1.
+
+The paper compares five strategies by the asymptotic size of what reaches
+the central server and by how much work the server performs:
+
+==========  ==========================  =====================
+strategy    communication               computation
+==========  ==========================  =====================
+GTF         O(b · k · |P|)              O(k · |P|)
+FedPEM      O(b · k · |P|)              O(k · |P|)
+OUE         O(|U| · |X|)                O(|U| · |X|)
+OLH         O(b · |U|)                  O(|U| · |X|)
+TAPS        O(b · k · |P| · g*)         O(k · |P|)
+==========  ==========================  =====================
+
+``b`` is the wire cost of one (item, count) pair, ``|P|`` the number of
+parties, ``|U|`` the user population, ``|X|`` the item-domain size and
+``g*`` the number of levels at which TAPS applies the pruning strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.tables import TextTable
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MechanismCosts:
+    """Numeric evaluation of one row of Table 1."""
+
+    mechanism: str
+    communication_bits: float
+    computation_ops: float
+    communication_formula: str
+    computation_formula: str
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters of the cost comparison.
+
+    Attributes
+    ----------
+    pair_bits:
+        ``b`` — bits per (item/prefix, count) pair.
+    k:
+        Heavy-hitter query size.
+    n_parties:
+        ``|P|``.
+    n_users:
+        ``|U|`` — total user population.
+    domain_size:
+        ``|X|`` — global item-domain size.
+    pruning_levels:
+        ``g*`` — number of levels at which TAPS exchanges pruning candidates
+        (the paper notes ``g* ≈ g/2`` is typical).
+    olh_report_bits:
+        Bits per OLH report (hash seed + bucket index).
+    """
+
+    pair_bits: int = 64
+    k: int = 10
+    n_parties: int = 2
+    n_users: int = 1_000_000
+    domain_size: int = 1_000_000
+    pruning_levels: int = 6
+    olh_report_bits: int = 72
+
+    def __post_init__(self) -> None:
+        for name in ("pair_bits", "k", "n_parties", "n_users", "domain_size", "pruning_levels"):
+            check_positive(name, getattr(self, name))
+
+    # ------------------------------------------------------------------ #
+    # Per-mechanism rows
+    # ------------------------------------------------------------------ #
+    def gtf(self) -> MechanismCosts:
+        return MechanismCosts(
+            mechanism="GTF",
+            communication_bits=self.pair_bits * self.k * self.n_parties,
+            computation_ops=self.k * self.n_parties,
+            communication_formula="O(b·k·|P|)",
+            computation_formula="O(k·|P|)",
+        )
+
+    def fedpem(self) -> MechanismCosts:
+        return MechanismCosts(
+            mechanism="FedPEM",
+            communication_bits=self.pair_bits * self.k * self.n_parties,
+            computation_ops=self.k * self.n_parties,
+            communication_formula="O(b·k·|P|)",
+            computation_formula="O(k·|P|)",
+        )
+
+    def oue(self) -> MechanismCosts:
+        return MechanismCosts(
+            mechanism="OUE",
+            communication_bits=float(self.n_users) * float(self.domain_size),
+            computation_ops=float(self.n_users) * float(self.domain_size),
+            communication_formula="O(|U|·|X|)",
+            computation_formula="O(|U|·|X|)",
+        )
+
+    def olh(self) -> MechanismCosts:
+        return MechanismCosts(
+            mechanism="OLH",
+            communication_bits=float(self.olh_report_bits) * float(self.n_users),
+            computation_ops=float(self.n_users) * float(self.domain_size),
+            communication_formula="O(b·|U|)",
+            computation_formula="O(|U|·|X|)",
+        )
+
+    def taps(self) -> MechanismCosts:
+        return MechanismCosts(
+            mechanism="TAPS",
+            communication_bits=self.pair_bits * self.k * self.n_parties * self.pruning_levels,
+            computation_ops=self.k * self.n_parties,
+            communication_formula="O(b·k·|P|·g*)",
+            computation_formula="O(k·|P|)",
+        )
+
+    def all_rows(self) -> list[MechanismCosts]:
+        """Every Table 1 row, in the paper's column order."""
+        return [self.gtf(), self.fedpem(), self.oue(), self.olh(), self.taps()]
+
+
+def table1_costs(model: CostModel | None = None) -> TextTable:
+    """Render Table 1 (formulas plus numeric evaluation for the given model)."""
+    model = model or CostModel()
+    table = TextTable(
+        ["mechanism", "communication", "computation", "comm (bits)", "compute (ops)"],
+        float_format="{:.3e}",
+    )
+    for row in model.all_rows():
+        table.add_row(
+            [
+                row.mechanism,
+                row.communication_formula,
+                row.computation_formula,
+                float(row.communication_bits),
+                float(row.computation_ops),
+            ]
+        )
+    return table

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against (Section 7.1) plus related extensions.
+
+* :class:`SinglePartyPEM` — the prefix extending method of Wang et al.
+  (TDSC 2019), the state-of-the-art single-party LDP heavy-hitter mechanism.
+* :class:`FedPEMMechanism` — Algorithm 1: run PEM independently in every
+  party and let the server count the reported local heavy hitters.
+* :class:`GTFMechanism` — the hierarchical cross-party approach of Shao et
+  al. (FL-ICML 2023) with its GRRX oracle replaced by k-RR so that it
+  satisfies ε-LDP, as the paper does for a fair comparison.
+* :class:`TrieHHBaseline` — a sample-and-threshold trie baseline in the
+  spirit of TrieHH (Zhu et al., AISTATS 2020); single-party, central-DP
+  style, included as an extension/reference implementation.
+* :class:`DirectUploadCostModel` — the (infeasible) strategy of uploading
+  every user's OUE/OLH report to the server; only its communication and
+  computation costs are evaluated (Tables 1 and 4).
+"""
+
+from repro.baselines.pem import SinglePartyPEM
+from repro.baselines.fedpem import FedPEMMechanism
+from repro.baselines.gtf import GTFMechanism
+from repro.baselines.triehh import TrieHHBaseline
+from repro.baselines.direct import DirectUploadCostModel
+
+__all__ = [
+    "SinglePartyPEM",
+    "FedPEMMechanism",
+    "GTFMechanism",
+    "TrieHHBaseline",
+    "DirectUploadCostModel",
+]

@@ -1,0 +1,82 @@
+"""Server-side aggregation of per-party reports into federated heavy hitters.
+
+The server never sees raw or even per-user sanitised data — only each
+party's (item, estimated count) pairs.  Aggregation sums the estimated
+*party-level* counts (a party's group-level frequency estimate scaled by its
+population) and ranks items by the total, which matches Definition 4.1's
+population-weighted global frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def aggregate_local_reports(
+    party_reports: Mapping[str, Mapping[int, float]],
+    k: int,
+    *,
+    weights: Mapping[str, float] | None = None,
+) -> tuple[list[int], dict[int, float]]:
+    """Combine per-party (item → estimated count) reports into the global top-k.
+
+    Parameters
+    ----------
+    party_reports:
+        Party name → {item id → estimated count at party scale}.
+    k:
+        Number of heavy hitters to return.
+    weights:
+        Optional per-party multipliers.  The default (``None``) sums the
+        reported counts as-is; GTF passes equal weights to model its
+        population-agnostic aggregation.
+
+    Returns
+    -------
+    (heavy_hitters, totals)
+        ``heavy_hitters`` is the top-k item list sorted by descending total
+        estimated count (ties broken by item id); ``totals`` maps every
+        reported item to its aggregated estimate.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    totals: dict[int, float] = {}
+    for party, report in party_reports.items():
+        weight = 1.0 if weights is None else float(weights.get(party, 1.0))
+        for item, count in report.items():
+            totals[int(item)] = totals.get(int(item), 0.0) + weight * float(count)
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    heavy_hitters = [item for item, _ in ranked[:k]]
+    return heavy_hitters, totals
+
+
+def estimate_party_counts(
+    frequencies: Mapping[str, float],
+    prefixes_to_items: Mapping[str, int],
+    party_population: int,
+) -> dict[int, float]:
+    """Scale group-level frequency estimates to party-level item counts.
+
+    Parameters
+    ----------
+    frequencies:
+        Prefix → estimated frequency from the final-level FO round.
+    prefixes_to_items:
+        Prefix → item id mapping (final-level prefixes are full encodings).
+    party_population:
+        Total number of users in the party (the scaling factor).
+    """
+    counts: dict[int, float] = {}
+    for prefix, item in prefixes_to_items.items():
+        freq = float(frequencies.get(prefix, 0.0))
+        counts[int(item)] = max(0.0, freq) * int(party_population)
+    return counts
+
+
+def merge_counts(reports: Iterable[Mapping[int, float]]) -> dict[int, float]:
+    """Sum several item → count mappings (helper for tests and examples)."""
+    totals: dict[int, float] = {}
+    for report in reports:
+        for item, count in report.items():
+            totals[int(item)] = totals.get(int(item), 0.0) + float(count)
+    return totals

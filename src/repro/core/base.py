@@ -1,0 +1,132 @@
+"""Common machinery for all federated heavy-hitter mechanisms."""
+
+from __future__ import annotations
+
+import abc
+import time
+
+from repro.core.aggregation import aggregate_local_reports, estimate_party_counts
+from repro.core.config import MechanismConfig
+from repro.core.estimation import PartyEstimator
+from repro.core.results import LevelEstimate, MechanismResult, PartyRunRecord
+from repro.datasets.base import FederatedDataset
+from repro.federation.transcript import FederationTranscript
+from repro.ldp.budget import PrivacyAccountant
+from repro.utils.rng import RandomState, as_generator, spawn_children
+
+
+class FederatedMechanism(abc.ABC):
+    """Base class: a mechanism turns a federated dataset into a top-k estimate.
+
+    Subclasses implement :meth:`_execute`, which receives fully initialised
+    per-party estimators plus the shared transcript and returns the final
+    per-party records; the base class handles configuration adaptation,
+    RNG fan-out, server aggregation, privacy accounting and timing.
+    """
+
+    #: Stable identifier used in benchmark output ("taps", "fedpem", ...).
+    name: str = "mechanism"
+
+    def __init__(self, config: MechanismConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def run(self, dataset: FederatedDataset, rng: RandomState = None) -> MechanismResult:
+        """Identify the federated top-k heavy hitters of ``dataset``."""
+        start = time.perf_counter()
+        config = self.config.for_dataset(dataset.n_bits)
+        gen = as_generator(rng)
+        transcript = FederationTranscript(pair_bits=config.pair_bits)
+        accountant = PrivacyAccountant(epsilon=config.epsilon)
+        oracle = config.make_oracle()
+
+        children = spawn_children(gen, dataset.n_parties)
+        estimators = {
+            party.name: PartyEstimator(party, config, oracle, child, accountant)
+            for party, child in zip(dataset.parties, children)
+        }
+
+        party_records = self._execute(dataset, config, estimators, transcript, gen)
+
+        reports = {
+            name: record.local_heavy_hitters for name, record in party_records.items()
+        }
+        heavy_hitters, totals = self._aggregate(reports, config)
+        runtime = time.perf_counter() - start
+        return MechanismResult(
+            mechanism=self.name,
+            heavy_hitters=heavy_hitters,
+            estimated_counts=totals,
+            party_records=party_records,
+            transcript=transcript,
+            accountant=accountant,
+            runtime_seconds=runtime,
+            config=config,
+            metadata={"dataset": dataset.name},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _execute(
+        self,
+        dataset: FederatedDataset,
+        config: MechanismConfig,
+        estimators: dict[str, PartyEstimator],
+        transcript: FederationTranscript,
+        rng,
+    ) -> dict[str, PartyRunRecord]:
+        """Run the protocol and return per-party records with local heavy hitters."""
+
+    def _aggregate(
+        self, reports: dict[str, dict[int, float]], config: MechanismConfig
+    ) -> tuple[list[int], dict[int, float]]:
+        """Server-side aggregation (population-weighted counting by default)."""
+        return aggregate_local_reports(reports, config.k)
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _local_heavy_hitters(
+        final_estimate: LevelEstimate,
+        estimator: PartyEstimator,
+        k: int,
+    ) -> dict[int, float]:
+        """Convert a final-level estimate into (item → party-scale count) pairs.
+
+        The final level's prefixes are full ``m``-bit encodings, i.e. items.
+        The party reports at least ``k`` of them (more when the adaptive
+        extension retained more), each scaled from group frequency to an
+        estimated party-level count.
+        """
+        n_report = max(k, len(final_estimate.selected_prefixes))
+        ranked = sorted(
+            final_estimate.estimated_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        chosen = [prefix for prefix, _ in ranked[:n_report]]
+        prefix_to_item = {prefix: int(prefix, 2) for prefix in chosen}
+        return estimate_party_counts(
+            final_estimate.estimated_frequencies,
+            prefix_to_item,
+            estimator.party.n_users,
+        )
+
+    @staticmethod
+    def _log_final_report(
+        transcript: FederationTranscript,
+        party: str,
+        heavy_hitters: dict[int, float],
+        level: int,
+    ) -> None:
+        """Log the upload of a party's local heavy hitters to the server."""
+        transcript.log_upload(
+            party,
+            "local_heavy_hitters",
+            len(heavy_hitters),
+            level=level,
+            content=dict(heavy_hitters),
+        )

@@ -1,0 +1,146 @@
+"""Configuration shared by all prefix-tree mechanisms (TAP, TAPS, baselines)."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.ldp.base import FrequencyOracle, SimulationMode
+from repro.ldp.registry import make_oracle
+from repro.utils.validation import check_in_range, check_positive
+
+
+class ExtensionStrategy(str, enum.Enum):
+    """How many prefixes to extend at each trie level."""
+
+    #: The paper's adaptive rule: ``t = k* + η`` (Equations 2–3).
+    ADAPTIVE = "adaptive"
+    #: A fixed extension number ``t`` (the prior-work default ``t = k``).
+    FIXED = "fixed"
+
+
+@dataclass(frozen=True)
+class MechanismConfig:
+    """All protocol parameters of the TAP/TAPS family.
+
+    Attributes
+    ----------
+    k:
+        Number of heavy hitters queried (the ``k`` of top-k).
+    epsilon:
+        Per-user LDP privacy budget ε.
+    n_bits:
+        Maximum binary length ``m`` of the item encoding (paper: 48).
+    granularity:
+        Number of trie levels / user groups ``g`` (paper: 24 or 12).
+    shared_level:
+        Level ``g_s`` at which the shared shallow trie is aggregated.
+        ``None`` applies the paper's heuristic ``g_s = max(1, floor(0.25 g))``.
+    oracle:
+        Name of the frequency oracle (``"krr"``, ``"oue"``, ``"olh"``).
+    extension:
+        Adaptive (paper) or fixed extension strategy.
+    fixed_extension:
+        The fixed ``t`` used when ``extension == FIXED`` (defaults to ``k``).
+    dividing_ratio:
+        β — fraction of a level's users reserved for *each* of the two
+        consensus-validation sets in TAPS (paper: 0.1).
+    phase1_user_fraction:
+        Fraction of a party's users allocated to *each* phase-I level (the
+        shared-trie warm start); the paper assigns 10%, so phase I consumes
+        ``g_s * 10%`` of the population.  ``None`` splits users evenly
+        across all ``g`` levels instead.
+    use_shared_trie:
+        Disable to reproduce the Table 6 ablation (phase I still estimates
+        levels 1..g_s locally, but no cross-party aggregation happens).
+    simulation_mode:
+        ``"aggregate"`` (fast, samples support counts exactly) or
+        ``"per_user"`` (materialises every report).
+    pair_bits:
+        Wire cost of one (prefix/item, count) pair, the paper's ``b``.
+    min_validation_users:
+        Smallest β-fraction validation set TAPS will trust.  The paper's
+        consensus test presumes the validation estimate is informative
+        (its populations make β·|U_h| tens of thousands of users); at
+        laptop scale a handful of validation users would produce pure-noise
+        pruning decisions, so levels whose validation sets fall below this
+        floor simply skip pruning.
+    """
+
+    k: int = 10
+    epsilon: float = 4.0
+    n_bits: int = 16
+    granularity: int = 8
+    shared_level: Optional[int] = None
+    oracle: str = "krr"
+    extension: ExtensionStrategy = ExtensionStrategy.ADAPTIVE
+    fixed_extension: Optional[int] = None
+    dividing_ratio: float = 0.1
+    phase1_user_fraction: Optional[float] = 0.1
+    use_shared_trie: bool = True
+    simulation_mode: SimulationMode = "aggregate"
+    pair_bits: int = 64
+    min_validation_users: int = 30
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("k", self.k)
+        check_positive("epsilon", self.epsilon)
+        check_positive("n_bits", self.n_bits)
+        check_positive("granularity", self.granularity)
+        if self.granularity > self.n_bits:
+            raise ValueError(
+                f"granularity ({self.granularity}) cannot exceed n_bits ({self.n_bits})"
+            )
+        if self.shared_level is not None:
+            check_in_range("shared_level", self.shared_level, 1, self.granularity - 1)
+        check_in_range("dividing_ratio", self.dividing_ratio, 0.0, 0.5)
+        if self.phase1_user_fraction is not None:
+            check_in_range(
+                "phase1_user_fraction", self.phase1_user_fraction, 0.0, 1.0, inclusive=False
+            )
+        if self.fixed_extension is not None:
+            check_positive("fixed_extension", self.fixed_extension)
+        check_positive("pair_bits", self.pair_bits)
+        check_positive("min_validation_users", self.min_validation_users, strict=False)
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_shared_level(self) -> int:
+        """``g_s``: explicit value or the paper's ``floor(0.25 g)`` heuristic (>= 1)."""
+        if self.shared_level is not None:
+            return self.shared_level
+        return max(1, math.floor(0.25 * self.granularity))
+
+    @property
+    def step_size(self) -> int:
+        """Extension length per level, ``floor(m / g)`` as reported in Table 3."""
+        return max(1, self.n_bits // self.granularity)
+
+    @property
+    def effective_fixed_extension(self) -> int:
+        """The fixed ``t`` used by the FIXED strategy (defaults to ``k``)."""
+        return self.fixed_extension if self.fixed_extension is not None else self.k
+
+    def make_oracle(self) -> FrequencyOracle:
+        """Instantiate the configured frequency oracle."""
+        return make_oracle(self.oracle, self.epsilon)
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def with_updates(self, **changes) -> "MechanismConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def for_dataset(self, n_bits: int) -> "MechanismConfig":
+        """Adapt the binary width to a dataset, shrinking granularity if needed."""
+        granularity = min(self.granularity, n_bits)
+        shared = self.shared_level
+        if shared is not None and shared >= granularity:
+            shared = max(1, granularity - 1)
+        return replace(self, n_bits=n_bits, granularity=granularity, shared_level=shared)

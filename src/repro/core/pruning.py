@@ -1,0 +1,191 @@
+"""Consensus-based pruning strategy (Section 6.2, Equations 4–8).
+
+In TAPS, phase II runs sequentially over parties sorted by descending
+population.  After finishing a level, party ``P_{i-1}`` hands the next party
+two candidate sets of size ``2k`` (Equation 4):
+
+* ``Δ_0`` — its most *infrequent* prefixes (globally useless candidates),
+* ``Δ_1`` — its most *frequent* prefixes together with their frequencies
+  (used to spot prefixes popular in ``P_{i-1}`` but absent in ``P_i``).
+
+Party ``P_i`` validates both sets on small β-fractions of its own users and
+keeps only the prefixes on which the two parties *agree* (the consensus),
+selected by the intersection/penalty objective of Equation 5 and, for the
+second type, the frequency-contrast score of Equation 7.  The agreed-upon
+prefixes are removed from ``P_i``'s candidate domain before its main
+estimation, shrinking the domain and thus the injected LDP noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.results import LevelEstimate
+
+#: Small constant preventing division by zero in the contrast score (Eq. 7).
+CONTRAST_TAU = 1e-11
+
+
+@dataclass(frozen=True)
+class PruningCandidates:
+    """The pruning suggestion ``Δ = {Δ_0, Δ_1}`` a party passes to its successor.
+
+    Attributes
+    ----------
+    level:
+        Trie level ``h`` the candidates refer to.
+    prefix_length:
+        ``l_h`` (so the receiver can sanity-check prefix lengths).
+    infrequent:
+        ``Δ_0``: prefixes sorted by ascending estimated frequency
+        (most infrequent first), at most ``2k`` of them.
+    frequent:
+        ``Δ_1``: (prefix, estimated frequency) pairs sorted by descending
+        frequency (most frequent first), at most ``2k`` of them.
+    """
+
+    level: int
+    prefix_length: int
+    infrequent: tuple[str, ...]
+    frequent: tuple[tuple[str, float], ...]
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of (prefix, count) pairs this message costs on the wire."""
+        return len(self.infrequent) + len(self.frequent)
+
+
+def select_pruning_candidates(estimate: LevelEstimate, n: int) -> PruningCandidates:
+    """Build ``Δ = {Δ_0, Δ_1}`` from a finished level estimate (Equation 4).
+
+    Parameters
+    ----------
+    estimate:
+        The level estimate of the party acting as the "training set".
+    n:
+        Size of each candidate set; the paper uses ``2k``.
+    """
+    if n <= 0:
+        raise ValueError(f"candidate set size must be positive, got {n}")
+    ranked = sorted(
+        estimate.estimated_frequencies.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    frequent = tuple((prefix, float(freq)) for prefix, freq in ranked[:n])
+    ascending = list(reversed(ranked))
+    infrequent = tuple(prefix for prefix, _ in ascending[:n])
+    return PruningCandidates(
+        level=estimate.level,
+        prefix_length=estimate.prefix_length,
+        infrequent=infrequent,
+        frequent=frequent,
+    )
+
+
+def _consensus_intersection(
+    predicted_order: Sequence[str],
+    validated_order: Sequence[str],
+    *,
+    k: int,
+    epsilon: float,
+    gamma: float,
+) -> set[str]:
+    """Solve Equation 5: pick ``k'`` maximising the consensus objective.
+
+    ``predicted_order`` is the previous party's ranking, ``validated_order``
+    the current party's validated ranking (both "worst first" for their
+    respective candidate type).  Returns the intersection of the two
+    top-``k'`` sets at the maximising ``k'``.
+    """
+    if k <= 0 or not predicted_order or not validated_order:
+        return set()
+    # Only prune when the consensus evidence outweighs the penalty terms: a
+    # non-positive objective means the two parties do not really agree, and
+    # pruning on disagreement would risk discarding necessary prefixes.
+    best_score = 0.0
+    best_intersection: set[str] = set()
+    max_k_prime = min(k, len(predicted_order), len(validated_order))
+    for k_prime in range(1, max_k_prime + 1):
+        intersection = set(predicted_order[:k_prime]) & set(validated_order[:k_prime])
+        intersection_score = (len(intersection) / k_prime) / ((1.0 + epsilon) ** k_prime)
+        alpha = (k_prime - len(intersection) + 1) / (k_prime + 1)
+        score = intersection_score - gamma * alpha**2
+        if score > best_score:
+            best_score = score
+            best_intersection = intersection
+    return best_intersection
+
+
+def population_confidence(prev_population: int, total_population: int) -> float:
+    """``γ = (1 − |U_{i-1}| / Σ_j |U_j|)²`` — confidence in the predecessor's hint."""
+    if total_population <= 0:
+        raise ValueError("total population must be positive")
+    share = prev_population / total_population
+    return float((1.0 - share) ** 2)
+
+
+def consensus_prune(
+    candidates: PruningCandidates,
+    validated_infrequent: Mapping[str, float],
+    validated_frequent: Mapping[str, float],
+    *,
+    k: int,
+    epsilon: float,
+    gamma: float,
+    tau: float = CONTRAST_TAU,
+) -> set[str]:
+    """Compute the consensus pruning set ``Λ̂ = Λ̂_0 ∪ Λ̂_1`` (Equations 5–8).
+
+    Parameters
+    ----------
+    candidates:
+        The predecessor's pruning suggestion ``Δ``.
+    validated_infrequent:
+        The current party's validated frequencies of the ``Δ_0`` prefixes
+        (estimated on the first β-fraction of its level users).
+    validated_frequent:
+        The current party's validated frequencies of the ``Δ_1`` prefixes
+        (estimated on the second β-fraction).
+    k:
+        The heavy-hitter query size (``k'`` ranges over ``1..k``).
+    epsilon:
+        Privacy budget (enters the non-linear damping ``(1+ε)^{k'}``).
+    gamma:
+        Population confidence of the predecessor (:func:`population_confidence`).
+    tau:
+        Division-by-zero guard of the contrast score.
+    """
+    # --- Type 1: globally infrequent prefixes (Equations 5-6). ---
+    predicted_infrequent = list(candidates.infrequent)
+    validated_order_0 = sorted(
+        predicted_infrequent, key=lambda p: (validated_infrequent.get(p, 0.0), p)
+    )
+    pruning_type_0 = _consensus_intersection(
+        predicted_infrequent,
+        validated_order_0,
+        k=k,
+        epsilon=epsilon,
+        gamma=gamma,
+    )
+
+    # --- Type 2: frequent elsewhere but absent here (Equations 7-8). ---
+    contrast_scores: dict[str, float] = {}
+    for prefix, prev_freq in candidates.frequent:
+        local = max(validated_frequent.get(prefix, 0.0), 0.0)
+        contrast_scores[prefix] = float(prev_freq) / (local + tau)
+    contrast_order = sorted(
+        contrast_scores, key=lambda p: (-contrast_scores[p], p)
+    )
+    validated_order_1 = sorted(
+        (prefix for prefix, _ in candidates.frequent),
+        key=lambda p: (validated_frequent.get(p, 0.0), p),
+    )
+    pruning_type_1 = _consensus_intersection(
+        contrast_order,
+        validated_order_1,
+        k=k,
+        epsilon=epsilon,
+        gamma=gamma,
+    )
+
+    return pruning_type_0 | pruning_type_1

@@ -1,0 +1,109 @@
+"""Result containers for mechanism runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.federation.transcript import FederationTranscript
+from repro.ldp.budget import PrivacyAccountant
+
+
+@dataclass
+class LevelEstimate:
+    """What a party learned at one trie level.
+
+    Attributes
+    ----------
+    level:
+        Trie level ``h`` (1-based).
+    prefix_length:
+        ``l_h``, the prefix length estimated at this level.
+    candidate_prefixes:
+        The candidate domain (dummy excluded), in domain order.
+    estimated_counts:
+        Estimated counts per candidate prefix (group-local scale).
+    estimated_frequencies:
+        Estimated frequencies per candidate prefix.
+    selected_prefixes:
+        The prefixes chosen for extension to the next level (``C_h``).
+    extension_count:
+        The extension number ``t`` actually used.
+    n_users:
+        Number of users that reported at this level (main estimation only).
+    domain_size:
+        Size of the perturbation domain (dummy included).
+    pruned_prefixes:
+        Prefixes removed from the domain by consensus pruning (TAPS only).
+    """
+
+    level: int
+    prefix_length: int
+    candidate_prefixes: list[str]
+    estimated_counts: dict[str, float]
+    estimated_frequencies: dict[str, float]
+    selected_prefixes: list[str]
+    extension_count: int
+    n_users: int
+    domain_size: int
+    pruned_prefixes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class PartyRunRecord:
+    """Complete per-party trace of a mechanism run."""
+
+    party: str
+    n_users: int
+    levels: list[LevelEstimate] = field(default_factory=list)
+    #: Local heavy hitters as (item_id, estimated_party_count) pairs.
+    local_heavy_hitters: dict[int, float] = field(default_factory=dict)
+
+    def level(self, h: int) -> LevelEstimate:
+        """Return the record of level ``h``."""
+        for rec in self.levels:
+            if rec.level == h:
+                return rec
+        raise KeyError(f"party {self.party!r} has no record for level {h}")
+
+    def local_top_items(self, k: int) -> list[int]:
+        """The party's local heavy hitters ranked by estimated count."""
+        ranked = sorted(
+            self.local_heavy_hitters.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [item for item, _ in ranked[:k]]
+
+
+@dataclass
+class MechanismResult:
+    """Outcome of one federated heavy-hitter identification run."""
+
+    mechanism: str
+    heavy_hitters: list[int]
+    estimated_counts: dict[int, float]
+    party_records: dict[str, PartyRunRecord]
+    transcript: FederationTranscript
+    accountant: PrivacyAccountant
+    runtime_seconds: float = 0.0
+    config: Any = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """Number of heavy hitters returned."""
+        return len(self.heavy_hitters)
+
+    def communication_bits(self) -> int:
+        """Total protocol payload (both directions), in bits."""
+        return self.transcript.total_bits()
+
+    def upload_bits(self) -> int:
+        """Party → server payload, in bits (the paper's communication cost)."""
+        return self.transcript.upload_bits()
+
+    def local_results(self) -> dict[str, list[int]]:
+        """Party → local heavy hitter items (used by the Table 7 recall metric)."""
+        return {
+            name: rec.local_top_items(len(rec.local_heavy_hitters) or 0)
+            for name, rec in self.party_records.items()
+        }

@@ -1,0 +1,129 @@
+"""Shared shallow trie construction (Algorithm 2, "STC").
+
+Phase I of both TAP and TAPS: every party estimates the first ``g_s`` trie
+levels on a small share of its users, reports its level-``g_s`` candidates
+with their estimated counts to the server, and the server aggregates the
+population-scaled counts and broadcasts the global top-k prefixes
+``C_{g_s}``.  These shared prefixes are the warm start of phase II and are
+what aligns local extension decisions with the *global* target at shallow
+levels, where non-IID noise is most damaging (Figure 2a of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.estimation import PartyEstimator
+from repro.core.results import LevelEstimate
+from repro.federation.transcript import FederationTranscript
+
+
+@dataclass
+class SharedTrieResult:
+    """Outcome of phase I.
+
+    Attributes
+    ----------
+    global_prefixes:
+        The aggregated top-k prefixes ``C_{g_s}`` broadcast to every party
+        (``None`` when the shared trie is disabled for the Table 6 ablation).
+    per_party_selected:
+        The warm-start prefixes each party will extend in phase II: the
+        shared ``C_{g_s}`` when aggregation is enabled, otherwise the
+        party's own level-``g_s`` selection.
+    per_party_levels:
+        Every party's phase-I level estimates (levels ``1..g_s``).
+    """
+
+    global_prefixes: list[str] | None
+    per_party_selected: dict[str, list[str]]
+    per_party_levels: dict[str, list[LevelEstimate]] = field(default_factory=dict)
+
+
+def construct_shared_trie(
+    estimators: dict[str, PartyEstimator],
+    transcript: FederationTranscript,
+) -> SharedTrieResult:
+    """Run phase I across all parties and aggregate the shared shallow trie.
+
+    Parameters
+    ----------
+    estimators:
+        Party name → :class:`PartyEstimator`.  All estimators must share the
+        same configuration (the server broadcast of step 1 in Figure 1).
+    transcript:
+        Protocol transcript; uploads/broadcasts of phase I are logged here.
+    """
+    if not estimators:
+        raise ValueError("at least one party is required")
+    config = next(iter(estimators.values())).config
+    g_s = config.effective_shared_level
+    k = config.k
+
+    per_party_levels: dict[str, list[LevelEstimate]] = {}
+    per_party_final: dict[str, LevelEstimate] = {}
+
+    # Server broadcasts query and parameters (step 1); a constant-size message.
+    for name in estimators:
+        transcript.log_broadcast(name, "parameters", 1, level=0)
+
+    for name, estimator in estimators.items():
+        levels: list[LevelEstimate] = []
+        previous: list[str] | None = None
+        for level in range(1, g_s + 1):
+            domain = estimator.build_domain(level, previous)
+            estimate = estimator.estimate_level(level, domain)
+            levels.append(estimate)
+            previous = estimate.selected_prefixes
+        per_party_levels[name] = levels
+        per_party_final[name] = levels[-1]
+
+    if not config.use_shared_trie:
+        # Ablation (Table 6): no cross-party aggregation; each party keeps
+        # its own level-g_s selection as the phase-II starting point.
+        selected = {
+            name: list(est.selected_prefixes) for name, est in per_party_final.items()
+        }
+        return SharedTrieResult(
+            global_prefixes=None,
+            per_party_selected=selected,
+            per_party_levels=per_party_levels,
+        )
+
+    # Parties report all candidates with non-zero estimated counts at g_s
+    # together with those counts (Algorithm 2, line 9).
+    aggregated: dict[str, float] = {}
+    for name, estimate in per_party_final.items():
+        estimator = estimators[name]
+        population = estimator.party.n_users
+        reported = {
+            prefix: freq * population
+            for prefix, freq in estimate.estimated_frequencies.items()
+            if estimate.estimated_counts.get(prefix, 0.0) > 0.0
+        }
+        transcript.log_upload(
+            name, "shared_trie_report", len(reported), level=g_s, content=reported
+        )
+        for prefix, scaled_count in reported.items():
+            aggregated[prefix] = aggregated.get(prefix, 0.0) + scaled_count
+
+    ranked = sorted(aggregated.items(), key=lambda kv: (-kv[1], kv[0]))
+    global_prefixes = [prefix for prefix, _ in ranked[:k]]
+    if not global_prefixes:
+        # Pathological all-noise case: fall back to the first party's selection
+        # so phase II still has something to extend.
+        first = next(iter(per_party_final.values()))
+        global_prefixes = list(first.selected_prefixes)
+
+    for name in estimators:
+        transcript.log_broadcast(
+            name, "shared_prefixes", len(global_prefixes), level=g_s,
+            content=list(global_prefixes),
+        )
+
+    selected = {name: list(global_prefixes) for name in estimators}
+    return SharedTrieResult(
+        global_prefixes=list(global_prefixes),
+        per_party_selected=selected,
+        per_party_levels=per_party_levels,
+    )

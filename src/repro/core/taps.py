@@ -1,0 +1,227 @@
+"""TAPS: TAP with the consensus-based pruning strategy (Algorithm 4).
+
+Phase I is identical to TAP.  Phase II differs in two ways:
+
+* parties run **sequentially**, sorted by descending user population, so
+  each party can exploit (noisy) prior knowledge from its predecessor, and
+* at the pruning levels (``g_s+1 ≤ h ≤ 2·g_s`` and ``g−g_s ≤ h ≤ g``) every
+  party except the first validates its predecessor's pruning candidates on
+  two small β-fractions of its level users, removes the consensus pruning
+  set from its candidate domain and estimates on the remaining users.
+
+The smaller candidate domains reduce the scale of the injected LDP noise,
+which is where TAPS's accuracy advantage over TAP comes from (Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import FederatedMechanism
+from repro.core.config import MechanismConfig
+from repro.core.estimation import PartyEstimator
+from repro.core.pruning import (
+    PruningCandidates,
+    consensus_prune,
+    population_confidence,
+    select_pruning_candidates,
+)
+from repro.core.results import MechanismResult, PartyRunRecord
+from repro.core.shared_trie import construct_shared_trie
+from repro.datasets.base import FederatedDataset
+from repro.federation.grouping import split_off_fraction
+from repro.federation.transcript import FederationTranscript
+from repro.trie.candidate_domain import CandidateDomain
+
+
+class TAPSMechanism(FederatedMechanism):
+    """TAPS: target-aligning prefix tree with consensus-based pruning."""
+
+    name = "taps"
+
+    def __init__(self, config: MechanismConfig | None = None, **overrides):
+        if config is None:
+            config = MechanismConfig(**overrides)
+        elif overrides:
+            config = config.with_updates(**overrides)
+        super().__init__(config)
+
+    # ------------------------------------------------------------------ #
+    # Pruning-window bookkeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _is_pruning_level(level: int, g: int, g_s: int) -> bool:
+        """Algorithm 4 line 7: prune early after the warm start and near the leaves."""
+        return (g_s + 1 <= level <= 2 * g_s) or (g - g_s <= level <= g)
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self,
+        dataset: FederatedDataset,
+        config: MechanismConfig,
+        estimators: dict[str, PartyEstimator],
+        transcript: FederationTranscript,
+        rng,
+    ) -> dict[str, PartyRunRecord]:
+        g = config.granularity
+        g_s = config.effective_shared_level
+        k = config.k
+        beta = config.dividing_ratio
+        total_population = dataset.total_users
+
+        # ----- Phase I: shared shallow trie construction. -----
+        shared = construct_shared_trie(estimators, transcript)
+
+        # ----- Phase II: sequential estimation with consensus pruning. -----
+        ordered_parties = dataset.sorted_by_population(descending=True)
+        records: dict[str, PartyRunRecord] = {}
+        previous_pruning: dict[int, PruningCandidates] = {}
+        previous_population = 0
+
+        for index, party in enumerate(ordered_parties):
+            name = party.name
+            estimator = estimators[name]
+            record = PartyRunRecord(party=name, n_users=party.n_users)
+            record.levels.extend(shared.per_party_levels[name])
+            previous_selected = shared.per_party_selected[name]
+            current_pruning: dict[int, PruningCandidates] = {}
+            final_estimate = None
+
+            for level in range(g_s + 1, g + 1):
+                domain = estimator.build_domain(level, previous_selected)
+                users = estimator.users_at_level(level)
+                pruned: list[str] = []
+
+                apply_pruning = (
+                    self._is_pruning_level(level, g, g_s)
+                    and index > 0
+                    and level in previous_pruning
+                )
+                if apply_pruning:
+                    domain, users, pruned = self._validate_and_prune(
+                        estimator,
+                        domain,
+                        users,
+                        previous_pruning[level],
+                        k=k,
+                        beta=beta,
+                        gamma=population_confidence(
+                            previous_population, total_population
+                        ),
+                        epsilon=config.epsilon,
+                        min_validation_users=config.min_validation_users,
+                    )
+
+                estimate = estimator.estimate_level(
+                    level, domain, users, pruned=pruned
+                )
+                record.levels.append(estimate)
+                previous_selected = estimate.selected_prefixes
+                final_estimate = estimate
+
+                if self._is_pruning_level(level, g, g_s) and index < len(ordered_parties) - 1:
+                    current_pruning[level] = select_pruning_candidates(estimate, 2 * k)
+
+            if final_estimate is None:
+                final_estimate = record.levels[-1]
+            record.local_heavy_hitters = self._local_heavy_hitters(
+                final_estimate, estimator, k
+            )
+            self._log_final_report(transcript, name, record.local_heavy_hitters, level=g)
+
+            # Ship the pruning dictionary D_i through the server to the next party.
+            if current_pruning and index < len(ordered_parties) - 1:
+                n_pairs = sum(c.n_pairs for c in current_pruning.values())
+                transcript.log_upload(
+                    name, "pruning_candidates", n_pairs, content=dict(current_pruning)
+                )
+                next_party = ordered_parties[index + 1].name
+                transcript.log_broadcast(
+                    next_party, "pruning_candidates", n_pairs,
+                    content=dict(current_pruning),
+                )
+
+            records[name] = record
+            previous_pruning = current_pruning
+            previous_population = party.n_users
+
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Consensus validation
+    # ------------------------------------------------------------------ #
+    def _validate_and_prune(
+        self,
+        estimator: PartyEstimator,
+        domain: CandidateDomain,
+        users,
+        candidates: PruningCandidates,
+        *,
+        k: int,
+        beta: float,
+        gamma: float,
+        epsilon: float,
+        min_validation_users: int = 0,
+    ) -> tuple[CandidateDomain, object, list[str]]:
+        """Run the consensus-based validation test and prune the domain.
+
+        Returns the (possibly) pruned domain, the users left for the main
+        estimation, and the list of pruned prefixes.
+        """
+        validation_sets, remainder = split_off_fraction(users, beta, 2, estimator.rng)
+        if any(v.size < max(1, min_validation_users) for v in validation_sets):
+            # Too few users to produce an informative validation estimate;
+            # skip pruning at this level (see MechanismConfig.min_validation_users).
+            return domain, users, []
+
+        validated_infrequent = self._validate_candidates(
+            estimator, validation_sets[0], list(candidates.infrequent),
+            candidates.prefix_length, domain.prefix_length,
+        )
+        validated_frequent = self._validate_candidates(
+            estimator,
+            validation_sets[1],
+            [prefix for prefix, _ in candidates.frequent],
+            candidates.prefix_length,
+            domain.prefix_length,
+        )
+        if validated_infrequent is None or validated_frequent is None:
+            return domain, users, []
+
+        pruning_set = consensus_prune(
+            candidates,
+            validated_infrequent,
+            validated_frequent,
+            k=k,
+            epsilon=epsilon,
+            gamma=gamma,
+        )
+        pruning_set &= set(domain.prefixes)
+        if not pruning_set or len(pruning_set) >= domain.n_candidates:
+            return domain, remainder, []
+        pruned_domain = domain.without(pruning_set, include_dummy=True)
+        return pruned_domain, remainder, sorted(pruning_set)
+
+    @staticmethod
+    def _validate_candidates(
+        estimator: PartyEstimator,
+        user_indices,
+        prefixes: list[str],
+        candidate_length: int,
+        expected_length: int,
+    ):
+        """Estimate the frequencies of ``prefixes`` on a validation user set.
+
+        Returns ``None`` when validation is impossible (no candidates or a
+        level mismatch between the predecessor's suggestion and this party's
+        current prefix length).
+        """
+        if not prefixes or candidate_length != expected_length:
+            return None
+        validation_domain = CandidateDomain(prefixes, include_dummy=True)
+        outcome = estimator.estimate_on_users(user_indices, validation_domain)
+        return dict(outcome.frequencies)
+
+    def run(self, dataset: FederatedDataset, rng=None) -> MechanismResult:
+        """Run TAPS on ``dataset`` and return the federated top-k result."""
+        return super().run(dataset, rng)

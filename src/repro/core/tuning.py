@@ -1,0 +1,125 @@
+"""Parameter-selection helpers.
+
+The paper gives two practical recommendations that this module turns into
+code so downstream users do not have to re-derive them:
+
+* **Granularity** (Section 7.1): "we recommend g = 24 or 12 depending on the
+  population size — a large population can support a fine granularity while
+  reducing the accumulated sampling errors."  :func:`recommend_granularity`
+  picks the finest granularity whose per-level group still has enough users
+  for the FO noise to stay below a target fraction of the expected top-k
+  frequency.
+* **Frequency oracle** (Section 3.2, following Wang et al. 2017): k-RR is
+  preferable for domain sizes below ``3 e^ε + 2``; beyond that OUE (or OLH
+  when communication is the constraint) has lower variance.
+  :func:`recommend_oracle` encodes that rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ldp.registry import make_oracle
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GranularityRecommendation:
+    """Outcome of :func:`recommend_granularity`."""
+
+    granularity: int
+    step_size: int
+    users_per_level: int
+    expected_sigma: float
+    rationale: str
+
+
+def recommend_oracle(epsilon: float, domain_size: int, *, communication_bound_bits: int | None = None) -> str:
+    """Pick the FO with the lowest variance that fits the constraints.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget per report.
+    domain_size:
+        Size of the (largest) candidate domain the oracle will face.
+    communication_bound_bits:
+        Optional per-report budget; OUE is ruled out when its ``domain_size``
+        bit vector exceeds it, in which case OLH is recommended.
+    """
+    check_positive("epsilon", epsilon)
+    check_positive("domain_size", domain_size)
+    krr_threshold = 3.0 * math.exp(epsilon) + 2.0
+    if domain_size < krr_threshold:
+        return "krr"
+    if communication_bound_bits is not None and domain_size > communication_bound_bits:
+        return "olh"
+    return "oue"
+
+
+def recommend_granularity(
+    n_users: int,
+    n_bits: int,
+    *,
+    epsilon: float,
+    k: int,
+    expected_top_frequency: float = 0.02,
+    noise_to_signal: float = 0.5,
+    oracle: str = "krr",
+    candidates: tuple[int, ...] = (24, 12, 8, 6, 4, 3, 2),
+) -> GranularityRecommendation:
+    """Choose the finest granularity whose per-level noise stays manageable.
+
+    The mechanism splits ``n_users`` into ``g`` groups; a level's frequency
+    estimate has standard deviation ``σ(n/g, d)`` where ``d ≈ 2k·2^{m/g}``
+    is a typical adaptive candidate-domain size.  The recommendation is the
+    largest ``g`` (finest trie) such that ``σ ≤ noise_to_signal ·
+    expected_top_frequency``; if none qualifies the coarsest candidate is
+    returned with a warning rationale.
+    """
+    check_positive("n_users", n_users)
+    check_positive("n_bits", n_bits)
+    check_positive("k", k)
+    check_positive("expected_top_frequency", expected_top_frequency)
+    check_positive("noise_to_signal", noise_to_signal)
+    oracle_instance = make_oracle(oracle, epsilon)
+
+    feasible = [g for g in sorted(set(candidates), reverse=True) if g <= n_bits]
+    if not feasible:
+        feasible = [n_bits]
+    fallback = None
+    for granularity in feasible:
+        users_per_level = max(1, n_users // granularity)
+        step = max(1, n_bits // granularity)
+        typical_domain = min(2 * k * (2**step) + 1, 2**n_bits)
+        sigma = oracle_instance.std(users_per_level, typical_domain)
+        recommendation = GranularityRecommendation(
+            granularity=granularity,
+            step_size=step,
+            users_per_level=users_per_level,
+            expected_sigma=sigma,
+            rationale=(
+                f"sigma={sigma:.4f} <= {noise_to_signal:.2f} x "
+                f"expected top frequency {expected_top_frequency:.4f}"
+            ),
+        )
+        if fallback is None:
+            fallback = recommendation
+        if sigma <= noise_to_signal * expected_top_frequency:
+            return recommendation
+    coarsest = feasible[-1]
+    users_per_level = max(1, n_users // coarsest)
+    step = max(1, n_bits // coarsest)
+    typical_domain = min(2 * k * (2**step) + 1, 2**n_bits)
+    sigma = oracle_instance.std(users_per_level, typical_domain)
+    return GranularityRecommendation(
+        granularity=coarsest,
+        step_size=step,
+        users_per_level=users_per_level,
+        expected_sigma=sigma,
+        rationale=(
+            "no candidate granularity meets the noise target; returning the "
+            f"coarsest option (sigma={sigma:.4f})"
+        ),
+    )

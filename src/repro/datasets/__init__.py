@@ -1,0 +1,54 @@
+"""Federated dataset generators.
+
+The paper evaluates on four real-world multi-party text/item corpora (RDB,
+YCM, TYS, UBA) plus one synthetic dataset (SYN, Table 2).  The raw corpora
+are not redistributable and are far beyond laptop scale, so this subpackage
+generates *synthetic stand-ins* whose statistical shape matches Table 2:
+
+* same number of parties and relative party sizes,
+* heavy-tailed (Zipf / Poisson) per-party item frequencies,
+* controlled overlap between party vocabularies ("common items"),
+* non-IID per-party distributions (party-specific popular items that are
+  globally rare, and globally popular items unevenly spread).
+
+The SYN dataset follows the paper's own construction: the item domain is
+split into groups, a Dirichlet(β) draw decides how much of each group a
+party receives, and per-party frequencies follow Zipf/Poisson laws.
+
+See ``DESIGN.md`` ("Substitutions") for why this preserves the behaviour the
+evaluation measures.
+"""
+
+from repro.datasets.base import FederatedDataset
+from repro.datasets.distributions import (
+    poisson_frequencies,
+    sample_from_frequencies,
+    zipf_frequencies,
+)
+from repro.datasets.partition import dirichlet_domain_partition
+from repro.datasets.synthetic import make_syn
+from repro.datasets.textlike import make_rdb, make_tys, make_ycm
+from repro.datasets.uba import make_uba
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    SCALES,
+    dataset_summary_table,
+    load_dataset,
+)
+
+__all__ = [
+    "FederatedDataset",
+    "zipf_frequencies",
+    "poisson_frequencies",
+    "sample_from_frequencies",
+    "dirichlet_domain_partition",
+    "make_syn",
+    "make_rdb",
+    "make_ycm",
+    "make_tys",
+    "make_uba",
+    "DATASET_NAMES",
+    "SCALES",
+    "load_dataset",
+    "dataset_summary_table",
+]

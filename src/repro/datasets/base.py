@@ -1,0 +1,137 @@
+"""The :class:`FederatedDataset` container and exact ground-truth queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.federation.party import Party
+from repro.utils.validation import check_non_empty, check_positive
+
+
+@dataclass
+class FederatedDataset:
+    """A multi-party dataset: disjoint user populations holding single items.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"rdb"``, ``"syn"``, ...).
+    parties:
+        The parties, each with its own user population.
+    n_bits:
+        Binary width ``m`` used to encode item ids into the prefix tree.
+    metadata:
+        Generator parameters (useful for provenance in experiment output).
+    """
+
+    name: str
+    parties: list[Party]
+    n_bits: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_non_empty("parties", self.parties)
+        check_positive("n_bits", self.n_bits)
+        max_item = max(int(p.items.max()) for p in self.parties)
+        if max_item >= (1 << self.n_bits):
+            raise ValueError(
+                f"n_bits={self.n_bits} cannot encode item id {max_item}; "
+                f"need at least {max_item.bit_length()} bits"
+            )
+        names = [p.name for p in self.parties]
+        if len(set(names)) != len(names):
+            raise ValueError(f"party names must be unique, got {names}")
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def n_parties(self) -> int:
+        return len(self.parties)
+
+    @property
+    def total_users(self) -> int:
+        """Total user population across all parties."""
+        return sum(p.n_users for p in self.parties)
+
+    def party_sizes(self) -> dict[str, int]:
+        """Party name → user count."""
+        return {p.name: p.n_users for p in self.parties}
+
+    def party(self, name: str) -> Party:
+        """Return the party called ``name``."""
+        for p in self.parties:
+            if p.name == name:
+                return p
+        raise KeyError(f"no party named {name!r} in dataset {self.name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Exact (non-private) statistics — ground truth for evaluation only
+    # ------------------------------------------------------------------ #
+    def global_counts(self) -> dict[int, int]:
+        """Exact item → total count across all parties."""
+        totals: dict[int, int] = {}
+        for party in self.parties:
+            for item, count in party.item_counts().items():
+                totals[item] = totals.get(item, 0) + count
+        return totals
+
+    def global_frequencies(self) -> dict[int, float]:
+        """Exact item → global frequency (Definition 4.1)."""
+        n = self.total_users
+        return {item: count / n for item, count in self.global_counts().items()}
+
+    def true_top_k(self, k: int) -> list[int]:
+        """The exact federated top-k heavy hitters (ties broken by item id)."""
+        if k <= 0:
+            return []
+        counts = self.global_counts()
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [item for item, _ in ranked[:k]]
+
+    def n_unique_items(self) -> int:
+        """Number of distinct items across all parties."""
+        return len(self.global_counts())
+
+    def n_common_items(self) -> int:
+        """Number of items present in *every* party (Table 2's "common items")."""
+        supports = [set(p.unique_items().tolist()) for p in self.parties]
+        common = set.intersection(*supports) if supports else set()
+        return len(common)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def subsample_users(self, fraction: float, rng=None) -> "FederatedDataset":
+        """Uniformly subsample each party's users (Table 4 scalability study)."""
+        parties = [p.subsample(fraction, rng) for p in self.parties]
+        return FederatedDataset(
+            name=f"{self.name}",
+            parties=parties,
+            n_bits=self.n_bits,
+            metadata=dict(self.metadata, user_fraction=fraction),
+        )
+
+    def sorted_by_population(self, descending: bool = True) -> list[Party]:
+        """Parties sorted by population size (TAPS processes them in this order)."""
+        return sorted(self.parties, key=lambda p: p.n_users, reverse=descending)
+
+    def summary(self) -> dict:
+        """Compact description used by the Table 2 reproduction."""
+        return {
+            "name": self.name,
+            "n_parties": self.n_parties,
+            "total_users": self.total_users,
+            "party_sizes": self.party_sizes(),
+            "n_unique_items": self.n_unique_items(),
+            "n_common_items": self.n_common_items(),
+            "n_bits": self.n_bits,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FederatedDataset(name={self.name!r}, parties={self.n_parties}, "
+            f"users={self.total_users}, n_bits={self.n_bits})"
+        )

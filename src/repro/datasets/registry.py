@@ -1,0 +1,143 @@
+"""Dataset registry: build any of the five evaluation datasets by name.
+
+The experiment harness and the benchmarks request datasets as
+``load_dataset("rdb", scale="small", seed=7)``.  Scales trade fidelity for
+runtime; ``"paper"`` approaches Table 2's population sizes and is only meant
+for long offline runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datasets.base import FederatedDataset
+from repro.datasets.synthetic import make_syn
+from repro.datasets.textlike import make_rdb, make_tys, make_ycm
+from repro.datasets.uba import make_uba
+from repro.utils.rng import RandomState
+from repro.utils.tables import TextTable
+
+#: Names of the five evaluation datasets, in the order the paper lists them.
+DATASET_NAMES: tuple[str, ...] = ("rdb", "ycm", "tys", "uba", "syn")
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Multiplier set applied to each generator's default sizes."""
+
+    users_multiplier: float
+    items_multiplier: float
+    description: str
+
+
+#: Named scale presets.  Multipliers apply to each generator's defaults.
+SCALES: dict[str, ScalePreset] = {
+    "tiny": ScalePreset(0.08, 0.3, "smoke-test scale (unit tests)"),
+    "small": ScalePreset(1.0, 1.0, "benchmark default, runs in seconds"),
+    "medium": ScalePreset(2.0, 1.2, "tighter estimates, still laptop-friendly"),
+    "large": ScalePreset(6.0, 1.5, "longer runs, tighter estimates"),
+    "paper": ScalePreset(40.0, 4.0, "approaches Table 2 population sizes"),
+}
+
+
+def _scaled(value: int, multiplier: float, minimum: int) -> int:
+    return max(minimum, int(round(value * multiplier)))
+
+
+def load_dataset(
+    name: str,
+    *,
+    scale: str = "small",
+    seed: RandomState = None,
+    dirichlet_beta: float = 0.5,
+    user_fraction: float = 1.0,
+) -> FederatedDataset:
+    """Build one of the five evaluation datasets.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES`.
+    scale:
+        One of :data:`SCALES`.
+    seed:
+        Seed or generator for reproducibility.
+    dirichlet_beta:
+        Only used for ``"syn"``: the Dirichlet domain-skew parameter β
+        (Table 8 sweeps it).
+    user_fraction:
+        Subsample each party's users after generation (Table 4 scalability).
+    """
+    key = name.lower()
+    if key not in DATASET_NAMES:
+        raise KeyError(f"unknown dataset {name!r}; available: {list(DATASET_NAMES)}")
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; available: {list(SCALES)}")
+    preset = SCALES[scale]
+    um, im = preset.users_multiplier, preset.items_multiplier
+
+    builders: dict[str, Callable[[], FederatedDataset]] = {
+        "rdb": lambda: make_rdb(
+            total_users=_scaled(20_000, um, 400),
+            n_common_items=_scaled(300, im, 40),
+            n_specific_items=_scaled(500, im, 40),
+            n_bits=12,
+            rng=seed,
+        ),
+        "ycm": lambda: make_ycm(
+            total_users=_scaled(28_000, um, 600),
+            n_common_items=_scaled(250, im, 40),
+            n_specific_items=_scaled(500, im, 40),
+            n_bits=12,
+            rng=seed,
+        ),
+        "tys": lambda: make_tys(
+            total_users=_scaled(36_000, um, 900),
+            n_common_items=_scaled(200, im, 40),
+            n_specific_items=_scaled(450, im, 40),
+            n_bits=12,
+            rng=seed,
+        ),
+        "uba": lambda: make_uba(
+            total_users=_scaled(42_000, um, 900),
+            n_common_items=_scaled(200, im, 40),
+            n_specific_items=_scaled(400, im, 40),
+            n_bits=12,
+            rng=seed,
+        ),
+        "syn": lambda: make_syn(
+            total_users=_scaled(30_000, um, 1200),
+            n_items=_scaled(2_000, im, 150),
+            dirichlet_beta=dirichlet_beta,
+            n_bits=12,
+            rng=seed,
+        ),
+    }
+    dataset = builders[key]()
+    if user_fraction < 1.0:
+        dataset = dataset.subsample_users(user_fraction, rng=seed)
+    dataset.metadata["scale"] = scale
+    return dataset
+
+
+def dataset_summary_table(
+    *, scale: str = "small", seed: int = 0
+) -> TextTable:
+    """Reproduce the structure of Table 2 for the synthetic stand-ins."""
+    table = TextTable(
+        ["dataset", "# parties", "# total users", "# unique items", "# common items"]
+    )
+    for name in DATASET_NAMES:
+        ds = load_dataset(name, scale=scale, seed=seed)
+        summary = ds.summary()
+        table.add_row(
+            [
+                name.upper(),
+                summary["n_parties"],
+                summary["total_users"],
+                summary["n_unique_items"],
+                summary["n_common_items"],
+            ]
+        )
+    return table

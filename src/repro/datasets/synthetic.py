@@ -1,0 +1,158 @@
+"""The SYN dataset: Dirichlet domain skew + Zipf/Poisson frequency laws.
+
+This follows the paper's own construction (Section 7.1): the item domain is
+split into ``N = 6`` groups; every party draws ``q ~ Dirichlet(β)`` and
+receives a ``q_j`` proportion of group ``j``'s items as its local domain;
+per-party frequencies then follow Zipf or Poisson laws with party-specific
+parameters (Table 2 lists λ ∈ {10, 8, 6, 4} and α ∈ {1.1, 1.3, 1.5, 1.7}).
+β controls the level of domain skew — Table 8 sweeps β ∈ {0.2, 0.5, 0.8}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.datasets.distributions import (
+    poisson_frequencies,
+    sample_from_frequencies,
+    scatter_item_ids,
+    zipf_frequencies,
+)
+from repro.datasets.partition import dirichlet_domain_partition
+from repro.federation.party import Party
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SynPartySpec:
+    """Per-party recipe for the SYN dataset."""
+
+    name: str
+    n_users: int
+    family: str  # "zipf" or "poisson"
+    parameter: float
+
+
+#: Party sizes and frequency laws from Table 2 (SYN 0 .. SYN 7), used as
+#: relative weights when scaling the population down.
+SYN_PARTY_TABLE: tuple[tuple[str, int, str, float], ...] = (
+    ("syn_0", 220_000, "poisson", 10.0),
+    ("syn_1", 170_000, "poisson", 8.0),
+    ("syn_2", 120_000, "zipf", 1.1),
+    ("syn_3", 80_000, "zipf", 1.3),
+    ("syn_4", 70_000, "poisson", 6.0),
+    ("syn_5", 60_000, "poisson", 4.0),
+    ("syn_6", 30_000, "zipf", 1.5),
+    ("syn_7", 30_000, "zipf", 1.7),
+)
+
+
+def _party_frequencies(family: str, parameter: float, n_items: int) -> np.ndarray:
+    if family == "zipf":
+        return zipf_frequencies(n_items, parameter)
+    if family == "poisson":
+        return poisson_frequencies(n_items, parameter)
+    raise ValueError(f"unknown frequency family {family!r} (expected 'zipf' or 'poisson')")
+
+
+def make_syn(
+    total_users: int = 30_000,
+    n_items: int = 2_000,
+    n_groups: int = 6,
+    dirichlet_beta: float = 0.5,
+    n_bits: int = 16,
+    rng: RandomState = None,
+    *,
+    global_anchor_weight: float = 0.35,
+    n_anchor_items: int = 60,
+) -> FederatedDataset:
+    """Generate the SYN dataset.
+
+    Parameters
+    ----------
+    total_users:
+        Total population across the eight parties (scaled from Table 2).
+    n_items:
+        Size of the global item domain before partitioning.
+    n_groups:
+        Number of item groups for the Dirichlet partition (paper: 6).
+    dirichlet_beta:
+        Concentration β of the Dirichlet domain partition (Table 8 sweeps it).
+    global_anchor_weight:
+        Probability mass each party puts on a small shared "anchor" pool of
+        globally popular items.  Without any shared mass the federated top-k
+        would be essentially arbitrary; the anchor models the fact that even
+        under domain skew some items are popular everywhere (the Tmall
+        blockbusters the paper's SYN is sampled from).
+    n_anchor_items:
+        Size of that shared anchor pool.
+    """
+    check_positive("total_users", total_users)
+    check_positive("n_items", n_items)
+    gen = as_generator(rng)
+
+    total_weight = sum(row[1] for row in SYN_PARTY_TABLE)
+    specs = [
+        SynPartySpec(
+            name=name,
+            n_users=max(10, int(round(total_users * weight / total_weight))),
+            family=family,
+            parameter=parameter,
+        )
+        for name, weight, family, parameter in SYN_PARTY_TABLE
+    ]
+
+    required_bits = max(1, (n_items - 1).bit_length() + 1)
+    n_bits = max(n_bits, required_bits)
+
+    # Partition dense ranks 0..n_items-1, then scatter them across the full
+    # encodable domain so binary prefixes are informative.
+    id_map = scatter_item_ids(n_items, n_bits, gen)
+    domains = dirichlet_domain_partition(
+        n_items, len(specs), n_groups, dirichlet_beta, gen
+    )
+    domains = [id_map[domain] for domain in domains]
+    anchor_ranks = gen.choice(n_items, size=min(n_anchor_items, n_items), replace=False)
+    anchor_ids = id_map[anchor_ranks]
+    anchor_freqs = zipf_frequencies(anchor_ids.size, 1.2, shift=10.0)
+
+    parties: list[Party] = []
+    for spec, domain in zip(specs, domains):
+        # Party-specific component: its own frequency law over a random
+        # ordering of its Dirichlet-assigned domain.
+        ordering = gen.permutation(domain)
+        freqs = _party_frequencies(spec.family, spec.parameter, ordering.size)
+
+        n_anchor_users = int(round(spec.n_users * global_anchor_weight))
+        n_specific_users = spec.n_users - n_anchor_users
+        items_specific = sample_from_frequencies(freqs, ordering, n_specific_users, gen)
+        items_anchor = sample_from_frequencies(
+            anchor_freqs, anchor_ids, n_anchor_users, gen
+        )
+        items = np.concatenate([items_specific, items_anchor])
+        gen.shuffle(items)
+        parties.append(
+            Party(
+                name=spec.name,
+                items=items,
+                metadata={
+                    "family": spec.family,
+                    "parameter": spec.parameter,
+                    "domain_size": int(domain.size),
+                },
+            )
+        )
+
+    metadata = {
+        "generator": "syn_dirichlet",
+        "n_items": n_items,
+        "n_groups": n_groups,
+        "dirichlet_beta": dirichlet_beta,
+        "global_anchor_weight": global_anchor_weight,
+        "n_anchor_items": int(anchor_ids.size),
+    }
+    return FederatedDataset(name="syn", parties=parties, n_bits=n_bits, metadata=metadata)

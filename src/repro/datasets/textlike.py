@@ -1,0 +1,269 @@
+"""Synthetic stand-ins for the paper's text corpora (RDB, YCM, TYS).
+
+Each real corpus in Table 2 is a collection of parties with (i) very
+different user populations, (ii) heavy-tailed word/item frequencies and
+(iii) partially overlapping vocabularies — a set of "common items" shared by
+every party plus large party-specific tails.  The generator below mirrors
+exactly that structure:
+
+* a *common pool* of items that exists in every party and whose popularity
+  ordering is a noisy per-party perturbation of a shared global ordering
+  (these are the items federated heavy hitters come from), and
+* a *party-specific pool* per party: items popular inside one party but
+  absent (or rare) elsewhere — the non-IID "local heavy hitters" that the
+  paper identifies as the main source of false positives.
+
+Every user holds exactly one item, matching the paper's data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.datasets.distributions import (
+    perturbed_ranking,
+    sample_from_frequencies,
+    scatter_item_ids,
+    zipf_frequencies,
+)
+from repro.federation.party import Party
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class PartySpec:
+    """Per-party generation parameters for a heterogeneous text-like dataset."""
+
+    name: str
+    n_users: int
+    zipf_exponent: float = 1.3
+    zipf_shift: float = 15.0
+    common_weight: float = 0.65
+    rank_noise: float = 0.05
+
+
+@dataclass(frozen=True)
+class TextDatasetSpec:
+    """Full generation recipe for one heterogeneous multi-party dataset."""
+
+    name: str
+    parties: tuple[PartySpec, ...]
+    n_common_items: int
+    n_specific_items: int
+    n_bits: int
+    common_zipf_exponent: float = 1.2
+    common_zipf_shift: float = 15.0
+    extra_metadata: dict = field(default_factory=dict)
+
+
+def make_heterogeneous_text_dataset(
+    spec: TextDatasetSpec, rng: RandomState = None
+) -> FederatedDataset:
+    """Generate a federated dataset from a :class:`TextDatasetSpec`.
+
+    Item-id layout: ids ``[0, n_common_items)`` are the common pool, and
+    party ``i`` owns the specific block
+    ``[n_common + i * n_specific, n_common + (i+1) * n_specific)``.
+    """
+    check_positive("n_common_items", spec.n_common_items)
+    check_positive("n_specific_items", spec.n_specific_items)
+    gen = as_generator(rng)
+
+    n_common = spec.n_common_items
+    n_specific = spec.n_specific_items
+    total_items = n_common + n_specific * len(spec.parties)
+    required_bits = max(1, (total_items - 1).bit_length() + 1)
+    n_bits = max(spec.n_bits, required_bits)
+
+    # Scatter the vocabulary across the full encodable domain so that binary
+    # prefixes carry information (see scatter_item_ids).
+    id_map = scatter_item_ids(total_items, n_bits, gen)
+    common_ids = id_map[:n_common]
+    base_common_freqs = zipf_frequencies(
+        n_common, spec.common_zipf_exponent, spec.common_zipf_shift
+    )
+
+    parties: list[Party] = []
+    for i, pspec in enumerate(spec.parties):
+        check_positive(f"{pspec.name}.n_users", pspec.n_users)
+        check_in_range(f"{pspec.name}.common_weight", pspec.common_weight, 0.0, 1.0)
+
+        # Common pool: the party sees the global popularity ordering through
+        # a noisy per-party lens (non-IID, but correlated with the truth).
+        ranking = perturbed_ranking(n_common, pspec.rank_noise, gen)
+        common_freqs = base_common_freqs[np.argsort(ranking, kind="stable")]
+
+        # Party-specific pool: its own Zipf law over its own item block.
+        specific_ids = id_map[n_common + i * n_specific : n_common + (i + 1) * n_specific]
+        specific_freqs = zipf_frequencies(n_specific, pspec.zipf_exponent, pspec.zipf_shift)
+
+        n_from_common = int(round(pspec.n_users * pspec.common_weight))
+        n_from_specific = pspec.n_users - n_from_common
+        items_common = sample_from_frequencies(
+            common_freqs, common_ids, n_from_common, gen
+        )
+        items_specific = sample_from_frequencies(
+            specific_freqs, specific_ids, n_from_specific, gen
+        )
+        items = np.concatenate([items_common, items_specific])
+        gen.shuffle(items)
+        parties.append(
+            Party(
+                name=pspec.name,
+                items=items,
+                metadata={
+                    "zipf_exponent": pspec.zipf_exponent,
+                    "common_weight": pspec.common_weight,
+                    "rank_noise": pspec.rank_noise,
+                },
+            )
+        )
+
+    metadata = {
+        "generator": "heterogeneous_text",
+        "n_common_items": n_common,
+        "n_specific_items_per_party": n_specific,
+        "total_item_domain": total_items,
+        **spec.extra_metadata,
+    }
+    return FederatedDataset(
+        name=spec.name, parties=parties, n_bits=n_bits, metadata=metadata
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The three text-corpus stand-ins.  Relative party sizes follow Table 2.
+# --------------------------------------------------------------------------- #
+
+#: Relative user-population weights from Table 2 of the paper.
+RDB_PARTY_WEIGHTS = {"reddit": 252_830, "imdb": 100_000}
+YCM_PARTY_WEIGHTS = {
+    "yahoo": 812_300,
+    "cnn_dailymail": 287_113,
+    "mind": 123_082,
+    "swag": 113_553,
+}
+TYS_PARTY_WEIGHTS = {
+    "twitter": 658_549,
+    "yelp": 649_917,
+    "scientific_papers": 349_119,
+    "amazon_arts": 200_000,
+    "squad": 142_192,
+    "ag_news": 119_999,
+}
+
+
+def _scaled_sizes(weights: dict[str, int], total_users: int) -> dict[str, int]:
+    """Scale Table 2's absolute party sizes down to ``total_users`` users."""
+    check_positive("total_users", total_users)
+    total_weight = sum(weights.values())
+    sizes = {
+        name: max(10, int(round(total_users * w / total_weight)))
+        for name, w in weights.items()
+    }
+    return sizes
+
+
+def _build_spec(
+    name: str,
+    weights: dict[str, int],
+    total_users: int,
+    n_common_items: int,
+    n_specific_items: int,
+    n_bits: int,
+    zipf_exponents: list[float],
+    common_weight: float,
+    *,
+    common_zipf_exponent: float = 1.2,
+    common_zipf_shift: float = 15.0,
+    specific_zipf_shift: float = 15.0,
+) -> TextDatasetSpec:
+    sizes = _scaled_sizes(weights, total_users)
+    party_specs = tuple(
+        PartySpec(
+            name=pname,
+            n_users=n,
+            zipf_exponent=zipf_exponents[i % len(zipf_exponents)],
+            zipf_shift=specific_zipf_shift,
+            common_weight=common_weight,
+            rank_noise=0.03 + 0.02 * (i % 3),
+        )
+        for i, (pname, n) in enumerate(sizes.items())
+    )
+    return TextDatasetSpec(
+        name=name,
+        parties=party_specs,
+        n_common_items=n_common_items,
+        n_specific_items=n_specific_items,
+        n_bits=n_bits,
+        common_zipf_exponent=common_zipf_exponent,
+        common_zipf_shift=common_zipf_shift,
+        extra_metadata={"table2_weights": dict(weights)},
+    )
+
+
+def make_rdb(
+    total_users: int = 20_000,
+    n_common_items: int = 300,
+    n_specific_items: int = 500,
+    n_bits: int = 16,
+    rng: RandomState = None,
+) -> FederatedDataset:
+    """RDB stand-in: 2 parties (Reddit comments, IMDB reviews)."""
+    spec = _build_spec(
+        "rdb",
+        RDB_PARTY_WEIGHTS,
+        total_users,
+        n_common_items,
+        n_specific_items,
+        n_bits,
+        zipf_exponents=[1.2, 1.35],
+        common_weight=0.65,
+    )
+    return make_heterogeneous_text_dataset(spec, rng)
+
+
+def make_ycm(
+    total_users: int = 28_000,
+    n_common_items: int = 250,
+    n_specific_items: int = 500,
+    n_bits: int = 16,
+    rng: RandomState = None,
+) -> FederatedDataset:
+    """YCM stand-in: 4 parties (Yahoo, CNN/DailyMail, Mind, SWAG)."""
+    spec = _build_spec(
+        "ycm",
+        YCM_PARTY_WEIGHTS,
+        total_users,
+        n_common_items,
+        n_specific_items,
+        n_bits,
+        zipf_exponents=[1.15, 1.25, 1.35, 1.2],
+        common_weight=0.6,
+    )
+    return make_heterogeneous_text_dataset(spec, rng)
+
+
+def make_tys(
+    total_users: int = 36_000,
+    n_common_items: int = 200,
+    n_specific_items: int = 450,
+    n_bits: int = 16,
+    rng: RandomState = None,
+) -> FederatedDataset:
+    """TYS stand-in: 6 parties (Twitter, Yelp, Scientific Papers, Amazon Arts, SQuAD, AG News)."""
+    spec = _build_spec(
+        "tys",
+        TYS_PARTY_WEIGHTS,
+        total_users,
+        n_common_items,
+        n_specific_items,
+        n_bits,
+        zipf_exponents=[1.1, 1.2, 1.3, 1.25, 1.35, 1.15],
+        common_weight=0.6,
+    )
+    return make_heterogeneous_text_dataset(spec, rng)

@@ -1,0 +1,34 @@
+"""Item ↔ binary-prefix encoding.
+
+The TAP/TAPS mechanisms operate on a binary prefix tree: every item of the
+domain ``X`` is encoded as an ``m``-bit binary string and a level ``h`` of
+the trie corresponds to prefixes of length ``l_h = ceil(h * m / g)``.  This
+subpackage provides:
+
+* :class:`BinaryEncoder` — integer item ids ↔ fixed-width bit strings,
+* :class:`ItemDictionary` — arbitrary hashable items (e.g. words) ↔ ids,
+* :mod:`repro.encoding.prefix` — prefix algebra (truncation, extension,
+  containment checks) used by the trie machinery.
+"""
+
+from repro.encoding.binary import BinaryEncoder
+from repro.encoding.dictionary import ItemDictionary
+from repro.encoding.prefix import (
+    extend_prefixes,
+    is_prefix_of,
+    level_lengths,
+    prefix_of,
+    prefixes_of_items,
+    validate_prefix,
+)
+
+__all__ = [
+    "BinaryEncoder",
+    "ItemDictionary",
+    "extend_prefixes",
+    "is_prefix_of",
+    "level_lengths",
+    "prefix_of",
+    "prefixes_of_items",
+    "validate_prefix",
+]

@@ -1,0 +1,94 @@
+"""Mapping between arbitrary hashable items (words, product ids) and dense ids.
+
+The federated datasets in the paper are word- and item-level corpora; the
+mechanisms however operate on integer ids encoded as bit strings.
+:class:`ItemDictionary` provides the stable bidirectional mapping and the
+choice of the binary width ``m`` that can represent the vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.encoding.binary import BinaryEncoder
+
+
+class ItemDictionary:
+    """A frozen vocabulary assigning dense integer ids to items.
+
+    Ids are assigned in first-seen order, which keeps dataset generation
+    deterministic for a fixed input ordering.
+
+    Examples
+    --------
+    >>> vocab = ItemDictionary(["apple", "pear", "plum"])
+    >>> vocab.id_of("pear")
+    1
+    >>> vocab.item_of(2)
+    'plum'
+    >>> len(vocab)
+    3
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()):
+        self._item_to_id: dict[Hashable, int] = {}
+        self._id_to_item: list[Hashable] = []
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> int:
+        """Add ``item`` if unseen and return its id."""
+        existing = self._item_to_id.get(item)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_item)
+        self._item_to_id[item] = new_id
+        self._id_to_item.append(item)
+        return new_id
+
+    def id_of(self, item: Hashable) -> int:
+        """Return the id of ``item`` or raise ``KeyError``."""
+        return self._item_to_id[item]
+
+    def item_of(self, item_id: int) -> Hashable:
+        """Return the item with id ``item_id`` or raise ``IndexError``."""
+        if not 0 <= item_id < len(self._id_to_item):
+            raise IndexError(f"item id {item_id} out of range")
+        return self._id_to_item[item_id]
+
+    def items_of(self, ids: Sequence[int]) -> list[Hashable]:
+        """Vectorised :meth:`item_of`."""
+        return [self.item_of(int(i)) for i in ids]
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._item_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_item)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._id_to_item)
+
+    def min_bits(self) -> int:
+        """Smallest binary width able to represent every id in the vocabulary."""
+        if not self._id_to_item:
+            return 1
+        return max(1, (len(self._id_to_item) - 1).bit_length())
+
+    def encoder(self, n_bits: int | None = None) -> BinaryEncoder:
+        """Build a :class:`BinaryEncoder` wide enough for this vocabulary.
+
+        Parameters
+        ----------
+        n_bits:
+            Explicit width.  Defaults to :meth:`min_bits`; a ``ValueError``
+            is raised if the requested width cannot represent the vocabulary.
+        """
+        required = self.min_bits()
+        if n_bits is None:
+            n_bits = required
+        if n_bits < required:
+            raise ValueError(
+                f"n_bits={n_bits} too small for a vocabulary of {len(self)} items"
+            )
+        return BinaryEncoder(n_bits)

@@ -1,0 +1,96 @@
+"""Prefix algebra over bit strings.
+
+These helpers implement the ``Construct`` primitive of Algorithm 2
+(candidate-domain extension ``Λ_h = C_{h-1} × {0,1}^{l_h − l_{h-1}}``) and
+the per-level prefix-length schedule ``l_h = ceil(h · m / g)``.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_BIT_CHARS = frozenset("01")
+
+
+def validate_prefix(prefix: str) -> str:
+    """Return ``prefix`` unchanged if it is a (possibly empty) bit string."""
+    if not isinstance(prefix, str):
+        raise TypeError(f"prefix must be a string, got {type(prefix).__name__}")
+    if set(prefix) - _BIT_CHARS:
+        raise ValueError(f"prefix must contain only '0'/'1' characters, got {prefix!r}")
+    return prefix
+
+
+def prefix_of(bits: str, length: int) -> str:
+    """Return the first ``length`` characters of ``bits``."""
+    validate_prefix(bits)
+    if not 0 <= length <= len(bits):
+        raise ValueError(f"length must be in [0, {len(bits)}], got {length}")
+    return bits[:length]
+
+
+def is_prefix_of(prefix: str, bits: str) -> bool:
+    """True if ``bits`` starts with ``prefix``."""
+    validate_prefix(prefix)
+    validate_prefix(bits)
+    return bits.startswith(prefix)
+
+
+def extend_prefixes(prefixes: Iterable[str], extra_bits: int) -> list[str]:
+    """Extend every prefix with every combination of ``extra_bits`` new bits.
+
+    This is the candidate-domain ``Construct`` step of Algorithm 2:
+    ``Λ_h = C_{h-1} × {0,1}^{l_h − l_{h-1}}``.
+
+    The output preserves the order of the input prefixes (suffixes are
+    appended in lexicographic order within each parent) and is therefore
+    deterministic.
+    """
+    if extra_bits < 0:
+        raise ValueError(f"extra_bits must be >= 0, got {extra_bits}")
+    parents = [validate_prefix(p) for p in prefixes]
+    if extra_bits == 0:
+        return list(parents)
+    suffixes = ["".join(bits) for bits in product("01", repeat=extra_bits)]
+    return [parent + suffix for parent in parents for suffix in suffixes]
+
+
+def level_lengths(n_bits: int, granularity: int) -> list[int]:
+    """Prefix lengths for levels ``1..granularity``: ``l_h = ceil(h*m/g)``.
+
+    Parameters
+    ----------
+    n_bits:
+        Maximum binary length ``m``.
+    granularity:
+        Number of levels/groups ``g``.
+    """
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    if granularity > n_bits:
+        raise ValueError(
+            f"granularity ({granularity}) cannot exceed n_bits ({n_bits}); "
+            "levels would repeat prefix lengths"
+        )
+    return [math.ceil(h * n_bits / granularity) for h in range(1, granularity + 1)]
+
+
+def prefixes_of_items(
+    items: Sequence[int] | np.ndarray, n_bits: int, length: int
+) -> list[str]:
+    """Length-``length`` prefixes of the ``n_bits``-wide encodings of ``items``."""
+    if not 0 <= length <= n_bits:
+        raise ValueError(f"length must be in [0, {n_bits}], got {length}")
+    arr = np.asarray(items, dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= (1 << n_bits)):
+        raise ValueError("one or more items outside encodable range")
+    shifted = arr >> (n_bits - length) if length < n_bits else arr
+    if length == 0:
+        return ["" for _ in range(arr.size)]
+    return [format(int(x), f"0{length}b") for x in shifted]

@@ -1,0 +1,68 @@
+"""Experiment harness: regenerate every table and figure of Section 7.
+
+* :mod:`repro.experiments.runner` — generic sweep runner (mechanism ×
+  dataset × ε × k × repetitions) returning tidy records,
+* :mod:`repro.experiments.figures` — Figures 4, 5, 6 and 7,
+* :mod:`repro.experiments.tables` — Tables 2, 3, 4, 5, 6, 7 and 8
+  (Table 1 lives in :mod:`repro.analysis.costs`),
+* :mod:`repro.experiments.reporting` — plain-text rendering of the results.
+
+Every entry point takes an :class:`ExperimentSettings` so that the same code
+runs at smoke-test scale in CI and at larger scales offline.
+"""
+
+from repro.experiments.runner import (
+    ExperimentSettings,
+    SweepResult,
+    build_mechanism,
+    evaluate_run,
+    run_sweep,
+    MECHANISM_REGISTRY,
+)
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+from repro.experiments.tables import (
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.reporting import render_records, records_to_table
+from repro.experiments.serialization import (
+    load_sweep,
+    records_from_json,
+    records_to_json,
+    save_result,
+    save_sweep,
+    summarize_result,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "SweepResult",
+    "build_mechanism",
+    "evaluate_run",
+    "run_sweep",
+    "MECHANISM_REGISTRY",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "render_records",
+    "records_to_table",
+    "load_sweep",
+    "records_from_json",
+    "records_to_json",
+    "save_result",
+    "save_sweep",
+    "summarize_result",
+]

@@ -1,0 +1,135 @@
+"""Reproductions of Figures 4–7 of the paper.
+
+Each function runs the corresponding sweep and returns a
+:class:`FigureResult` with the tidy records, the per-panel series
+(mechanism → ε → metric) and a rendered text report, which is what the
+benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.experiments.reporting import format_series, series_by_epsilon
+from repro.experiments.runner import ExperimentSettings, run_sweep
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: records, per-panel series and rendered text."""
+
+    name: str
+    settings: ExperimentSettings
+    records: list[dict] = field(default_factory=list)
+    #: panel id (e.g. ``("rdb", 10)``) → mechanism → ε → metric value.
+    panels: dict[tuple, Mapping[str, Mapping[float, float]]] = field(default_factory=dict)
+    text: str = ""
+
+    def panel(self, dataset: str, k: int) -> Mapping[str, Mapping[float, float]]:
+        """Series of one panel (dataset, k)."""
+        return self.panels[(dataset, k)]
+
+
+def _figure_from_sweep(
+    name: str,
+    settings: ExperimentSettings,
+    records: list[dict],
+    *,
+    value: str,
+    value_name: str,
+) -> FigureResult:
+    panels: dict[tuple, Mapping[str, Mapping[float, float]]] = {}
+    blocks: list[str] = []
+    for dataset in settings.datasets:
+        for k in settings.ks:
+            subset = [r for r in records if r["dataset"] == dataset and r["k"] == k]
+            if not subset:
+                continue
+            series = series_by_epsilon(subset, value=value)
+            panels[(dataset, k)] = series
+            blocks.append(
+                format_series(
+                    series,
+                    title=f"{name}: dataset={dataset.upper()} k={k}",
+                    value_name=value_name,
+                )
+            )
+    return FigureResult(
+        name=name,
+        settings=settings,
+        records=records,
+        panels=panels,
+        text="\n\n".join(blocks),
+    )
+
+
+def figure4(settings: ExperimentSettings | None = None) -> FigureResult:
+    """Figure 4: F1 vs privacy budget ε for k ∈ {10, 20, 40} on all datasets.
+
+    Mechanisms: GTF, FedPEM, TAPS (the paper's main comparison).
+    """
+    settings = settings or ExperimentSettings()
+    sweep = run_sweep(settings, mechanisms=("gtf", "fedpem", "taps"))
+    return _figure_from_sweep(
+        "Figure 4", settings, sweep.records, value="f1", value_name="F1"
+    )
+
+
+def figure5(settings: ExperimentSettings | None = None) -> FigureResult:
+    """Figure 5: NCR vs privacy budget ε for k ∈ {10, 20, 40} on all datasets."""
+    settings = settings or ExperimentSettings()
+    sweep = run_sweep(settings, mechanisms=("gtf", "fedpem", "taps"))
+    return _figure_from_sweep(
+        "Figure 5", settings, sweep.records, value="ncr", value_name="NCR"
+    )
+
+
+def figure6(settings: ExperimentSettings | None = None) -> FigureResult:
+    """Figure 6: F1 vs ε under the OUE and OLH frequency oracles (k = 10).
+
+    The records carry an ``oracle`` key so both halves of the figure are in
+    one result; panels are keyed by dataset and k as usual but the text
+    report separates OUE and OLH blocks.
+    """
+    settings = settings or ExperimentSettings()
+    settings = replace(settings, ks=(10,))
+    all_records: list[dict] = []
+    blocks: list[str] = []
+    panels: dict[tuple, Mapping[str, Mapping[float, float]]] = {}
+    for oracle in ("oue", "olh"):
+        oracle_settings = replace(settings, oracle=oracle)
+        sweep = run_sweep(oracle_settings, mechanisms=("gtf", "fedpem", "taps"))
+        for rec in sweep.records:
+            rec["oracle"] = oracle
+        all_records.extend(sweep.records)
+        for dataset in settings.datasets:
+            subset = [r for r in sweep.records if r["dataset"] == dataset]
+            if not subset:
+                continue
+            series = series_by_epsilon(subset, value="f1")
+            panels[(dataset, 10, oracle)] = series
+            blocks.append(
+                format_series(
+                    series,
+                    title=f"Figure 6: dataset={dataset.upper()} FO={oracle.upper()} k=10",
+                    value_name="F1",
+                )
+            )
+    result = FigureResult(
+        name="Figure 6",
+        settings=settings,
+        records=all_records,
+        panels=panels,
+        text="\n\n".join(blocks),
+    )
+    return result
+
+
+def figure7(settings: ExperimentSettings | None = None) -> FigureResult:
+    """Figure 7: TAPS vs TAP (consensus-pruning ablation) across ε and k."""
+    settings = settings or ExperimentSettings()
+    sweep = run_sweep(settings, mechanisms=("tap", "taps"))
+    return _figure_from_sweep(
+        "Figure 7", settings, sweep.records, value="f1", value_name="F1"
+    )

@@ -1,0 +1,111 @@
+"""Rendering of sweep records into the paper's table/figure layouts."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.tables import TextTable
+
+
+def records_to_table(
+    records: Iterable[Mapping],
+    *,
+    rows: str,
+    columns: str,
+    value: str,
+    aggregate: str = "mean",
+) -> TextTable:
+    """Pivot tidy records into a table: one row per ``rows`` value, one column per ``columns`` value.
+
+    Parameters
+    ----------
+    records:
+        Tidy records (dictionaries).
+    rows / columns:
+        Record keys used as the row and column labels.
+    value:
+        Record key whose values fill the cells.
+    aggregate:
+        ``"mean"`` or ``"max"`` — how repeated cells are combined.
+    """
+    records = list(records)
+    if aggregate not in ("mean", "max"):
+        raise ValueError(f"aggregate must be 'mean' or 'max', got {aggregate!r}")
+    row_labels = sorted({rec[rows] for rec in records}, key=_sort_key)
+    col_labels = sorted({rec[columns] for rec in records}, key=_sort_key)
+    table = TextTable([rows] + [str(c) for c in col_labels])
+    for row_label in row_labels:
+        cells: list[object] = [str(row_label)]
+        for col_label in col_labels:
+            values = [
+                rec[value]
+                for rec in records
+                if rec[rows] == row_label and rec[columns] == col_label
+            ]
+            if not values:
+                cells.append("-")
+            elif aggregate == "mean":
+                cells.append(float(np.mean(values)))
+            else:
+                cells.append(float(np.max(values)))
+        table.add_row(cells)
+    return table
+
+
+def render_records(
+    records: Iterable[Mapping],
+    *,
+    rows: str,
+    columns: str,
+    value: str,
+    title: str | None = None,
+) -> str:
+    """Shortcut: pivot and render in one call."""
+    return records_to_table(records, rows=rows, columns=columns, value=value).render(
+        title=title
+    )
+
+
+def series_by_epsilon(
+    records: Iterable[Mapping], *, value: str = "f1"
+) -> dict[str, dict[float, float]]:
+    """Group records into mechanism → {ε → mean value} series (figure format)."""
+    series: dict[str, dict[float, list[float]]] = {}
+    for rec in records:
+        mech = rec["mechanism"]
+        eps = float(rec["epsilon"])
+        series.setdefault(mech, {}).setdefault(eps, []).append(rec[value])
+    return {
+        mech: {eps: float(np.mean(vals)) for eps, vals in sorted(eps_map.items())}
+        for mech, eps_map in series.items()
+    }
+
+
+def format_series(
+    series: Mapping[str, Mapping[float, float]],
+    *,
+    title: str,
+    value_name: str = "F1",
+) -> str:
+    """Render mechanism → ε → value series as an aligned text block."""
+    epsilons: Sequence[float] = sorted(
+        {eps for eps_map in series.values() for eps in eps_map}
+    )
+    table = TextTable(["mechanism"] + [f"eps={eps:g}" for eps in epsilons])
+    for mech in sorted(series):
+        row: list[object] = [mech]
+        for eps in epsilons:
+            val = series[mech].get(eps)
+            row.append("-" if val is None else float(val))
+        table.add_row(row)
+    return table.render(title=f"{title} ({value_name})")
+
+
+def _sort_key(value):
+    """Sort numerically when possible, otherwise lexicographically."""
+    try:
+        return (0, float(value))
+    except (TypeError, ValueError):
+        return (1, str(value))

@@ -1,0 +1,200 @@
+"""Generic sweep runner shared by every figure/table reproduction.
+
+A *sweep* runs a set of mechanisms over a set of datasets for a grid of
+(ε, k) values, repeating each cell several times with different seeds, and
+collects tidy records (one dict per run) carrying the utility metrics and
+cost counters.  Figures and tables are just different groupings of these
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.fedpem import FedPEMMechanism
+from repro.baselines.gtf import GTFMechanism
+from repro.core.config import ExtensionStrategy, MechanismConfig
+from repro.core.results import MechanismResult
+from repro.core.tap import TAPMechanism
+from repro.core.taps import TAPSMechanism
+from repro.datasets.base import FederatedDataset
+from repro.datasets.registry import load_dataset
+from repro.metrics.scores import average_local_recall, f1_score, ncr_score
+
+#: Mechanism name → constructor taking a MechanismConfig.
+MECHANISM_REGISTRY: dict[str, Callable[[MechanismConfig], object]] = {
+    "gtf": GTFMechanism,
+    "fedpem": FedPEMMechanism,
+    "tap": TAPMechanism,
+    "taps": TAPSMechanism,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment reproduction.
+
+    Attributes
+    ----------
+    scale:
+        Dataset scale preset (see :data:`repro.datasets.registry.SCALES`).
+    repetitions:
+        Number of repetitions per grid cell (the paper uses 50; the bench
+        default keeps runtimes in seconds).
+    granularity / n_bits:
+        Protocol granularity ``g`` and binary width ``m``.  ``n_bits=None``
+        uses each dataset's own width.
+    oracle:
+        Frequency oracle name.
+    seed:
+        Base seed; repetition ``r`` of a cell uses ``seed + r``.
+    """
+
+    scale: str = "small"
+    repetitions: int = 3
+    granularity: int = 6
+    n_bits: int | None = None
+    oracle: str = "krr"
+    seed: int = 2025
+    epsilons: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+    ks: tuple[int, ...] = (10, 20, 40)
+    datasets: tuple[str, ...] = ("rdb", "ycm", "tys", "uba", "syn")
+    mechanisms: tuple[str, ...] = ("gtf", "fedpem", "taps")
+
+    def smoke(self) -> "ExperimentSettings":
+        """A drastically reduced copy for unit tests."""
+        return replace(
+            self,
+            scale="tiny",
+            repetitions=1,
+            epsilons=(4.0,),
+            ks=(5,),
+            datasets=("rdb",),
+        )
+
+
+@dataclass
+class SweepResult:
+    """Tidy result records plus the settings that produced them."""
+
+    settings: ExperimentSettings
+    records: list[dict] = field(default_factory=list)
+
+    def filter(self, **criteria) -> list[dict]:
+        """Records matching all key=value criteria."""
+        out = []
+        for rec in self.records:
+            if all(rec.get(key) == value for key, value in criteria.items()):
+                out.append(rec)
+        return out
+
+    def mean_metric(self, metric: str, **criteria) -> float:
+        """Average of ``metric`` over all matching records (NaN if none)."""
+        values = [rec[metric] for rec in self.filter(**criteria) if metric in rec]
+        return float(np.mean(values)) if values else float("nan")
+
+
+def build_mechanism(name: str, config: MechanismConfig):
+    """Instantiate a registered mechanism by name."""
+    key = name.lower()
+    if key not in MECHANISM_REGISTRY:
+        raise KeyError(
+            f"unknown mechanism {name!r}; available: {sorted(MECHANISM_REGISTRY)}"
+        )
+    return MECHANISM_REGISTRY[key](config)
+
+
+def evaluate_run(
+    result: MechanismResult, dataset: FederatedDataset, k: int
+) -> dict[str, float]:
+    """Compute every utility metric the paper reports for a single run."""
+    truth = dataset.true_top_k(k)
+    local = {
+        name: record.local_top_items(k)
+        for name, record in result.party_records.items()
+    }
+    return {
+        "f1": f1_score(result.heavy_hitters, truth),
+        "ncr": ncr_score(result.heavy_hitters, truth),
+        "recall_local_avg": average_local_recall(local, truth),
+        "communication_bits": float(result.upload_bits()),
+        "runtime_seconds": float(result.runtime_seconds),
+    }
+
+
+def make_config(
+    settings: ExperimentSettings,
+    dataset: FederatedDataset,
+    *,
+    k: int,
+    epsilon: float,
+    **overrides,
+) -> MechanismConfig:
+    """Build the mechanism configuration for one sweep cell."""
+    n_bits = settings.n_bits if settings.n_bits is not None else dataset.n_bits
+    granularity = min(settings.granularity, n_bits)
+    config = MechanismConfig(
+        k=k,
+        epsilon=epsilon,
+        n_bits=n_bits,
+        granularity=granularity,
+        oracle=settings.oracle,
+    )
+    if overrides:
+        config = config.with_updates(**overrides)
+    return config
+
+
+def run_sweep(
+    settings: ExperimentSettings,
+    *,
+    datasets: Sequence[str] | None = None,
+    mechanisms: Sequence[str] | None = None,
+    epsilons: Iterable[float] | None = None,
+    ks: Iterable[int] | None = None,
+    config_overrides: Mapping[str, object] | None = None,
+    dataset_kwargs: Mapping[str, object] | None = None,
+) -> SweepResult:
+    """Run the full mechanism × dataset × ε × k × repetition grid.
+
+    Every run appends one record with keys: ``dataset``, ``mechanism``,
+    ``epsilon``, ``k``, ``repetition`` plus the metrics of
+    :func:`evaluate_run`.
+    """
+    datasets = tuple(datasets if datasets is not None else settings.datasets)
+    mechanisms = tuple(mechanisms if mechanisms is not None else settings.mechanisms)
+    epsilons = tuple(epsilons if epsilons is not None else settings.epsilons)
+    ks = tuple(ks if ks is not None else settings.ks)
+    config_overrides = dict(config_overrides or {})
+    dataset_kwargs = dict(dataset_kwargs or {})
+
+    sweep = SweepResult(settings=settings)
+    for dataset_name in datasets:
+        dataset = load_dataset(
+            dataset_name, scale=settings.scale, seed=settings.seed, **dataset_kwargs
+        )
+        for k in ks:
+            truth_size = len(dataset.true_top_k(k))
+            for epsilon in epsilons:
+                for mech_name in mechanisms:
+                    for repetition in range(settings.repetitions):
+                        config = make_config(
+                            settings, dataset, k=k, epsilon=epsilon, **config_overrides
+                        )
+                        mechanism = build_mechanism(mech_name, config)
+                        run_seed = settings.seed + 7919 * repetition + hash(mech_name) % 1000
+                        result = mechanism.run(dataset, rng=run_seed)
+                        record = {
+                            "dataset": dataset_name,
+                            "mechanism": mech_name,
+                            "epsilon": float(epsilon),
+                            "k": int(k),
+                            "repetition": repetition,
+                            "truth_size": truth_size,
+                            **evaluate_run(result, dataset, k),
+                        }
+                        sweep.records.append(record)
+    return sweep

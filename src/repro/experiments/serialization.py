@@ -1,0 +1,124 @@
+"""Persistence of experiment outputs.
+
+Long sweeps (the ``full``/``paper`` profiles) are expensive; this module
+saves their tidy records and mechanism results to JSON so figures/tables can
+be re-rendered, compared across code versions, or post-processed elsewhere
+without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.results import MechanismResult
+from repro.experiments.runner import ExperimentSettings, SweepResult
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Best-effort conversion of numpy / dataclass values to JSON-safe types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_to_jsonable(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _to_jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def records_to_json(records: Iterable[Mapping], path: str | Path) -> Path:
+    """Write tidy sweep records to ``path`` as a JSON array."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [_to_jsonable(dict(record)) for record in records]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def records_from_json(path: str | Path) -> list[dict]:
+    """Read tidy sweep records previously written by :func:`records_to_json`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"{path} does not contain a JSON array of records")
+    return [dict(record) for record in data]
+
+
+def save_sweep(sweep: SweepResult, path: str | Path) -> Path:
+    """Persist a full sweep (settings + records) to one JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "settings": _to_jsonable(sweep.settings),
+        "records": [_to_jsonable(dict(r)) for r in sweep.records],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Load a sweep written by :func:`save_sweep`.
+
+    Settings fields unknown to the current :class:`ExperimentSettings`
+    definition are ignored so older result files keep loading.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    raw_settings = payload.get("settings", {})
+    field_names = {f.name for f in dataclasses.fields(ExperimentSettings)}
+    kwargs = {}
+    for key, value in raw_settings.items():
+        if key not in field_names:
+            continue
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    settings = ExperimentSettings(**kwargs)
+    records = [dict(r) for r in payload.get("records", [])]
+    return SweepResult(settings=settings, records=records)
+
+
+def summarize_result(result: MechanismResult) -> dict:
+    """A compact JSON-safe summary of one mechanism run.
+
+    Includes the heavy hitters, aggregated count estimates, communication
+    totals and privacy accounting — everything needed to audit a run without
+    re-executing it.
+    """
+    return {
+        "mechanism": result.mechanism,
+        "dataset": result.metadata.get("dataset"),
+        "k": result.k,
+        "heavy_hitters": [int(item) for item in result.heavy_hitters],
+        "estimated_counts": {
+            str(item): float(count) for item, count in result.estimated_counts.items()
+        },
+        "upload_bits": int(result.upload_bits()),
+        "broadcast_bits": int(result.transcript.broadcast_bits()),
+        "n_messages": int(result.transcript.n_messages()),
+        "n_reports": int(result.accountant.n_reports()),
+        "satisfies_ldp": bool(result.accountant.satisfies_ldp()),
+        "runtime_seconds": float(result.runtime_seconds),
+        "epsilon": float(result.config.epsilon) if result.config else None,
+    }
+
+
+def save_result(result: MechanismResult, path: str | Path) -> Path:
+    """Write :func:`summarize_result` of one run to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(summarize_result(result), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path

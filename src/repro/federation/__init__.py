@@ -1,0 +1,28 @@
+"""Federated simulation substrate.
+
+The paper's setting: a central (untrusted-for-raw-data) server coordinates a
+set of parties; each party serves a disjoint population of users, each user
+holds exactly one item and only ever releases an ε-LDP report to her party.
+This subpackage simulates that world:
+
+* :class:`Party` — a party and its user population (item ids),
+* :mod:`repro.federation.grouping` — uniform-at-random division of a party's
+  users into the ``g`` per-level reporting groups,
+* :class:`FederationTranscript` — message log with per-message payload-size
+  accounting, used to reproduce the communication-cost columns of Table 4,
+* :class:`Message` — a single party↔server exchange.
+"""
+
+from repro.federation.party import Party
+from repro.federation.grouping import split_into_groups, split_off_fraction
+from repro.federation.messages import Message, MessageDirection
+from repro.federation.transcript import FederationTranscript
+
+__all__ = [
+    "Party",
+    "split_into_groups",
+    "split_off_fraction",
+    "Message",
+    "MessageDirection",
+    "FederationTranscript",
+]

@@ -1,0 +1,64 @@
+"""User grouping.
+
+Every mechanism in the paper divides a party's users uniformly at random
+into ``g`` disjoint groups — one per trie level — so that each user reports
+exactly once with the full privacy budget ε (no sequential-composition
+splitting).  TAPS additionally carves two small validation sets (a fraction
+β each) out of a level's group for the consensus-based pruning test
+(Algorithm 4, line 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+
+def split_into_groups(
+    n_users: int, n_groups: int, rng: RandomState = None
+) -> list[np.ndarray]:
+    """Partition ``range(n_users)`` into ``n_groups`` near-equal random groups.
+
+    Returns a list of ``n_groups`` disjoint index arrays covering all users.
+    Group sizes differ by at most one user.
+    """
+    if n_users < 0:
+        raise ValueError(f"n_users must be >= 0, got {n_users}")
+    if n_groups <= 0:
+        raise ValueError(f"n_groups must be positive, got {n_groups}")
+    gen = as_generator(rng)
+    permutation = gen.permutation(n_users)
+    return [np.sort(chunk) for chunk in np.array_split(permutation, n_groups)]
+
+
+def split_off_fraction(
+    group: np.ndarray, fraction: float, n_splits: int, rng: RandomState = None
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Carve ``n_splits`` disjoint subsets of size ``fraction * len(group)`` out of ``group``.
+
+    Returns ``(splits, remainder)`` where ``splits`` is a list of
+    ``n_splits`` index arrays and ``remainder`` holds everything left over.
+    Used by TAPS to form the two β-sized validation sets (one per pruning
+    candidate type) while leaving the rest for the main estimation.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must lie in [0, 1), got {fraction}")
+    if n_splits < 0:
+        raise ValueError(f"n_splits must be >= 0, got {n_splits}")
+    group = np.asarray(group, dtype=np.int64)
+    gen = as_generator(rng)
+    if n_splits == 0 or fraction == 0.0:
+        return [np.array([], dtype=np.int64) for _ in range(n_splits)], group.copy()
+    per_split = int(np.floor(group.size * fraction))
+    total_needed = per_split * n_splits
+    if total_needed >= group.size:
+        # Degenerate tiny groups: keep at least one user for the main estimation.
+        per_split = max(0, (group.size - 1) // max(n_splits, 1))
+        total_needed = per_split * n_splits
+    shuffled = gen.permutation(group)
+    splits = [
+        np.sort(shuffled[i * per_split : (i + 1) * per_split]) for i in range(n_splits)
+    ]
+    remainder = np.sort(shuffled[total_needed:])
+    return splits, remainder

@@ -1,0 +1,44 @@
+"""Message records exchanged between parties and the server."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MessageDirection(str, enum.Enum):
+    """Direction of a message relative to the central server."""
+
+    PARTY_TO_SERVER = "party_to_server"
+    SERVER_TO_PARTY = "server_to_party"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logical message in the federated protocol.
+
+    Attributes
+    ----------
+    direction:
+        Whether the party uploads to the server or the server broadcasts.
+    party:
+        The party involved (the non-server endpoint).
+    kind:
+        Free-form label, e.g. ``"level_report"``, ``"shared_prefixes"``,
+        ``"pruning_candidates"``.
+    payload_bits:
+        Size of the payload on the wire, following the paper's convention
+        that one (prefix/item, count) pair costs ``b`` bits.
+    level:
+        Trie level the message belongs to (if applicable).
+    content:
+        Optional structured payload for inspection in tests/examples.
+    """
+
+    direction: MessageDirection
+    party: str
+    kind: str
+    payload_bits: int
+    level: int | None = None
+    content: Any = field(default=None, compare=False)

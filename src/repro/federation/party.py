@@ -1,0 +1,84 @@
+"""A data party and its user population."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_non_empty
+
+
+@dataclass
+class Party:
+    """A party holding a disjoint set of users, each with a single item.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"reddit"``, ``"party_3"``).
+    items:
+        One item id per user, ``items[u]`` being the private value of user
+        ``u`` of this party.  Item ids index the *global* item domain.
+    """
+
+    name: str
+    items: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.items = np.asarray(self.items, dtype=np.int64)
+        check_non_empty("items", self.items)
+        if self.items.min() < 0:
+            raise ValueError(f"party {self.name!r} contains negative item ids")
+
+    # ------------------------------------------------------------------ #
+    # Basic statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def n_users(self) -> int:
+        """Number of users served by this party."""
+        return int(self.items.size)
+
+    def unique_items(self) -> np.ndarray:
+        """Sorted array of distinct item ids present in this party."""
+        return np.unique(self.items)
+
+    def item_counts(self) -> dict[int, int]:
+        """Exact (non-private) item → count mapping; used for ground truth only."""
+        values, counts = np.unique(self.items, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def local_frequencies(self) -> dict[int, float]:
+        """Exact item → frequency mapping within this party."""
+        n = self.n_users
+        return {item: count / n for item, count in self.item_counts().items()}
+
+    def local_top_k(self, k: int) -> list[int]:
+        """The exact local top-k items (ties broken by item id)."""
+        counts = self.item_counts()
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [item for item, _ in ranked[:k]]
+
+    # ------------------------------------------------------------------ #
+    # Sub-populations
+    # ------------------------------------------------------------------ #
+    def subsample(self, fraction: float, rng: RandomState = None) -> "Party":
+        """Return a new party with a uniformly sampled fraction of the users.
+
+        Used by the scalability study (Table 4: 25%/50%/75%/100% of UBA).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+        gen = as_generator(rng)
+        n_keep = max(1, int(round(self.n_users * fraction)))
+        idx = gen.choice(self.n_users, size=n_keep, replace=False)
+        return Party(
+            name=self.name,
+            items=self.items[np.sort(idx)],
+            metadata=dict(self.metadata, subsampled_fraction=fraction),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Party(name={self.name!r}, n_users={self.n_users})"

@@ -1,0 +1,130 @@
+"""Protocol transcript with communication-cost accounting.
+
+Table 1 and Table 4 of the paper compare mechanisms by the amount of data
+shipped between parties and the server.  Rather than estimating this after
+the fact, each mechanism logs every logical message into a
+:class:`FederationTranscript`, and the benchmark harness reads the totals.
+
+The accounting convention follows the paper's cost analysis (Section 6.2):
+one (prefix/item, count) pair costs ``b`` bits (default 64: a 32-bit id and
+a 32-bit count), and raw FO reports cost whatever the oracle's
+``report_bits`` says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.federation.messages import Message, MessageDirection
+
+#: Default cost in bits of one (prefix/item, count) pair, the paper's ``b``.
+PAIR_BITS = 64
+
+
+@dataclass
+class FederationTranscript:
+    """Ordered log of protocol messages with payload-size totals."""
+
+    pair_bits: int = PAIR_BITS
+    messages: list[Message] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Logging helpers
+    # ------------------------------------------------------------------ #
+    def log(self, message: Message) -> None:
+        """Append a pre-built message."""
+        self.messages.append(message)
+
+    def log_upload(
+        self,
+        party: str,
+        kind: str,
+        n_pairs: int,
+        *,
+        level: int | None = None,
+        content: Any = None,
+        bits_override: int | None = None,
+    ) -> None:
+        """Log a party → server upload of ``n_pairs`` (item, count) pairs."""
+        bits = bits_override if bits_override is not None else n_pairs * self.pair_bits
+        self.messages.append(
+            Message(
+                direction=MessageDirection.PARTY_TO_SERVER,
+                party=party,
+                kind=kind,
+                payload_bits=int(bits),
+                level=level,
+                content=content,
+            )
+        )
+
+    def log_broadcast(
+        self,
+        party: str,
+        kind: str,
+        n_pairs: int,
+        *,
+        level: int | None = None,
+        content: Any = None,
+        bits_override: int | None = None,
+    ) -> None:
+        """Log a server → party broadcast of ``n_pairs`` (item, count) pairs."""
+        bits = bits_override if bits_override is not None else n_pairs * self.pair_bits
+        self.messages.append(
+            Message(
+                direction=MessageDirection.SERVER_TO_PARTY,
+                party=party,
+                kind=kind,
+                payload_bits=int(bits),
+                level=level,
+                content=content,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def total_bits(self, direction: MessageDirection | None = None) -> int:
+        """Total payload bits, optionally filtered by direction."""
+        return sum(
+            m.payload_bits
+            for m in self.messages
+            if direction is None or m.direction is direction
+        )
+
+    def upload_bits(self) -> int:
+        """Total party → server payload bits (the server-side cost of Table 4)."""
+        return self.total_bits(MessageDirection.PARTY_TO_SERVER)
+
+    def broadcast_bits(self) -> int:
+        """Total server → party payload bits."""
+        return self.total_bits(MessageDirection.SERVER_TO_PARTY)
+
+    def bits_by_party(self) -> dict[str, int]:
+        """Total payload bits per party (both directions)."""
+        totals: dict[str, int] = {}
+        for m in self.messages:
+            totals[m.party] = totals.get(m.party, 0) + m.payload_bits
+        return totals
+
+    def bits_by_kind(self) -> dict[str, int]:
+        """Total payload bits per message kind."""
+        totals: dict[str, int] = {}
+        for m in self.messages:
+            totals[m.kind] = totals.get(m.kind, 0) + m.payload_bits
+        return totals
+
+    def messages_of_kind(self, kind: str) -> list[Message]:
+        """All messages whose kind equals ``kind``."""
+        return [m for m in self.messages if m.kind == kind]
+
+    def n_messages(self) -> int:
+        return len(self.messages)
+
+    def extend(self, other: "FederationTranscript" | Iterable[Message]) -> None:
+        """Absorb the messages of another transcript."""
+        if isinstance(other, FederationTranscript):
+            self.messages.extend(other.messages)
+        else:
+            self.messages.extend(other)

@@ -1,0 +1,89 @@
+"""Privacy-budget accounting for the federated simulation.
+
+Under ε-LDP the privacy guarantee is per *user*: each user's single report
+must be produced by an ε-LDP mechanism, and a user must not report twice
+(which would consume 2ε by sequential composition).  The mechanisms in this
+repository divide users into disjoint groups and query each group exactly
+once; :class:`PrivacyAccountant` records every report so tests (and callers
+who care) can assert the "one report per user, full ε each" invariant that
+Theorems 5.1 and 6.1 rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ReportRecord:
+    """A single user report event."""
+
+    user_id: int
+    party: str
+    level: int
+    epsilon: float
+    oracle: str
+    domain_size: int
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks per-user privacy expenditure across a mechanism run."""
+
+    epsilon: float
+    records: list[ReportRecord] = field(default_factory=list)
+    _per_user: dict[tuple[str, int], float] = field(default_factory=lambda: defaultdict(float))
+
+    def record(
+        self,
+        user_ids: Iterable[int],
+        *,
+        party: str,
+        level: int,
+        epsilon: float,
+        oracle: str,
+        domain_size: int,
+    ) -> None:
+        """Record that every user in ``user_ids`` made one report with ``epsilon``."""
+        for uid in user_ids:
+            rec = ReportRecord(
+                user_id=int(uid),
+                party=party,
+                level=int(level),
+                epsilon=float(epsilon),
+                oracle=oracle,
+                domain_size=int(domain_size),
+            )
+            self.records.append(rec)
+            self._per_user[(party, int(uid))] += float(epsilon)
+
+    def spent(self, party: str, user_id: int) -> float:
+        """Total budget consumed by ``user_id`` of ``party``."""
+        return self._per_user.get((party, int(user_id)), 0.0)
+
+    def max_spent(self) -> float:
+        """Largest per-user budget across all users (0.0 when nothing recorded)."""
+        if not self._per_user:
+            return 0.0
+        return max(self._per_user.values())
+
+    def n_reports(self) -> int:
+        """Total number of reports recorded."""
+        return len(self.records)
+
+    def users_reporting_more_than_once(self) -> list[tuple[str, int]]:
+        """Users that reported multiple times (LDP violation under parallel composition)."""
+        counts: dict[tuple[str, int], int] = defaultdict(int)
+        for rec in self.records:
+            counts[(rec.party, rec.user_id)] += 1
+        return [key for key, c in counts.items() if c > 1]
+
+    def satisfies_ldp(self) -> bool:
+        """True iff no user exceeded the declared ε and nobody reported twice."""
+        tolerance = 1e-12
+        return (
+            self.max_spent() <= self.epsilon + tolerance
+            and not self.users_reporting_more_than_once()
+        )

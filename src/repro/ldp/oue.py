@@ -1,0 +1,62 @@
+"""Optimised unary encoding (OUE).
+
+The user's value is one-hot encoded into a length-``d`` bit vector; the
+``1`` bit is kept with probability ``p = 1/2`` and every ``0`` bit is
+flipped to ``1`` with probability ``q = 1/(e^ε + 1)``.  OUE has the lowest
+estimation variance among unary encodings but each report costs ``d`` bits
+of communication, which is exactly the cost trade-off Table 1 and Table 4 of
+the paper quantify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ldp.base import FrequencyOracle
+from repro.utils.rng import RandomState, as_generator
+
+
+class OptimizedUnaryEncoding(FrequencyOracle):
+    """The OUE mechanism (one-hot encoding with asymmetric flipping)."""
+
+    name = "oue"
+
+    def support_probabilities(self, domain_size: int) -> tuple[float, float]:
+        p = 0.5
+        q = 1.0 / (np.exp(self.epsilon) + 1.0)
+        return float(p), float(q)
+
+    def perturb(
+        self, values: np.ndarray, domain_size: int, rng: RandomState = None
+    ) -> np.ndarray:
+        """Return an ``(n_users, domain_size)`` boolean report matrix."""
+        gen = as_generator(rng)
+        values = np.asarray(values, dtype=np.int64)
+        n = values.size
+        p, q = self.support_probabilities(domain_size)
+        # Start from the "all zero bits" flip probability, then overwrite the
+        # column of each user's true value with the keep probability.
+        reports = gen.random((n, domain_size)) < q
+        if n:
+            keep_true = gen.random(n) < p
+            reports[np.arange(n), values] = keep_true
+        return reports
+
+    def support_counts(self, reports: np.ndarray, domain_size: int) -> np.ndarray:
+        reports = np.asarray(reports, dtype=bool)
+        if reports.ndim != 2 or reports.shape[1] != domain_size:
+            raise ValueError(
+                f"expected an (n, {domain_size}) report matrix, got shape {reports.shape}"
+            )
+        return reports.sum(axis=0).astype(np.int64)
+
+    def variance(self, n_users: int, domain_size: int) -> float:
+        """Var[f_hat] = 4 e^ε / ((e^ε - 1)^2 n)  (Wang et al. 2017)."""
+        if n_users <= 0:
+            return float("inf")
+        e_eps = np.exp(self.epsilon)
+        return float(4.0 * e_eps / ((e_eps - 1.0) ** 2 * n_users))
+
+    def report_bits(self, domain_size: int) -> int:
+        """Each OUE report is the full perturbed bit vector."""
+        return int(domain_size)

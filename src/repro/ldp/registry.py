@@ -1,0 +1,36 @@
+"""Name-based construction of frequency oracles.
+
+The experiment harness selects the FO by name (``"krr"``, ``"oue"``,
+``"olh"``) because Figure 6 of the paper sweeps over oracles; keeping the
+mapping here avoids scattering string comparisons through the benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.ldp.base import FrequencyOracle
+from repro.ldp.krr import KRandomizedResponse
+from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.oue import OptimizedUnaryEncoding
+from repro.ldp.sue import SymmetricUnaryEncoding
+
+_ORACLES: dict[str, type[FrequencyOracle]] = {
+    KRandomizedResponse.name: KRandomizedResponse,
+    OptimizedUnaryEncoding.name: OptimizedUnaryEncoding,
+    OptimizedLocalHashing.name: OptimizedLocalHashing,
+    SymmetricUnaryEncoding.name: SymmetricUnaryEncoding,
+}
+
+
+def available_oracles() -> list[str]:
+    """Names of all registered frequency oracles."""
+    return sorted(_ORACLES)
+
+
+def make_oracle(name: str, epsilon: float) -> FrequencyOracle:
+    """Instantiate the oracle registered under ``name`` with budget ``epsilon``."""
+    key = name.lower()
+    if key not in _ORACLES:
+        raise KeyError(
+            f"unknown frequency oracle {name!r}; available: {available_oracles()}"
+        )
+    return _ORACLES[key](epsilon)

@@ -1,0 +1,19 @@
+"""Utility metrics used in the paper's evaluation (Section 7.1).
+
+* :func:`f1_score` — harmonic mean of precision and recall of the estimated
+  top-k set against the true top-k set,
+* :func:`ncr_score` — Normalised Cumulative Rank, which penalises missing
+  the most frequent values more heavily,
+* :func:`average_local_recall` — average per-party recall of the global
+  ground truths among locally identified heavy hitters (Table 7's
+  statistical-heterogeneity metric).
+"""
+
+from repro.metrics.scores import (
+    f1_score,
+    ncr_score,
+    precision_recall,
+    average_local_recall,
+)
+
+__all__ = ["f1_score", "ncr_score", "precision_recall", "average_local_recall"]

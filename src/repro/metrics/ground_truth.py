@@ -1,0 +1,56 @@
+"""Exact (non-private) ground-truth helpers for evaluation.
+
+These functions compute the quantities the paper's metrics compare against:
+the federated top-k (Definition 4.1), per-party local top-k lists, and exact
+prefix frequencies at arbitrary trie levels (useful for debugging how much
+of the error comes from LDP noise vs. from pruning decisions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.encoding.prefix import prefixes_of_items
+
+
+def federated_top_k(dataset: FederatedDataset, k: int) -> list[int]:
+    """The exact federated top-k heavy hitters (delegates to the dataset)."""
+    return dataset.true_top_k(k)
+
+
+def party_local_top_k(dataset: FederatedDataset, k: int) -> dict[str, list[int]]:
+    """Exact per-party local top-k items."""
+    return {party.name: party.local_top_k(k) for party in dataset.parties}
+
+
+def exact_prefix_frequencies(
+    items: np.ndarray, n_bits: int, prefix_length: int
+) -> dict[str, float]:
+    """Exact frequencies of all length-``prefix_length`` prefixes of ``items``."""
+    items = np.asarray(items, dtype=np.int64)
+    if items.size == 0:
+        return {}
+    prefixes = prefixes_of_items(items, n_bits, prefix_length)
+    counts: dict[str, int] = {}
+    for prefix in prefixes:
+        counts[prefix] = counts.get(prefix, 0) + 1
+    total = items.size
+    return {prefix: count / total for prefix, count in counts.items()}
+
+
+def global_prefix_frequencies(
+    dataset: FederatedDataset, prefix_length: int
+) -> dict[str, float]:
+    """Exact global frequencies of all prefixes at ``prefix_length``."""
+    all_items = np.concatenate([party.items for party in dataset.parties])
+    return exact_prefix_frequencies(all_items, dataset.n_bits, prefix_length)
+
+
+def true_top_prefixes(
+    dataset: FederatedDataset, prefix_length: int, k: int
+) -> list[str]:
+    """The exact top-k prefixes at a given length (ties broken lexicographically)."""
+    freqs = global_prefix_frequencies(dataset, prefix_length)
+    ranked = sorted(freqs.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [prefix for prefix, _ in ranked[:k]]

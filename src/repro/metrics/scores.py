@@ -1,0 +1,87 @@
+"""Evaluation metrics: F1, NCR, and per-party recall.
+
+All metrics take the *estimated* heavy-hitter list and the *true* top-k list
+(ordered by descending true frequency) and return a value in [0, 1], larger
+being better.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+
+def precision_recall(
+    estimated: Sequence[Hashable], truth: Sequence[Hashable]
+) -> tuple[float, float]:
+    """Precision and recall of ``estimated`` against ``truth`` as sets.
+
+    Duplicates in either list are ignored (heavy-hitter lists are sets by
+    construction).  An empty estimate has precision and recall 0 by
+    convention (unless the truth is also empty, in which case both are 1).
+    """
+    est_set = set(estimated)
+    truth_set = set(truth)
+    if not truth_set and not est_set:
+        return 1.0, 1.0
+    if not est_set or not truth_set:
+        return 0.0, 0.0
+    hits = len(est_set & truth_set)
+    return hits / len(est_set), hits / len(truth_set)
+
+
+def f1_score(estimated: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """F1 = 2pr / (p + r) of the estimated heavy hitters vs. the true top-k."""
+    p, r = precision_recall(estimated, truth)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def ncr_score(estimated: Sequence[Hashable], truth_ranked: Sequence[Hashable]) -> float:
+    """Normalised Cumulative Rank (Wang et al. 2019, used in Section 7.1).
+
+    The quality of a true top-k value ``v`` is ``q(v) = k - rank(v)`` where
+    ``rank(v)`` is its 0-based position in the descending ground-truth order
+    (so the most frequent value is worth ``k``, the least worth ``1``).
+    Estimated values outside the true top-k are worth 0.  The score is the
+    total quality captured by the estimate divided by the maximum possible.
+
+    Parameters
+    ----------
+    estimated:
+        Estimated heavy hitters (order irrelevant).
+    truth_ranked:
+        True top-k values sorted by descending true frequency.
+    """
+    k = len(truth_ranked)
+    if k == 0:
+        return 1.0 if not estimated else 0.0
+    quality: Mapping[Hashable, int] = {
+        value: k - rank for rank, value in enumerate(truth_ranked)
+    }
+    max_quality = sum(quality.values())
+    if max_quality == 0:
+        return 0.0
+    captured = sum(quality.get(value, 0) for value in set(estimated))
+    return captured / max_quality
+
+
+def average_local_recall(
+    local_results: Mapping[str, Sequence[Hashable]], truth: Sequence[Hashable]
+) -> float:
+    """Average, over parties, of the recall of the global truth among local results.
+
+    This is the statistical-heterogeneity metric of Table 7: how many of the
+    global ground-truth heavy hitters does each party manage to surface as
+    *local* heavy hitters, averaged across parties.
+    """
+    if not local_results:
+        return 0.0
+    truth_set = set(truth)
+    if not truth_set:
+        return 1.0
+    recalls = []
+    for _, local in local_results.items():
+        hits = len(set(local) & truth_set)
+        recalls.append(hits / len(truth_set))
+    return float(sum(recalls) / len(recalls))

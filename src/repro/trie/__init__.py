@@ -1,0 +1,15 @@
+"""Prefix-tree substrate.
+
+The heavy-hitter mechanisms iteratively grow a binary prefix tree whose
+levels correspond to prefix lengths ``l_h = ceil(h*m/g)``.  This subpackage
+provides the explicit trie data structure (useful for inspection, examples
+and the TrieHH baseline) and the light-weight :class:`CandidateDomain`
+abstraction the mechanisms actually iterate over (an ordered list of
+same-length candidate prefixes plus an optional out-of-domain dummy slot).
+"""
+
+from repro.trie.node import TrieNode
+from repro.trie.prefix_trie import PrefixTrie
+from repro.trie.candidate_domain import CandidateDomain
+
+__all__ = ["TrieNode", "PrefixTrie", "CandidateDomain"]

@@ -1,0 +1,211 @@
+"""Candidate domains: the per-level perturbation domains of the mechanisms.
+
+At trie level ``h`` every reporting user perturbs the length-``l_h`` prefix
+of her item over a *candidate domain* — an ordered list of candidate
+prefixes plus one trailing "dummy" slot that absorbs out-of-domain prefixes
+(the paper assigns a dummy item for k-RR / a dummy position for OUE,
+Section 7.1).  :class:`CandidateDomain` owns the prefix ↔ index mapping used
+by the frequency oracles and the mapping of raw user items onto candidate
+indices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.encoding.prefix import extend_prefixes, validate_prefix
+from repro.utils.validation import check_non_empty
+
+
+class CandidateDomain:
+    """An ordered set of equal-length candidate prefixes with a dummy slot.
+
+    Parameters
+    ----------
+    prefixes:
+        Candidate prefixes, all of the same length.  Duplicates are removed
+        while preserving first-occurrence order.
+    include_dummy:
+        Whether to append an out-of-domain dummy slot (default True).
+
+    Examples
+    --------
+    >>> dom = CandidateDomain(["00", "01", "10"])
+    >>> dom.size
+    4
+    >>> dom.index_of("01")
+    1
+    >>> dom.dummy_index
+    3
+    """
+
+    def __init__(self, prefixes: Sequence[str], *, include_dummy: bool = True):
+        check_non_empty("prefixes", prefixes)
+        cleaned: list[str] = []
+        seen: set[str] = set()
+        for prefix in prefixes:
+            validate_prefix(prefix)
+            if prefix not in seen:
+                seen.add(prefix)
+                cleaned.append(prefix)
+        lengths = {len(p) for p in cleaned}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"all candidate prefixes must share the same length, got lengths {sorted(lengths)}"
+            )
+        self._prefixes: list[str] = cleaned
+        self._index: dict[str, int] = {p: i for i, p in enumerate(cleaned)}
+        self.prefix_length: int = lengths.pop() if lengths else 0
+        self.include_dummy = bool(include_dummy)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def prefixes(self) -> list[str]:
+        """The candidate prefixes (without the dummy), in order."""
+        return list(self._prefixes)
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of real candidates (dummy excluded)."""
+        return len(self._prefixes)
+
+    @property
+    def size(self) -> int:
+        """Domain size as seen by the frequency oracle (dummy included)."""
+        return len(self._prefixes) + (1 if self.include_dummy else 0)
+
+    @property
+    def dummy_index(self) -> int | None:
+        """Index of the dummy slot, or ``None`` when there is no dummy."""
+        return len(self._prefixes) if self.include_dummy else None
+
+    def index_of(self, prefix: str) -> int:
+        """Index of ``prefix`` or raise ``KeyError``."""
+        return self._index[prefix]
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._index
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(self._prefixes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CandidateDomain(n_candidates={self.n_candidates}, "
+            f"prefix_length={self.prefix_length}, dummy={self.include_dummy})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Mapping user data onto the domain
+    # ------------------------------------------------------------------ #
+    def encode_items(self, items: np.ndarray, n_bits: int) -> np.ndarray:
+        """Map raw item ids to candidate indices (out-of-domain → dummy).
+
+        Parameters
+        ----------
+        items:
+            Item ids, each in ``[0, 2**n_bits)``.
+        n_bits:
+            Full binary width ``m`` of the encoding.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if self.prefix_length > n_bits:
+            raise ValueError(
+                f"candidate prefix length {self.prefix_length} exceeds n_bits {n_bits}"
+            )
+        if items.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        shift = n_bits - self.prefix_length
+        prefix_ids = items >> shift if shift else items
+        fallback = self.dummy_index
+        if fallback is None:
+            fallback = -1
+        # Vectorised lookup: map candidate prefixes to their integer values,
+        # sort them once, and resolve every user's prefix id via searchsorted.
+        if self.prefix_length == 0:
+            out = np.full(items.size, self._index.get("", fallback), dtype=np.int64)
+        else:
+            candidate_values = np.array(
+                [int(p, 2) for p in self._prefixes], dtype=np.int64
+            )
+            order = np.argsort(candidate_values, kind="stable")
+            sorted_values = candidate_values[order]
+            positions = np.searchsorted(sorted_values, prefix_ids)
+            positions = np.clip(positions, 0, sorted_values.size - 1)
+            matched = sorted_values[positions] == prefix_ids
+            out = np.where(matched, order[positions], fallback).astype(np.int64)
+        if not self.include_dummy and np.any(out < 0):
+            raise ValueError(
+                "some items fall outside the candidate domain and no dummy slot is available"
+            )
+        return out
+
+    def encode_prefixes(self, prefixes: Iterable[str]) -> np.ndarray:
+        """Map already-truncated prefixes to candidate indices (OOD → dummy)."""
+        fallback = self.dummy_index
+        if fallback is None:
+            fallback = -1
+        out = []
+        for prefix in prefixes:
+            validate_prefix(prefix)
+            if len(prefix) != self.prefix_length:
+                raise ValueError(
+                    f"prefix {prefix!r} has length {len(prefix)}, expected {self.prefix_length}"
+                )
+            out.append(self._index.get(prefix, fallback))
+        arr = np.asarray(out, dtype=np.int64)
+        if not self.include_dummy and np.any(arr < 0):
+            raise ValueError(
+                "some prefixes fall outside the candidate domain and no dummy slot is available"
+            )
+        return arr
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def full_domain(cls, prefix_length: int, *, include_dummy: bool = False) -> "CandidateDomain":
+        """The complete domain of all ``2**prefix_length`` prefixes."""
+        if prefix_length < 0:
+            raise ValueError(f"prefix_length must be >= 0, got {prefix_length}")
+        if prefix_length > 20:
+            raise ValueError(
+                "refusing to materialise a full domain with more than 2^20 prefixes"
+            )
+        prefixes = [format(i, f"0{prefix_length}b") for i in range(1 << prefix_length)]
+        if prefix_length == 0:
+            prefixes = [""]
+        return cls(prefixes, include_dummy=include_dummy)
+
+    def extended(
+        self, selected: Sequence[str], extra_bits: int, *, include_dummy: bool = True
+    ) -> "CandidateDomain":
+        """Extend ``selected`` prefixes of this domain by ``extra_bits`` bits.
+
+        This is the ``Construct`` procedure of Algorithm 2 applied to the
+        subset of candidates chosen for extension.
+        """
+        for prefix in selected:
+            if prefix not in self._index:
+                raise KeyError(f"prefix {prefix!r} is not part of this domain")
+        extended = extend_prefixes(selected, extra_bits)
+        return CandidateDomain(extended, include_dummy=include_dummy)
+
+    def without(self, pruned: Iterable[str], *, include_dummy: bool = True) -> "CandidateDomain":
+        """Return a copy of this domain with ``pruned`` prefixes removed.
+
+        Unknown prefixes in ``pruned`` are ignored (they are simply not in
+        the domain).  Raises ``ValueError`` if pruning would empty the domain.
+        """
+        pruned_set = {validate_prefix(p) for p in pruned}
+        remaining = [p for p in self._prefixes if p not in pruned_set]
+        if not remaining:
+            raise ValueError("pruning would remove every candidate from the domain")
+        return CandidateDomain(remaining, include_dummy=include_dummy)

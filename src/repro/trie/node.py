@@ -1,0 +1,63 @@
+"""A node of the binary prefix tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class TrieNode:
+    """One node of a binary prefix trie.
+
+    Attributes
+    ----------
+    prefix:
+        The bit string from the root to this node ('' for the root).
+    count:
+        Estimated (noisy) count associated with the prefix, if any.
+    frequency:
+        Estimated (noisy) frequency associated with the prefix, if any.
+    children:
+        Mapping from next bit ('0' or '1') to the child node.
+    """
+
+    prefix: str = ""
+    count: float = 0.0
+    frequency: float = 0.0
+    children: dict[str, "TrieNode"] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """Length of the prefix (root has depth 0)."""
+        return len(self.prefix)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def child(self, bit: str) -> Optional["TrieNode"]:
+        """Return the child reached by ``bit`` or ``None``."""
+        return self.children.get(bit)
+
+    def get_or_create_child(self, bit: str) -> "TrieNode":
+        """Return the child reached by ``bit``, creating it if missing."""
+        if bit not in ("0", "1"):
+            raise ValueError(f"bit must be '0' or '1', got {bit!r}")
+        node = self.children.get(bit)
+        if node is None:
+            node = TrieNode(prefix=self.prefix + bit)
+            self.children[bit] = node
+        return node
+
+    def iter_subtree(self) -> Iterator["TrieNode"]:
+        """Depth-first iterator over this node and all of its descendants."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # push '1' first so '0' is visited first (lexicographic order)
+            for bit in ("1", "0"):
+                child = node.children.get(bit)
+                if child is not None:
+                    stack.append(child)

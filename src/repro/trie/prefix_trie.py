@@ -1,0 +1,140 @@
+"""Explicit binary prefix trie.
+
+The mechanisms themselves only need per-level candidate lists
+(:class:`repro.trie.candidate_domain.CandidateDomain`), but an explicit trie
+is useful for three purposes: inspecting/visualising what a mechanism
+discovered, implementing the TrieHH-style sample-and-threshold baseline, and
+computing exact (non-private) prefix statistics for ground truth and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.encoding.prefix import validate_prefix
+from repro.trie.node import TrieNode
+
+
+class PrefixTrie:
+    """A binary trie keyed by '0'/'1' strings with per-node counts."""
+
+    def __init__(self) -> None:
+        self.root = TrieNode(prefix="")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def insert(self, prefix: str, count: float = 1.0, frequency: float = 0.0) -> TrieNode:
+        """Insert (or update) ``prefix`` and return its node.
+
+        Counts are *added* so repeated inserts accumulate, matching the
+        "insert every user's encoded item" usage in ground-truth building.
+        """
+        validate_prefix(prefix)
+        node = self.root
+        for bit in prefix:
+            node = node.get_or_create_child(bit)
+        node.count += count
+        node.frequency += frequency
+        return node
+
+    @classmethod
+    def from_items(cls, items: Sequence[int] | np.ndarray, n_bits: int) -> "PrefixTrie":
+        """Build a trie containing the full ``n_bits`` encoding of every item.
+
+        Every internal node's count equals the number of items sharing that
+        prefix (counts are propagated up during construction).
+        """
+        trie = cls()
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return trie
+        values, counts = np.unique(arr, return_counts=True)
+        for value, count in zip(values, counts):
+            bits = format(int(value), f"0{n_bits}b")
+            node = trie.root
+            node.count += float(count)
+            for bit in bits:
+                node = node.get_or_create_child(bit)
+                node.count += float(count)
+        total = float(arr.size)
+        for node in trie.root.iter_subtree():
+            node.frequency = node.count / total if total else 0.0
+        return trie
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def find(self, prefix: str) -> TrieNode | None:
+        """Return the node for ``prefix`` or ``None`` if absent."""
+        validate_prefix(prefix)
+        node = self.root
+        for bit in prefix:
+            node = node.child(bit)
+            if node is None:
+                return None
+        return node
+
+    def count_of(self, prefix: str) -> float:
+        """Count stored at ``prefix`` (0.0 when absent)."""
+        node = self.find(prefix)
+        return node.count if node is not None else 0.0
+
+    def __contains__(self, prefix: str) -> bool:
+        return self.find(prefix) is not None
+
+    # ------------------------------------------------------------------ #
+    # Traversal / statistics
+    # ------------------------------------------------------------------ #
+    def nodes_at_depth(self, depth: int) -> list[TrieNode]:
+        """All nodes whose prefix length equals ``depth``."""
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        return [n for n in self.root.iter_subtree() if n.depth == depth]
+
+    def prefixes_at_depth(self, depth: int) -> list[str]:
+        """Prefixes of all nodes at ``depth``, lexicographically sorted."""
+        return sorted(n.prefix for n in self.nodes_at_depth(depth))
+
+    def top_prefixes(self, depth: int, k: int) -> list[str]:
+        """The ``k`` highest-count prefixes at ``depth`` (ties broken lexicographically)."""
+        nodes = self.nodes_at_depth(depth)
+        nodes.sort(key=lambda n: (-n.count, n.prefix))
+        return [n.prefix for n in nodes[:k]]
+
+    def __iter__(self) -> Iterator[TrieNode]:
+        return self.root.iter_subtree()
+
+    def __len__(self) -> int:
+        """Number of nodes excluding the root."""
+        return sum(1 for _ in self.root.iter_subtree()) - 1
+
+    def max_depth(self) -> int:
+        """Depth of the deepest node."""
+        return max((n.depth for n in self.root.iter_subtree()), default=0)
+
+    def prune(self, keep: Iterable[str]) -> None:
+        """Remove every subtree whose root prefix is not an ancestor/member of ``keep``.
+
+        Used by the TrieHH-style baseline: after thresholding a level, only
+        the surviving prefixes (and their ancestors) remain extendable.
+        """
+        keep_set = {validate_prefix(p) for p in keep}
+
+        def should_keep(node: TrieNode) -> bool:
+            return any(
+                kept.startswith(node.prefix) or node.prefix.startswith(kept)
+                for kept in keep_set
+            )
+
+        def _prune(node: TrieNode) -> None:
+            for bit in list(node.children):
+                child = node.children[bit]
+                if not should_keep(child):
+                    del node.children[bit]
+                else:
+                    _prune(child)
+
+        _prune(self.root)

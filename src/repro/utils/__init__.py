@@ -1,0 +1,27 @@
+"""Shared utilities: RNG handling, validation helpers and text rendering.
+
+These helpers are deliberately dependency-free (beyond numpy) so that every
+other subpackage can import them without creating import cycles.
+"""
+
+from repro.utils.rng import RandomState, as_generator, spawn_children
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_in_range,
+    check_non_empty,
+    check_type,
+)
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_children",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_non_empty",
+    "check_type",
+    "TextTable",
+]

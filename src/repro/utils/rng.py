@@ -1,0 +1,70 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library accepts either ``None`` (fresh
+entropy), an integer seed, or a :class:`numpy.random.Generator`.  Funnelling
+the conversion through :func:`as_generator` keeps experiments reproducible:
+a single seed at the top level deterministically drives the whole pipeline
+because children are spawned through :func:`spawn_children` rather than by
+re-seeding with magic constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+#: Accepted seed-like inputs throughout the library.
+RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: RandomState = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, an existing ``Generator``
+        (returned unchanged), or a ``SeedSequence``.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A PCG64-backed generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    return np.random.default_rng(seed)
+
+
+def spawn_children(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    The children are produced by drawing fresh 64-bit seeds from the parent,
+    which keeps the parent usable afterwards and makes the fan-out
+    deterministic given the parent's state.
+    """
+    if n < 0:
+        raise ValueError(f"number of children must be non-negative, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def stable_choice(
+    rng: np.random.Generator, options: Iterable, size: Optional[int] = None
+):
+    """Uniformly choose from ``options`` after materialising them as a list.
+
+    ``numpy.random.Generator.choice`` silently converts string sequences to
+    arrays which can truncate dtype widths; this helper avoids that by
+    choosing indices and mapping back.
+    """
+    opts = list(options)
+    if not opts:
+        raise ValueError("cannot choose from an empty sequence")
+    if size is None:
+        return opts[int(rng.integers(0, len(opts)))]
+    idx = rng.integers(0, len(opts), size=size)
+    return [opts[int(i)] for i in idx]

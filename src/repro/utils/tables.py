@@ -1,0 +1,68 @@
+"""Minimal plain-text table renderer used by the experiment harness.
+
+The paper reports results as tables and line plots; the benchmark harness
+regenerates them as aligned text tables so the output can be eyeballed in a
+terminal and diffed against ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+class TextTable:
+    """Accumulate rows and render them as an aligned monospace table.
+
+    Examples
+    --------
+    >>> t = TextTable(["mechanism", "F1"])
+    >>> t.add_row(["TAPS", 0.83])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], *, float_format: str = "{:.4f}"):
+        if not headers:
+            raise ValueError("headers must not be empty")
+        self.headers = [str(h) for h in headers]
+        self.float_format = float_format
+        self._rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append a row; floats are formatted with ``float_format``."""
+        cells = [self._format_cell(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self._rows.append(cells)
+
+    def _format_cell(self, cell: Any) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self, *, title: str | None = None) -> str:
+        """Render the table as a string with padded columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if title:
+            lines.append(title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict[str, str]]:
+        """Return the rows as a list of header → cell dictionaries."""
+        return [dict(zip(self.headers, row)) for row in self._rows]

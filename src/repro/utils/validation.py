@@ -1,0 +1,61 @@
+"""Input-validation helpers with consistent error messages.
+
+The library is used both programmatically and from benchmark sweeps; clear
+validation errors at the public API boundary are cheaper than debugging a
+silently wrong simulation.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any, Sized
+
+
+def check_positive(name: str, value: Real, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (``>= 0`` if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= float(value) <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: Real,
+    low: Real,
+    high: Real,
+    *,
+    inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict bounds)."""
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bounds = "[{}, {}]" if inclusive else "({}, {})"
+        raise ValueError(
+            f"{name} must lie in {bounds.format(low, high)}, got {value!r}"
+        )
+
+
+def check_non_empty(name: str, value: Sized) -> None:
+    """Raise ``ValueError`` if ``value`` has zero length."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = ", ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")

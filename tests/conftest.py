@@ -1,0 +1,93 @@
+"""Shared fixtures: tiny deterministic datasets and configurations.
+
+All fixtures are deliberately small so the whole suite runs in well under a
+minute; statistical assertions use loose tolerances and fixed seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MechanismConfig
+from repro.datasets.base import FederatedDataset
+from repro.datasets.registry import load_dataset
+from repro.federation.party import Party
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def skewed_party() -> Party:
+    """A single party with a strongly skewed item distribution.
+
+    Item 3 is held by half the users, item 12 by a quarter, the rest spread
+    over a handful of items — heavy hitters are unambiguous.
+    """
+    gen = np.random.default_rng(7)
+    items = np.concatenate(
+        [
+            np.full(500, 3),
+            np.full(250, 12),
+            np.full(120, 40),
+            np.full(80, 41),
+            gen.integers(0, 64, size=50),
+        ]
+    )
+    gen.shuffle(items)
+    return Party(name="skewed", items=items)
+
+
+@pytest.fixture
+def two_party_dataset() -> FederatedDataset:
+    """A small two-party dataset with known global heavy hitters.
+
+    Items 5 and 9 are globally dominant; item 50 is popular only in party B
+    (the non-IID confuser); the tail is uniform noise.
+    """
+    gen = np.random.default_rng(11)
+    party_a = np.concatenate(
+        [
+            np.full(400, 5),
+            np.full(300, 9),
+            np.full(100, 17),
+            gen.integers(0, 256, size=200),
+        ]
+    )
+    party_b = np.concatenate(
+        [
+            np.full(250, 5),
+            np.full(150, 9),
+            np.full(200, 50),
+            gen.integers(0, 256, size=100),
+        ]
+    )
+    gen.shuffle(party_a)
+    gen.shuffle(party_b)
+    return FederatedDataset(
+        name="toy2",
+        parties=[Party("alpha", party_a), Party("beta", party_b)],
+        n_bits=10,
+    )
+
+
+@pytest.fixture
+def tiny_config(two_party_dataset) -> MechanismConfig:
+    """A mechanism configuration matched to the two-party toy dataset."""
+    return MechanismConfig(
+        k=5,
+        epsilon=4.0,
+        n_bits=two_party_dataset.n_bits,
+        granularity=5,
+        simulation_mode="aggregate",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_rdb() -> FederatedDataset:
+    """The RDB stand-in at smoke-test scale (shared across tests for speed)."""
+    return load_dataset("rdb", scale="tiny", seed=3)

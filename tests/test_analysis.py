@@ -1,0 +1,84 @@
+"""Tests for the analytic cost model (Table 1) and Theorem 5.2 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.costs import CostModel, table1_costs
+from repro.analysis.theory import (
+    adaptive_extension_failure_bound,
+    constant_extension_probability,
+    gaussian_tail,
+    oracle_variance_curve,
+)
+
+
+class TestCostModel:
+    def test_all_rows_present_in_paper_order(self):
+        rows = CostModel().all_rows()
+        assert [r.mechanism for r in rows] == ["GTF", "FedPEM", "OUE", "OLH", "TAPS"]
+
+    def test_taps_costs_exceed_fedpem_by_pruning_factor(self):
+        model = CostModel(pruning_levels=6)
+        assert model.taps().communication_bits == 6 * model.fedpem().communication_bits
+        assert model.taps().computation_ops == model.fedpem().computation_ops
+
+    def test_oue_dwarfs_prefix_tree_mechanisms(self):
+        model = CostModel(n_users=1_000_000, domain_size=1_000_000)
+        assert model.oue().communication_bits > 1e6 * model.taps().communication_bits
+
+    def test_olh_communication_linear_in_users(self):
+        a = CostModel(n_users=1_000).olh().communication_bits
+        b = CostModel(n_users=2_000).olh().communication_bits
+        assert b == 2 * a
+
+    def test_paper_example_oue_bits(self):
+        # Section 4.1: 5M users and |X| = 2M -> 1e13 bits at the server.
+        model = CostModel(n_users=5_000_000, domain_size=2_000_000)
+        assert model.oue().communication_bits == pytest.approx(1e13)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CostModel(k=0)
+
+    def test_table1_renders_all_mechanisms(self):
+        text = table1_costs().render(title="Table 1")
+        for name in ("GTF", "FedPEM", "OUE", "OLH", "TAPS"):
+            assert name in text
+
+
+class TestTheory:
+    def test_gaussian_tail_monotone_in_gap(self):
+        assert gaussian_tail(0.0, 1.0) == pytest.approx(0.5)
+        assert gaussian_tail(0.5, 0.1) < gaussian_tail(0.1, 0.1)
+
+    def test_indicator_behaviour(self):
+        # Large gap / small noise -> tail tiny -> indicator 0.
+        assert constant_extension_probability(0.5, 0.01, k=10) == 0.0
+        # Tiny gap / huge noise -> tail ~ 0.5 > threshold -> indicator 1.
+        assert constant_extension_probability(0.0001, 10.0, k=10) == 1.0
+
+    def test_failure_bound_decays_geometrically(self):
+        bound_short = adaptive_extension_failure_bound(0.5, 0.01, k=10, granularity=2)
+        bound_long = adaptive_extension_failure_bound(0.5, 0.01, k=10, granularity=24)
+        assert bound_long <= bound_short <= 1.0
+
+    def test_failure_bound_vacuous_when_noise_dominates(self):
+        assert adaptive_extension_failure_bound(0.0, 5.0, k=10, granularity=4) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            constant_extension_probability(-0.1, 1.0, k=5)
+        with pytest.raises(ValueError):
+            constant_extension_probability(0.1, 1.0, k=0)
+        with pytest.raises(ValueError):
+            adaptive_extension_failure_bound(0.1, 1.0, k=5, granularity=0)
+
+    def test_variance_curve_decreases_with_epsilon(self):
+        eps = np.array([1.0, 2.0, 4.0])
+        for oracle in ("krr", "oue", "olh"):
+            curve = oracle_variance_curve(oracle, eps, n_users=1000, domain_size=64)
+            assert curve.shape == (3,)
+            assert np.all(np.diff(curve) < 0)
+
+    def test_variance_curve_empty(self):
+        assert oracle_variance_curve("krr", np.array([]), 10, 10).size == 0

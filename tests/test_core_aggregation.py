@@ -1,0 +1,73 @@
+"""Tests for server-side aggregation."""
+
+import pytest
+
+from repro.core.aggregation import (
+    aggregate_local_reports,
+    estimate_party_counts,
+    merge_counts,
+)
+
+
+class TestAggregateLocalReports:
+    def test_counts_summed_across_parties(self):
+        reports = {
+            "a": {1: 100.0, 2: 50.0},
+            "b": {1: 80.0, 3: 120.0},
+        }
+        heavy, totals = aggregate_local_reports(reports, k=2)
+        assert totals[1] == pytest.approx(180.0)
+        assert heavy == [1, 3]
+
+    def test_ties_broken_by_item_id(self):
+        reports = {"a": {7: 10.0, 3: 10.0}}
+        heavy, _ = aggregate_local_reports(reports, k=2)
+        assert heavy == [3, 7]
+
+    def test_k_larger_than_candidates(self):
+        heavy, _ = aggregate_local_reports({"a": {1: 1.0}}, k=10)
+        assert heavy == [1]
+
+    def test_weights_change_ranking(self):
+        reports = {"big": {1: 10.0}, "small": {2: 11.0}}
+        unweighted, _ = aggregate_local_reports(reports, k=1)
+        weighted, _ = aggregate_local_reports(
+            reports, k=1, weights={"big": 10.0, "small": 1.0}
+        )
+        assert unweighted == [2]
+        assert weighted == [1]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_local_reports({}, k=-1)
+
+    def test_empty_reports(self):
+        heavy, totals = aggregate_local_reports({}, k=3)
+        assert heavy == []
+        assert totals == {}
+
+
+class TestEstimatePartyCounts:
+    def test_scaling_by_population(self):
+        counts = estimate_party_counts(
+            {"0101": 0.25, "1100": 0.1}, {"0101": 5, "1100": 12}, party_population=1000
+        )
+        assert counts[5] == pytest.approx(250.0)
+        assert counts[12] == pytest.approx(100.0)
+
+    def test_negative_frequencies_clamped_to_zero(self):
+        counts = estimate_party_counts({"01": -0.2}, {"01": 1}, party_population=100)
+        assert counts[1] == 0.0
+
+    def test_missing_frequency_treated_as_zero(self):
+        counts = estimate_party_counts({}, {"01": 1}, party_population=100)
+        assert counts[1] == 0.0
+
+
+class TestMergeCounts:
+    def test_merge(self):
+        merged = merge_counts([{1: 1.0, 2: 2.0}, {2: 3.0}])
+        assert merged == {1: 1.0, 2: 5.0}
+
+    def test_empty(self):
+        assert merge_counts([]) == {}

@@ -1,0 +1,83 @@
+"""Tests for MechanismConfig."""
+
+import pytest
+
+from repro.core.config import ExtensionStrategy, MechanismConfig
+from repro.ldp.krr import KRandomizedResponse
+
+
+class TestDefaults:
+    def test_paper_heuristic_shared_level(self):
+        assert MechanismConfig(granularity=24, n_bits=48).effective_shared_level == 6
+        assert MechanismConfig(granularity=8, n_bits=16).effective_shared_level == 2
+        assert MechanismConfig(granularity=4, n_bits=16).effective_shared_level == 1
+
+    def test_explicit_shared_level_wins(self):
+        cfg = MechanismConfig(granularity=8, n_bits=16, shared_level=3)
+        assert cfg.effective_shared_level == 3
+
+    def test_step_size(self):
+        assert MechanismConfig(n_bits=48, granularity=24).step_size == 2
+        assert MechanismConfig(n_bits=16, granularity=4).step_size == 4
+
+    def test_effective_fixed_extension_defaults_to_k(self):
+        assert MechanismConfig(k=7).effective_fixed_extension == 7
+        assert MechanismConfig(k=7, fixed_extension=3).effective_fixed_extension == 3
+
+    def test_make_oracle(self):
+        cfg = MechanismConfig(oracle="krr", epsilon=2.5)
+        oracle = cfg.make_oracle()
+        assert isinstance(oracle, KRandomizedResponse)
+        assert oracle.epsilon == 2.5
+
+
+class TestValidation:
+    def test_granularity_cannot_exceed_bits(self):
+        with pytest.raises(ValueError):
+            MechanismConfig(n_bits=8, granularity=9)
+
+    def test_shared_level_bounds(self):
+        with pytest.raises(ValueError):
+            MechanismConfig(granularity=8, n_bits=16, shared_level=8)
+        with pytest.raises(ValueError):
+            MechanismConfig(granularity=8, n_bits=16, shared_level=0)
+
+    def test_dividing_ratio_bounds(self):
+        with pytest.raises(ValueError):
+            MechanismConfig(dividing_ratio=0.6)
+
+    def test_phase1_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MechanismConfig(phase1_user_fraction=0.0)
+        with pytest.raises(ValueError):
+            MechanismConfig(phase1_user_fraction=1.0)
+
+    def test_negative_k_and_epsilon(self):
+        with pytest.raises(ValueError):
+            MechanismConfig(k=0)
+        with pytest.raises(ValueError):
+            MechanismConfig(epsilon=0)
+
+
+class TestTransforms:
+    def test_with_updates_is_copy(self):
+        cfg = MechanismConfig(k=10)
+        other = cfg.with_updates(k=20)
+        assert cfg.k == 10
+        assert other.k == 20
+        assert other.epsilon == cfg.epsilon
+
+    def test_for_dataset_shrinks_granularity(self):
+        cfg = MechanismConfig(n_bits=48, granularity=24)
+        adapted = cfg.for_dataset(10)
+        assert adapted.n_bits == 10
+        assert adapted.granularity == 10
+
+    def test_for_dataset_adjusts_shared_level(self):
+        cfg = MechanismConfig(n_bits=48, granularity=24, shared_level=20)
+        adapted = cfg.for_dataset(8)
+        assert adapted.effective_shared_level < adapted.granularity
+
+    def test_extension_strategy_enum(self):
+        assert ExtensionStrategy("adaptive") is ExtensionStrategy.ADAPTIVE
+        assert ExtensionStrategy("fixed") is ExtensionStrategy.FIXED

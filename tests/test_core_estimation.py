@@ -1,0 +1,112 @@
+"""Tests for the per-party level estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExtensionStrategy, MechanismConfig
+from repro.core.estimation import PartyEstimator
+from repro.ldp.budget import PrivacyAccountant
+from repro.trie.candidate_domain import CandidateDomain
+
+
+@pytest.fixture
+def estimator(skewed_party):
+    config = MechanismConfig(k=4, epsilon=4.0, n_bits=6, granularity=3)
+    oracle = config.make_oracle()
+    accountant = PrivacyAccountant(epsilon=config.epsilon)
+    return PartyEstimator(
+        skewed_party, config, oracle, np.random.default_rng(0), accountant
+    )
+
+
+class TestGroupAllocation:
+    def test_groups_partition_users(self, estimator):
+        all_users = np.sort(
+            np.concatenate([estimator.users_at_level(h) for h in range(1, 4)])
+        )
+        np.testing.assert_array_equal(all_users, np.arange(estimator.party.n_users))
+
+    def test_every_level_has_users(self, estimator):
+        for level in range(1, 4):
+            assert estimator.users_at_level(level).size > 0
+
+    def test_phase1_fraction_allocates_smaller_warm_start_groups(self, skewed_party):
+        config = MechanismConfig(
+            k=4, epsilon=4.0, n_bits=8, granularity=4, phase1_user_fraction=0.05
+        )
+        est = PartyEstimator(
+            skewed_party, config, config.make_oracle(), np.random.default_rng(1)
+        )
+        gs = config.effective_shared_level
+        phase1 = sum(est.users_at_level(h).size for h in range(1, gs + 1))
+        phase2 = sum(
+            est.users_at_level(h).size for h in range(gs + 1, config.granularity + 1)
+        )
+        assert phase1 < phase2
+
+    def test_even_split_when_fraction_is_none(self, skewed_party):
+        config = MechanismConfig(
+            k=4, epsilon=4.0, n_bits=8, granularity=4, phase1_user_fraction=None
+        )
+        est = PartyEstimator(
+            skewed_party, config, config.make_oracle(), np.random.default_rng(1)
+        )
+        sizes = [est.users_at_level(h).size for h in range(1, 5)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDomainConstruction:
+    def test_level_one_uses_full_domain(self, estimator):
+        domain = estimator.build_domain(1, None)
+        assert domain.n_candidates == 2 ** estimator.prefix_length(1)
+
+    def test_extension_from_previous_selection(self, estimator):
+        domain = estimator.build_domain(2, ["00", "11"])
+        expected_extra = estimator.prefix_length(2) - estimator.prefix_length(1)
+        assert domain.n_candidates == 2 * 2**expected_extra
+        assert domain.prefix_length == estimator.prefix_length(2)
+
+
+class TestEstimateLevel:
+    def test_heavy_prefix_detected(self, estimator):
+        # Items 3 (=000011) and 12 (=001100) dominate; their 2-bit prefix '00'
+        # must come out with the largest estimated count at level 1.
+        domain = estimator.build_domain(1, None)
+        estimate = estimator.estimate_level(1, domain)
+        top_prefix = max(estimate.estimated_counts, key=estimate.estimated_counts.get)
+        assert top_prefix == "00"
+
+    def test_selected_prefixes_subset_of_domain(self, estimator):
+        domain = estimator.build_domain(1, None)
+        estimate = estimator.estimate_level(1, domain)
+        assert set(estimate.selected_prefixes) <= set(domain.prefixes)
+        assert estimate.extension_count == len(estimate.selected_prefixes)
+
+    def test_accountant_records_reports(self, estimator):
+        domain = estimator.build_domain(1, None)
+        users = estimator.users_at_level(1)
+        estimator.estimate_level(1, domain)
+        assert estimator.accountant.n_reports() == users.size
+        assert estimator.accountant.satisfies_ldp()
+
+    def test_fixed_extension_selects_exactly_t(self, skewed_party):
+        config = MechanismConfig(
+            k=3,
+            epsilon=4.0,
+            n_bits=6,
+            granularity=3,
+            extension=ExtensionStrategy.FIXED,
+            fixed_extension=2,
+        )
+        est = PartyEstimator(
+            skewed_party, config, config.make_oracle(), np.random.default_rng(2)
+        )
+        estimate = est.estimate_level(1, est.build_domain(1, None))
+        assert len(estimate.selected_prefixes) == 2
+
+    def test_estimate_on_users_returns_all_candidates(self, estimator):
+        domain = CandidateDomain(["00", "01", "10", "11"])
+        outcome = estimator.estimate_on_users(np.arange(100), domain)
+        assert set(outcome.counts) == {"00", "01", "10", "11"}
+        assert outcome.n_users == 100
+        assert outcome.sigma > 0

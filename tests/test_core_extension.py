@@ -1,0 +1,89 @@
+"""Tests for the adaptive trie extension (Equations 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extension import (
+    adaptive_extension_count,
+    drift_allowance,
+    select_anchor,
+)
+
+
+class TestSelectAnchor:
+    def test_anchor_at_clear_frequency_gap(self):
+        # Five clearly dominant prefixes, then a sharp drop: the anchor should
+        # sit at (or just after) the gap rather than at 2.
+        freqs = np.array([0.25, 0.20, 0.19, 0.18, 0.17, 0.002, 0.001, 0.001, 0.001, 0.001, 0.001])
+        k_star = select_anchor(freqs, k=10)
+        assert 4 <= k_star <= 6
+
+    def test_anchor_bounded_by_k(self):
+        freqs = np.linspace(0.2, 0.01, 30)
+        assert select_anchor(freqs, k=10) <= 10
+
+    def test_anchor_bounded_by_domain(self):
+        freqs = np.array([0.5, 0.3, 0.2])
+        assert select_anchor(freqs, k=10) <= 3
+
+    def test_tiny_domains(self):
+        assert select_anchor(np.array([0.6]), k=5) == 1
+        assert select_anchor(np.array([0.6, 0.4]), k=5) == 2
+        assert select_anchor(np.array([]), k=5) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            select_anchor(np.array([0.5, 0.5]), k=0)
+
+
+class TestDriftAllowance:
+    def test_zero_noise_gives_zero_drift(self):
+        freqs = np.linspace(0.3, 0.01, 20)
+        assert drift_allowance(freqs, k=5, k_star=3, sigma=0.0) == 0.0
+
+    def test_large_noise_gives_large_drift(self):
+        freqs = np.linspace(0.05, 0.04, 20)  # nearly flat
+        eta_small = drift_allowance(freqs, k=5, k_star=3, sigma=0.001)
+        eta_large = drift_allowance(freqs, k=5, k_star=3, sigma=0.5)
+        assert eta_large > eta_small
+
+    def test_drift_capped_at_k(self):
+        freqs = np.full(50, 0.02)
+        assert drift_allowance(freqs, k=5, k_star=5, sigma=1.0) <= 5
+
+    def test_anchor_at_end_of_domain(self):
+        freqs = np.array([0.5, 0.3, 0.2])
+        assert drift_allowance(freqs, k=5, k_star=3, sigma=0.1) == 0.0
+
+    def test_empty_frequencies(self):
+        assert drift_allowance(np.array([]), k=5, k_star=1, sigma=0.1) == 0.0
+
+
+class TestAdaptiveExtensionCount:
+    def test_returns_triple_within_bounds(self):
+        freqs = np.sort(np.random.default_rng(0).random(30))[::-1]
+        t, k_star, eta = adaptive_extension_count(freqs, k=10, sigma=0.01)
+        assert 1 <= t <= 30
+        assert 1 <= k_star <= 10
+        assert 0.0 <= eta <= 10
+
+    def test_covers_separated_head(self):
+        # Clear structure: 6 necessary prefixes well above the rest and noise
+        # far smaller than the gap — t must cover all 6.
+        freqs = np.concatenate([np.linspace(0.15, 0.10, 6), np.full(20, 0.002)])
+        t, _, _ = adaptive_extension_count(freqs, k=10, sigma=0.001)
+        assert t >= 6
+
+    def test_high_noise_extends_more_than_anchor(self):
+        freqs = np.linspace(0.05, 0.03, 25)
+        t_low_noise, k_star_low, _ = adaptive_extension_count(freqs, k=10, sigma=1e-5)
+        t_high_noise, k_star_high, _ = adaptive_extension_count(freqs, k=10, sigma=0.05)
+        assert t_high_noise >= t_low_noise
+
+    def test_empty_input(self):
+        assert adaptive_extension_count(np.array([]), k=5, sigma=0.1) == (0, 0, 0.0)
+
+    def test_t_never_exceeds_domain(self):
+        freqs = np.array([0.6, 0.4])
+        t, _, _ = adaptive_extension_count(freqs, k=10, sigma=0.5)
+        assert t <= 2

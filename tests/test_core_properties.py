@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the core mechanism components."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import aggregate_local_reports
+from repro.core.extension import adaptive_extension_count, select_anchor
+from repro.core.pruning import PruningCandidates, consensus_prune
+from repro.encoding.prefix import extend_prefixes
+from repro.metrics.scores import f1_score, ncr_score
+from repro.trie.candidate_domain import CandidateDomain
+
+PREFIX_LISTS = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=1, max_size=12, unique=True
+).map(lambda ids: [format(i, "04b") for i in ids])
+
+
+@given(
+    freqs=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    k=st.integers(min_value=1, max_value=20),
+    sigma=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_adaptive_extension_always_within_domain(freqs, k, sigma):
+    """1 <= t <= |domain| and 1 <= k* <= min(k, |domain|) for any input."""
+    sorted_freqs = np.sort(np.array(freqs))[::-1]
+    t, k_star, eta = adaptive_extension_count(sorted_freqs, k, sigma)
+    assert 1 <= t <= len(freqs)
+    assert 1 <= k_star <= max(1, min(k, len(freqs)))
+    assert 0.0 <= eta <= k
+
+
+@given(
+    freqs=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=3,
+        max_size=40,
+    ),
+    k=st.integers(min_value=2, max_value=15),
+)
+@settings(max_examples=60, deadline=None)
+def test_anchor_never_exceeds_k(freqs, k):
+    sorted_freqs = np.sort(np.array(freqs))[::-1]
+    assert select_anchor(sorted_freqs, k) <= k
+
+
+@given(prefixes=PREFIX_LISTS, extra=st.integers(min_value=0, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_extend_prefixes_cardinality_and_length(prefixes, extra):
+    """|extended| = |prefixes| * 2^extra and every child keeps its parent prefix."""
+    extended = extend_prefixes(prefixes, extra)
+    assert len(extended) == len(prefixes) * (2**extra)
+    for child in extended:
+        assert len(child) == 4 + extra
+        assert any(child.startswith(parent) for parent in prefixes)
+
+
+@given(prefixes=PREFIX_LISTS, items=st.lists(st.integers(min_value=0, max_value=255), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_candidate_domain_encoding_total(prefixes, items):
+    """Every item maps to exactly one candidate index (or the dummy)."""
+    domain = CandidateDomain(prefixes)
+    encoded = domain.encode_items(np.array(items, dtype=np.int64), n_bits=8)
+    assert encoded.shape == (len(items),)
+    if len(items):
+        assert encoded.min() >= 0
+        assert encoded.max() <= domain.dummy_index
+
+
+@given(
+    estimates=st.dictionaries(
+        st.text(alphabet="ab", min_size=1, max_size=3),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=10,
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    k=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_aggregation_returns_sorted_unique_topk(estimates, k):
+    heavy, totals = aggregate_local_reports(estimates, k)
+    assert len(heavy) == len(set(heavy))
+    assert len(heavy) <= k
+    values = [totals[item] for item in heavy]
+    assert values == sorted(values, reverse=True)
+    for item in totals:
+        if item not in heavy and heavy:
+            assert totals[item] <= totals[heavy[-1]] + 1e-9
+
+
+@given(
+    est=st.lists(st.integers(min_value=0, max_value=30), max_size=15),
+    truth=st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=15, unique=True),
+)
+@settings(max_examples=80, deadline=None)
+def test_metric_bounds_and_perfect_case(est, truth):
+    assert 0.0 <= f1_score(est, truth) <= 1.0
+    assert 0.0 <= ncr_score(est, truth) <= 1.0
+    assert f1_score(truth, truth) == 1.0
+    assert ncr_score(truth, truth) == 1.0
+
+
+@given(
+    infrequent=PREFIX_LISTS,
+    frequent=PREFIX_LISTS,
+    k=st.integers(min_value=1, max_value=8),
+    epsilon=st.floats(min_value=0.2, max_value=6.0),
+    gamma=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_consensus_prune_subset_invariant(infrequent, frequent, k, epsilon, gamma):
+    """The pruning set is always a subset of the suggested candidates."""
+    candidates = PruningCandidates(
+        level=2,
+        prefix_length=4,
+        infrequent=tuple(infrequent),
+        frequent=tuple((p, 0.1) for p in frequent),
+    )
+    rng = np.random.default_rng(0)
+    validated_inf = {p: float(rng.random()) for p in infrequent}
+    validated_freq = {p: float(rng.random()) for p in frequent}
+    pruned = consensus_prune(
+        candidates, validated_inf, validated_freq, k=k, epsilon=epsilon, gamma=gamma
+    )
+    universe = set(infrequent) | set(frequent)
+    assert pruned <= universe

@@ -1,0 +1,152 @@
+"""Tests for the consensus-based pruning strategy (Equations 4-8)."""
+
+import pytest
+
+from repro.core.pruning import (
+    PruningCandidates,
+    consensus_prune,
+    population_confidence,
+    select_pruning_candidates,
+)
+from repro.core.results import LevelEstimate
+
+
+def _estimate_from_frequencies(freqs: dict[str, float]) -> LevelEstimate:
+    n = 1000
+    return LevelEstimate(
+        level=3,
+        prefix_length=len(next(iter(freqs))),
+        candidate_prefixes=list(freqs),
+        estimated_counts={p: f * n for p, f in freqs.items()},
+        estimated_frequencies=dict(freqs),
+        selected_prefixes=list(freqs)[:3],
+        extension_count=3,
+        n_users=n,
+        domain_size=len(freqs) + 1,
+    )
+
+
+@pytest.fixture
+def level_estimate():
+    freqs = {format(i, "04b"): 0.2 / (i + 1) for i in range(12)}
+    return _estimate_from_frequencies(freqs)
+
+
+class TestSelectPruningCandidates:
+    def test_sizes_bounded_by_n(self, level_estimate):
+        candidates = select_pruning_candidates(level_estimate, 4)
+        assert len(candidates.infrequent) == 4
+        assert len(candidates.frequent) == 4
+
+    def test_frequent_sorted_descending(self, level_estimate):
+        candidates = select_pruning_candidates(level_estimate, 5)
+        freqs = [f for _, f in candidates.frequent]
+        assert freqs == sorted(freqs, reverse=True)
+        assert candidates.frequent[0][0] == "0000"
+
+    def test_infrequent_sorted_ascending(self, level_estimate):
+        candidates = select_pruning_candidates(level_estimate, 5)
+        assert candidates.infrequent[0] == "1011"  # the least frequent prefix
+
+    def test_n_pairs(self, level_estimate):
+        candidates = select_pruning_candidates(level_estimate, 3)
+        assert candidates.n_pairs == 6
+
+    def test_invalid_n(self, level_estimate):
+        with pytest.raises(ValueError):
+            select_pruning_candidates(level_estimate, 0)
+
+
+class TestPopulationConfidence:
+    def test_large_previous_party_gives_small_gamma(self):
+        assert population_confidence(900, 1000) < population_confidence(100, 1000)
+
+    def test_bounds(self):
+        assert 0.0 <= population_confidence(500, 1000) <= 1.0
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            population_confidence(10, 0)
+
+
+class TestConsensusPrune:
+    def _candidates(self):
+        return PruningCandidates(
+            level=3,
+            prefix_length=4,
+            infrequent=("0001", "0010", "0011", "0100"),
+            frequent=(("1111", 0.30), ("1110", 0.20), ("1100", 0.10), ("1000", 0.05)),
+        )
+
+    def test_agreement_prunes_infrequent_prefixes(self):
+        candidates = self._candidates()
+        # The validating party agrees: the same prefixes look infrequent and
+        # the predecessor's frequent prefixes are also frequent here (so the
+        # contrast score is small and type-2 pruning stays quiet).
+        validated_infrequent = {"0001": 0.0, "0010": 0.001, "0011": 0.002, "0100": 0.003}
+        validated_frequent = {"1111": 0.28, "1110": 0.22, "1100": 0.09, "1000": 0.06}
+        pruned = consensus_prune(
+            candidates,
+            validated_infrequent,
+            validated_frequent,
+            k=4,
+            epsilon=4.0,
+            gamma=0.25,
+        )
+        assert pruned <= set(candidates.infrequent) | {p for p, _ in candidates.frequent}
+        assert "0001" in pruned
+        # A prefix frequent in BOTH parties must never be pruned.
+        assert "1111" not in pruned
+
+    def test_disagreement_prunes_nothing_from_type1(self):
+        candidates = self._candidates()
+        # The validating party sees the "infrequent" candidates in the exact
+        # opposite order — no consensus, so type-1 pruning should be empty or
+        # minimal and never include the locally frequent ones.
+        validated_infrequent = {"0001": 0.30, "0010": 0.25, "0011": 0.01, "0100": 0.0}
+        validated_frequent = {"1111": 0.3, "1110": 0.2, "1100": 0.1, "1000": 0.05}
+        pruned = consensus_prune(
+            candidates,
+            validated_infrequent,
+            validated_frequent,
+            k=4,
+            epsilon=4.0,
+            gamma=0.25,
+        )
+        assert "0001" not in pruned
+
+    def test_contrast_score_prunes_locally_absent_but_remotely_popular(self):
+        candidates = self._candidates()
+        validated_infrequent = {"0001": 0.0, "0010": 0.0, "0011": 0.0, "0100": 0.0}
+        # '1111' is very popular in the previous party but absent here →
+        # highest contrast score and lowest local frequency → prunable.
+        validated_frequent = {"1111": 0.0, "1110": 0.25, "1100": 0.12, "1000": 0.07}
+        pruned = consensus_prune(
+            candidates,
+            validated_infrequent,
+            validated_frequent,
+            k=4,
+            epsilon=1.0,
+            gamma=0.1,
+        )
+        assert "1111" in pruned
+        assert "1110" not in pruned
+
+    def test_empty_candidates_prune_nothing(self):
+        candidates = PruningCandidates(level=3, prefix_length=4, infrequent=(), frequent=())
+        assert (
+            consensus_prune(candidates, {}, {}, k=4, epsilon=2.0, gamma=0.5) == set()
+        )
+
+    def test_pruning_set_is_subset_of_candidates(self):
+        candidates = self._candidates()
+        pruned = consensus_prune(
+            candidates,
+            {p: 0.0 for p in candidates.infrequent},
+            {p: 0.0 for p, _ in candidates.frequent},
+            k=4,
+            epsilon=0.5,
+            gamma=0.0,
+        )
+        universe = set(candidates.infrequent) | {p for p, _ in candidates.frequent}
+        assert pruned <= universe

@@ -1,0 +1,86 @@
+"""Tests for the shared shallow trie construction (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MechanismConfig
+from repro.core.estimation import PartyEstimator
+from repro.core.shared_trie import construct_shared_trie
+from repro.encoding.prefix import prefixes_of_items
+from repro.federation.transcript import FederationTranscript
+from repro.ldp.budget import PrivacyAccountant
+
+
+def _build_estimators(dataset, config, seed=0):
+    oracle = config.make_oracle()
+    accountant = PrivacyAccountant(epsilon=config.epsilon)
+    rng = np.random.default_rng(seed)
+    return {
+        party.name: PartyEstimator(party, config, oracle, rng, accountant)
+        for party in dataset.parties
+    }, accountant
+
+
+class TestConstructSharedTrie:
+    def test_global_prefixes_have_shared_level_length(self, two_party_dataset, tiny_config):
+        estimators, _ = _build_estimators(two_party_dataset, tiny_config)
+        transcript = FederationTranscript()
+        shared = construct_shared_trie(estimators, transcript)
+        gs = tiny_config.effective_shared_level
+        expected_length = estimators["alpha"].prefix_length(gs)
+        assert shared.global_prefixes
+        assert all(len(p) == expected_length for p in shared.global_prefixes)
+        assert len(shared.global_prefixes) <= tiny_config.k
+
+    def test_all_parties_receive_the_same_warm_start(self, two_party_dataset, tiny_config):
+        estimators, _ = _build_estimators(two_party_dataset, tiny_config)
+        shared = construct_shared_trie(estimators, FederationTranscript())
+        assert shared.per_party_selected["alpha"] == shared.per_party_selected["beta"]
+        assert shared.per_party_selected["alpha"] == shared.global_prefixes
+
+    def test_global_prefixes_cover_dominant_items(self, two_party_dataset, tiny_config):
+        # Items 5 and 9 dominate globally; with epsilon=4 their shared-level
+        # prefixes should be among the aggregated top-k.
+        estimators, _ = _build_estimators(two_party_dataset, tiny_config, seed=1)
+        shared = construct_shared_trie(estimators, FederationTranscript())
+        gs = tiny_config.effective_shared_level
+        length = estimators["alpha"].prefix_length(gs)
+        truth_prefixes = set(
+            prefixes_of_items(np.array([5, 9]), two_party_dataset.n_bits, length)
+        )
+        assert truth_prefixes & set(shared.global_prefixes)
+
+    def test_phase1_levels_recorded_per_party(self, two_party_dataset, tiny_config):
+        estimators, _ = _build_estimators(two_party_dataset, tiny_config)
+        shared = construct_shared_trie(estimators, FederationTranscript())
+        gs = tiny_config.effective_shared_level
+        for name in ("alpha", "beta"):
+            assert len(shared.per_party_levels[name]) == gs
+            assert [lev.level for lev in shared.per_party_levels[name]] == list(
+                range(1, gs + 1)
+            )
+
+    def test_transcript_logs_uploads_and_broadcasts(self, two_party_dataset, tiny_config):
+        estimators, _ = _build_estimators(two_party_dataset, tiny_config)
+        transcript = FederationTranscript()
+        construct_shared_trie(estimators, transcript)
+        kinds = {m.kind for m in transcript.messages}
+        assert {"parameters", "shared_trie_report", "shared_prefixes"} <= kinds
+        assert transcript.upload_bits() > 0
+        assert transcript.broadcast_bits() > 0
+
+    def test_ldp_accounting_one_report_per_phase1_user(self, two_party_dataset, tiny_config):
+        estimators, accountant = _build_estimators(two_party_dataset, tiny_config)
+        construct_shared_trie(estimators, FederationTranscript())
+        assert accountant.satisfies_ldp()
+
+    def test_disabled_shared_trie_keeps_local_selections(self, two_party_dataset, tiny_config):
+        config = tiny_config.with_updates(use_shared_trie=False)
+        estimators, _ = _build_estimators(two_party_dataset, config, seed=2)
+        shared = construct_shared_trie(estimators, FederationTranscript())
+        assert shared.global_prefixes is None
+        assert set(shared.per_party_selected) == {"alpha", "beta"}
+
+    def test_empty_estimator_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            construct_shared_trie({}, FederationTranscript())

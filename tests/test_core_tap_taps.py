@@ -1,0 +1,122 @@
+"""End-to-end tests for the TAP and TAPS mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MechanismConfig
+from repro.core.tap import TAPMechanism
+from repro.core.taps import TAPSMechanism
+from repro.metrics.scores import f1_score
+
+
+@pytest.mark.parametrize("mechanism_cls", [TAPMechanism, TAPSMechanism])
+class TestMechanismContract:
+    def test_returns_k_heavy_hitters(self, two_party_dataset, tiny_config, mechanism_cls):
+        result = mechanism_cls(tiny_config).run(two_party_dataset, rng=0)
+        assert len(result.heavy_hitters) == tiny_config.k
+        assert len(set(result.heavy_hitters)) == tiny_config.k
+
+    def test_heavy_hitters_within_domain(self, two_party_dataset, tiny_config, mechanism_cls):
+        result = mechanism_cls(tiny_config).run(two_party_dataset, rng=1)
+        limit = 1 << two_party_dataset.n_bits
+        assert all(0 <= item < limit for item in result.heavy_hitters)
+
+    def test_satisfies_ldp_accounting(self, two_party_dataset, tiny_config, mechanism_cls):
+        result = mechanism_cls(tiny_config).run(two_party_dataset, rng=2)
+        assert result.accountant.satisfies_ldp()
+        # Every user reports at most once; the number of reports can never
+        # exceed the population (validation users included).
+        assert result.accountant.n_reports() <= two_party_dataset.total_users
+
+    def test_dominant_items_found_at_high_epsilon(
+        self, two_party_dataset, tiny_config, mechanism_cls
+    ):
+        config = tiny_config.with_updates(epsilon=8.0)
+        hits = 0
+        for seed in range(3):
+            result = mechanism_cls(config).run(two_party_dataset, rng=seed)
+            hits += int(5 in result.heavy_hitters) + int(9 in result.heavy_hitters)
+        assert hits >= 4, "items 5 and 9 dominate and should almost always be found"
+
+    def test_per_party_records_cover_all_levels(
+        self, two_party_dataset, tiny_config, mechanism_cls
+    ):
+        result = mechanism_cls(tiny_config).run(two_party_dataset, rng=3)
+        for record in result.party_records.values():
+            levels = [lev.level for lev in record.levels]
+            assert levels == list(range(1, tiny_config.granularity + 1))
+            assert record.local_heavy_hitters
+
+    def test_transcript_has_uploads(self, two_party_dataset, tiny_config, mechanism_cls):
+        result = mechanism_cls(tiny_config).run(two_party_dataset, rng=4)
+        assert result.upload_bits() > 0
+        assert result.communication_bits() >= result.upload_bits()
+
+    def test_deterministic_given_seed(self, two_party_dataset, tiny_config, mechanism_cls):
+        a = mechanism_cls(tiny_config).run(two_party_dataset, rng=42)
+        b = mechanism_cls(tiny_config).run(two_party_dataset, rng=42)
+        assert a.heavy_hitters == b.heavy_hitters
+
+    def test_runtime_recorded(self, two_party_dataset, tiny_config, mechanism_cls):
+        result = mechanism_cls(tiny_config).run(two_party_dataset, rng=5)
+        assert result.runtime_seconds > 0
+
+    def test_config_adapts_to_dataset_bits(self, two_party_dataset, mechanism_cls):
+        config = MechanismConfig(k=3, epsilon=4.0, n_bits=32, granularity=16)
+        result = mechanism_cls(config).run(two_party_dataset, rng=6)
+        assert result.config.n_bits == two_party_dataset.n_bits
+
+
+class TestTAPSpecific:
+    def test_kwarg_construction(self):
+        mech = TAPMechanism(k=7, epsilon=2.0, n_bits=12, granularity=6)
+        assert mech.config.k == 7
+        assert mech.name == "tap"
+
+    def test_shared_trie_disabled_still_runs(self, two_party_dataset, tiny_config):
+        config = tiny_config.with_updates(use_shared_trie=False)
+        result = TAPMechanism(config).run(two_party_dataset, rng=0)
+        assert len(result.heavy_hitters) == config.k
+
+
+class TestTAPSSpecific:
+    def test_pruning_messages_logged_for_multi_party(self, two_party_dataset, tiny_config):
+        config = tiny_config.with_updates(min_validation_users=1)
+        result = TAPSMechanism(config).run(two_party_dataset, rng=0)
+        kinds = {m.kind for m in result.transcript.messages}
+        assert "pruning_candidates" in kinds
+
+    def test_pruned_levels_recorded(self, two_party_dataset, tiny_config):
+        config = tiny_config.with_updates(min_validation_users=1)
+        result = TAPSMechanism(config).run(two_party_dataset, rng=1)
+        # The second party (smaller population) may prune at pruning levels;
+        # pruned prefixes, when present, must have been candidate prefixes.
+        for record in result.party_records.values():
+            for level in record.levels:
+                for pruned in level.pruned_prefixes:
+                    assert len(pruned) == level.prefix_length
+
+    def test_pruning_window(self):
+        assert TAPSMechanism._is_pruning_level(3, g=8, g_s=2)
+        assert TAPSMechanism._is_pruning_level(4, g=8, g_s=2)
+        assert not TAPSMechanism._is_pruning_level(5, g=8, g_s=2)
+        assert TAPSMechanism._is_pruning_level(6, g=8, g_s=2)
+        assert TAPSMechanism._is_pruning_level(8, g=8, g_s=2)
+
+    def test_single_party_dataset_runs_without_pruning(self, skewed_party):
+        from repro.datasets.base import FederatedDataset
+
+        dataset = FederatedDataset("solo", [skewed_party], n_bits=6)
+        config = MechanismConfig(k=3, epsilon=4.0, n_bits=6, granularity=3)
+        result = TAPSMechanism(config).run(dataset, rng=0)
+        assert len(result.heavy_hitters) == 3
+        kinds = {m.kind for m in result.transcript.messages}
+        assert "pruning_candidates" not in kinds
+
+    def test_high_min_validation_users_disables_pruning(
+        self, two_party_dataset, tiny_config
+    ):
+        config = tiny_config.with_updates(min_validation_users=10_000)
+        result = TAPSMechanism(config).run(two_party_dataset, rng=2)
+        for record in result.party_records.values():
+            assert all(not level.pruned_prefixes for level in record.levels)

@@ -1,0 +1,74 @@
+"""Tests for repro.encoding.binary."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.binary import BinaryEncoder
+
+
+class TestBinaryEncoder:
+    def test_encode_known_value(self):
+        assert BinaryEncoder(4).encode(5) == "0101"
+
+    def test_encode_decode_roundtrip(self):
+        enc = BinaryEncoder(8)
+        for item in [0, 1, 37, 255]:
+            assert enc.decode(enc.encode(item)) == item
+
+    def test_domain_size(self):
+        assert BinaryEncoder(10).domain_size == 1024
+
+    def test_prefix(self):
+        enc = BinaryEncoder(6)
+        assert enc.prefix(0b101100, 3) == "101"
+        assert enc.prefix(0b101100, 0) == ""
+        assert enc.prefix(0b101100, 6) == "101100"
+
+    def test_out_of_range_item_raises(self):
+        enc = BinaryEncoder(4)
+        with pytest.raises(ValueError):
+            enc.encode(16)
+        with pytest.raises(ValueError):
+            enc.encode(-1)
+
+    def test_decode_wrong_width_raises(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(4).decode("01")
+
+    def test_prefix_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(4).prefix(3, 5)
+
+    def test_encode_many_matches_encode(self):
+        enc = BinaryEncoder(5)
+        items = np.array([0, 7, 31])
+        assert enc.encode_many(items) == [enc.encode(i) for i in items]
+
+    def test_prefix_ids_match_string_prefixes(self):
+        enc = BinaryEncoder(8)
+        items = np.array([3, 200, 129])
+        ids = enc.prefix_ids(items, 3)
+        strings = [enc.prefix(i, 3) for i in items]
+        assert [enc.prefix_id_to_string(int(pid), 3) for pid in ids] == strings
+
+    def test_prefix_id_to_string_zero_length(self):
+        assert BinaryEncoder(4).prefix_id_to_string(0, 0) == ""
+
+    def test_prefix_id_to_string_overflow_raises(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(8).prefix_id_to_string(8, 3)
+
+    def test_invalid_widths_raise(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(0)
+        with pytest.raises(ValueError):
+            BinaryEncoder(64)
+
+    def test_equality_and_hash(self):
+        assert BinaryEncoder(5) == BinaryEncoder(5)
+        assert BinaryEncoder(5) != BinaryEncoder(6)
+        assert hash(BinaryEncoder(5)) == hash(BinaryEncoder(5))
+
+    def test_encode_many_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            BinaryEncoder(3).encode_many(np.array([9]))

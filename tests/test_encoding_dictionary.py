@@ -1,0 +1,61 @@
+"""Tests for repro.encoding.dictionary."""
+
+import pytest
+
+from repro.encoding.dictionary import ItemDictionary
+
+
+class TestItemDictionary:
+    def test_ids_assigned_in_first_seen_order(self):
+        vocab = ItemDictionary(["apple", "pear", "plum"])
+        assert vocab.id_of("apple") == 0
+        assert vocab.id_of("pear") == 1
+        assert vocab.id_of("plum") == 2
+
+    def test_add_is_idempotent(self):
+        vocab = ItemDictionary()
+        first = vocab.add("word")
+        second = vocab.add("word")
+        assert first == second == 0
+        assert len(vocab) == 1
+
+    def test_item_of_roundtrip(self):
+        vocab = ItemDictionary(["a", "b"])
+        assert vocab.item_of(vocab.id_of("b")) == "b"
+
+    def test_items_of_vectorised(self):
+        vocab = ItemDictionary(["a", "b", "c"])
+        assert vocab.items_of([2, 0]) == ["c", "a"]
+
+    def test_contains_and_iter(self):
+        vocab = ItemDictionary(["x", "y"])
+        assert "x" in vocab
+        assert "z" not in vocab
+        assert list(vocab) == ["x", "y"]
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(KeyError):
+            ItemDictionary(["a"]).id_of("b")
+
+    def test_out_of_range_id_raises(self):
+        with pytest.raises(IndexError):
+            ItemDictionary(["a"]).item_of(5)
+
+    def test_min_bits(self):
+        assert ItemDictionary().min_bits() == 1
+        assert ItemDictionary(["a"]).min_bits() == 1
+        assert ItemDictionary([str(i) for i in range(5)]).min_bits() == 3
+        assert ItemDictionary([str(i) for i in range(256)]).min_bits() == 8
+
+    def test_encoder_defaults_to_min_bits(self):
+        vocab = ItemDictionary([str(i) for i in range(10)])
+        assert vocab.encoder().n_bits == 4
+
+    def test_encoder_rejects_too_narrow_width(self):
+        vocab = ItemDictionary([str(i) for i in range(10)])
+        with pytest.raises(ValueError):
+            vocab.encoder(n_bits=3)
+
+    def test_encoder_accepts_wider_width(self):
+        vocab = ItemDictionary(["a", "b"])
+        assert vocab.encoder(n_bits=16).n_bits == 16

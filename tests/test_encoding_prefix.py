@@ -1,0 +1,106 @@
+"""Tests for repro.encoding.prefix."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.prefix import (
+    extend_prefixes,
+    is_prefix_of,
+    level_lengths,
+    prefix_of,
+    prefixes_of_items,
+    validate_prefix,
+)
+
+
+class TestValidatePrefix:
+    def test_accepts_bit_strings(self):
+        assert validate_prefix("0101") == "0101"
+        assert validate_prefix("") == ""
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            validate_prefix("01x")
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(TypeError):
+            validate_prefix(101)
+
+
+class TestPrefixOf:
+    def test_basic(self):
+        assert prefix_of("110011", 3) == "110"
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_of("10", 3)
+
+
+class TestIsPrefixOf:
+    def test_true_and_false(self):
+        assert is_prefix_of("10", "1011")
+        assert not is_prefix_of("11", "1011")
+        assert is_prefix_of("", "1011")
+
+
+class TestExtendPrefixes:
+    def test_extends_with_all_suffixes(self):
+        assert extend_prefixes(["0"], 1) == ["00", "01"]
+        assert extend_prefixes(["10", "11"], 2) == [
+            "1000", "1001", "1010", "1011",
+            "1100", "1101", "1110", "1111",
+        ]
+
+    def test_zero_extra_bits_is_identity(self):
+        assert extend_prefixes(["01", "10"], 0) == ["01", "10"]
+
+    def test_count_grows_exponentially(self):
+        result = extend_prefixes(["0", "1"], 3)
+        assert len(result) == 2 * 2**3
+
+    def test_negative_extra_bits_raise(self):
+        with pytest.raises(ValueError):
+            extend_prefixes(["0"], -1)
+
+
+class TestLevelLengths:
+    def test_paper_schedule(self):
+        # m = 48, g = 24 gives step size 2 at every level (the paper default).
+        lengths = level_lengths(48, 24)
+        assert lengths[0] == 2
+        assert lengths[-1] == 48
+        assert all(b - a == 2 for a, b in zip(lengths, lengths[1:]))
+
+    def test_last_level_is_full_width(self):
+        for m, g in [(16, 8), (13, 6), (10, 3)]:
+            assert level_lengths(m, g)[-1] == m
+
+    def test_lengths_are_non_decreasing(self):
+        lengths = level_lengths(13, 6)
+        assert all(b >= a for a, b in zip(lengths, lengths[1:]))
+
+    def test_granularity_larger_than_bits_raises(self):
+        with pytest.raises(ValueError):
+            level_lengths(4, 5)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            level_lengths(0, 1)
+        with pytest.raises(ValueError):
+            level_lengths(8, 0)
+
+
+class TestPrefixesOfItems:
+    def test_matches_manual_encoding(self):
+        items = np.array([5, 12])
+        assert prefixes_of_items(items, 4, 2) == ["01", "11"]
+
+    def test_zero_length(self):
+        assert prefixes_of_items(np.array([1, 2]), 4, 0) == ["", ""]
+
+    def test_full_length(self):
+        assert prefixes_of_items(np.array([5]), 4, 4) == ["0101"]
+
+    def test_out_of_range_items_raise(self):
+        with pytest.raises(ValueError):
+            prefixes_of_items(np.array([16]), 4, 2)

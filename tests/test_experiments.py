@@ -1,0 +1,183 @@
+"""Tests for the experiment harness (runner, figures, tables, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+from repro.experiments.reporting import (
+    format_series,
+    records_to_table,
+    render_records,
+    series_by_epsilon,
+)
+from repro.experiments.runner import (
+    ExperimentSettings,
+    MECHANISM_REGISTRY,
+    build_mechanism,
+    evaluate_run,
+    make_config,
+    run_sweep,
+)
+from repro.experiments.tables import table2, table3, table4, table5, table6, table7, table8
+
+
+@pytest.fixture(scope="module")
+def smoke_settings() -> ExperimentSettings:
+    return ExperimentSettings().smoke()
+
+
+class TestSettings:
+    def test_smoke_is_reduced(self):
+        smoke = ExperimentSettings().smoke()
+        assert smoke.scale == "tiny"
+        assert smoke.repetitions == 1
+        assert len(smoke.datasets) == 1
+
+    def test_registry_contains_all_mechanisms(self):
+        assert set(MECHANISM_REGISTRY) == {"gtf", "fedpem", "tap", "taps"}
+
+    def test_build_mechanism_unknown_raises(self, smoke_settings, tiny_rdb):
+        config = make_config(smoke_settings, tiny_rdb, k=5, epsilon=1.0)
+        with pytest.raises(KeyError):
+            build_mechanism("bogus", config)
+
+
+class TestRunSweep:
+    def test_record_schema(self, smoke_settings):
+        sweep = run_sweep(smoke_settings, mechanisms=("fedpem",))
+        assert sweep.records, "sweep must produce at least one record"
+        record = sweep.records[0]
+        for key in ("dataset", "mechanism", "epsilon", "k", "f1", "ncr",
+                    "recall_local_avg", "communication_bits", "runtime_seconds"):
+            assert key in record
+        assert 0.0 <= record["f1"] <= 1.0
+        assert 0.0 <= record["ncr"] <= 1.0
+
+    def test_grid_size(self, smoke_settings):
+        sweep = run_sweep(
+            smoke_settings,
+            mechanisms=("fedpem", "taps"),
+            epsilons=(2.0, 4.0),
+            ks=(5,),
+        )
+        assert len(sweep.records) == 2 * 2 * 1 * smoke_settings.repetitions
+
+    def test_filter_and_mean(self, smoke_settings):
+        sweep = run_sweep(smoke_settings, mechanisms=("fedpem", "taps"))
+        fed = sweep.filter(mechanism="fedpem")
+        assert fed and all(r["mechanism"] == "fedpem" for r in fed)
+        assert 0.0 <= sweep.mean_metric("f1", mechanism="taps") <= 1.0
+        assert np.isnan(sweep.mean_metric("f1", mechanism="absent"))
+
+    def test_evaluate_run_consistency(self, smoke_settings, tiny_rdb):
+        config = make_config(smoke_settings, tiny_rdb, k=5, epsilon=4.0)
+        result = build_mechanism("taps", config).run(tiny_rdb, rng=0)
+        metrics = evaluate_run(result, tiny_rdb, 5)
+        assert set(metrics) == {
+            "f1", "ncr", "recall_local_avg", "communication_bits", "runtime_seconds",
+        }
+
+
+class TestReporting:
+    RECORDS = [
+        {"mechanism": "a", "epsilon": 1.0, "f1": 0.2},
+        {"mechanism": "a", "epsilon": 2.0, "f1": 0.4},
+        {"mechanism": "b", "epsilon": 1.0, "f1": 0.3},
+        {"mechanism": "b", "epsilon": 2.0, "f1": 0.5},
+        {"mechanism": "b", "epsilon": 2.0, "f1": 0.7},
+    ]
+
+    def test_records_to_table_pivots_and_averages(self):
+        table = records_to_table(
+            self.RECORDS, rows="mechanism", columns="epsilon", value="f1"
+        )
+        rendered = table.render()
+        assert "0.6000" in rendered  # mean of 0.5 and 0.7
+        assert table.n_rows == 2
+
+    def test_records_to_table_max_aggregate(self):
+        table = records_to_table(
+            self.RECORDS, rows="mechanism", columns="epsilon", value="f1", aggregate="max"
+        )
+        assert "0.7000" in table.render()
+
+    def test_records_to_table_missing_cells(self):
+        records = [{"mechanism": "a", "epsilon": 1.0, "f1": 0.5}]
+        table = records_to_table(records, rows="mechanism", columns="epsilon", value="f1")
+        assert table.n_rows == 1
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(ValueError):
+            records_to_table(self.RECORDS, rows="mechanism", columns="epsilon",
+                             value="f1", aggregate="median")
+
+    def test_render_records_shortcut(self):
+        text = render_records(
+            self.RECORDS, rows="mechanism", columns="epsilon", value="f1", title="T"
+        )
+        assert text.startswith("T")
+
+    def test_series_by_epsilon(self):
+        series = series_by_epsilon(self.RECORDS)
+        assert series["b"][2.0] == pytest.approx(0.6)
+        text = format_series(series, title="panel")
+        assert "eps=1" in text and "panel" in text
+
+
+class TestFigures:
+    def test_figure4_panels_and_text(self, smoke_settings):
+        result = figure4(smoke_settings)
+        assert result.records
+        panel = result.panel("rdb", smoke_settings.ks[0])
+        assert set(panel) == {"gtf", "fedpem", "taps"}
+        assert "Figure 4" in result.text
+
+    def test_figure5_uses_ncr(self, smoke_settings):
+        result = figure5(smoke_settings)
+        assert all("ncr" in rec for rec in result.records)
+
+    def test_figure6_covers_both_oracles(self, smoke_settings):
+        result = figure6(smoke_settings)
+        oracles = {rec["oracle"] for rec in result.records}
+        assert oracles == {"oue", "olh"}
+
+    def test_figure7_compares_tap_and_taps(self, smoke_settings):
+        result = figure7(smoke_settings)
+        mechanisms = {rec["mechanism"] for rec in result.records}
+        assert mechanisms == {"tap", "taps"}
+
+
+class TestTables:
+    def test_table2_lists_all_datasets(self, smoke_settings):
+        result = table2(smoke_settings)
+        assert result.table.n_rows == 5
+        assert "RDB" in result.text
+
+    def test_table3_step_sizes(self, smoke_settings):
+        result = table3(smoke_settings, step_sizes=(2, 4))
+        steps = {rec["step_size"] for rec in result.records}
+        assert steps == {2, 4}
+
+    def test_table4_scalability_columns(self, smoke_settings):
+        result = table4(smoke_settings, user_fractions=(0.5, 1.0))
+        fractions = {rec["user_fraction"] for rec in result.records}
+        assert fractions == {0.5, 1.0}
+        assert all(rec["oue_communication_bits"] > rec["communication_bits"]
+                   for rec in result.records)
+
+    def test_table5_variants(self, smoke_settings):
+        result = table5(smoke_settings)
+        variants = {rec["variant"] for rec in result.records}
+        assert variants == {"t=k/2", "t=k", "t=2k", "t=3k", "adaptive"}
+
+    def test_table6_ablation_flags(self, smoke_settings):
+        result = table6(smoke_settings)
+        assert {rec["shared_trie"] for rec in result.records} == {True, False}
+
+    def test_table7_recall_and_improvement(self, smoke_settings):
+        result = table7(smoke_settings)
+        assert all(0.0 <= rec["recall_taps"] <= 1.0 for rec in result.records)
+
+    def test_table8_betas(self, smoke_settings):
+        result = table8(smoke_settings, betas=(0.2, 0.8))
+        assert {rec["beta"] for rec in result.records} == {0.2, 0.8}

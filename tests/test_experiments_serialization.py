@@ -1,0 +1,90 @@
+"""Tests for experiment-result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import MechanismConfig
+from repro.core.taps import TAPSMechanism
+from repro.experiments.runner import ExperimentSettings, SweepResult, run_sweep
+from repro.experiments.serialization import (
+    load_sweep,
+    records_from_json,
+    records_to_json,
+    save_result,
+    save_sweep,
+    summarize_result,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep() -> SweepResult:
+    return run_sweep(ExperimentSettings().smoke(), mechanisms=("fedpem",))
+
+
+class TestRecordsRoundtrip:
+    def test_roundtrip_preserves_records(self, small_sweep, tmp_path):
+        path = records_to_json(small_sweep.records, tmp_path / "records.json")
+        loaded = records_from_json(path)
+        assert len(loaded) == len(small_sweep.records)
+        assert loaded[0]["mechanism"] == small_sweep.records[0]["mechanism"]
+        assert loaded[0]["f1"] == pytest.approx(small_sweep.records[0]["f1"])
+
+    def test_numpy_values_are_converted(self, tmp_path):
+        records = [{"value": np.float64(0.5), "count": np.int64(3), "arr": np.array([1, 2])}]
+        path = records_to_json(records, tmp_path / "np.json")
+        loaded = records_from_json(path)
+        assert loaded[0]["value"] == 0.5
+        assert loaded[0]["count"] == 3
+        assert loaded[0]["arr"] == [1, 2]
+
+    def test_non_array_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ValueError):
+            records_from_json(path)
+
+
+class TestSweepRoundtrip:
+    def test_save_and_load_sweep(self, small_sweep, tmp_path):
+        path = save_sweep(small_sweep, tmp_path / "sweep.json")
+        loaded = load_sweep(path)
+        assert loaded.settings.scale == small_sweep.settings.scale
+        assert loaded.settings.datasets == small_sweep.settings.datasets
+        assert len(loaded.records) == len(small_sweep.records)
+        assert loaded.mean_metric("f1") == pytest.approx(small_sweep.mean_metric("f1"))
+
+    def test_unknown_settings_fields_ignored(self, small_sweep, tmp_path):
+        path = save_sweep(small_sweep, tmp_path / "sweep.json")
+        payload = json.loads(path.read_text())
+        payload["settings"]["future_field"] = 42
+        path.write_text(json.dumps(payload))
+        loaded = load_sweep(path)
+        assert loaded.settings.scale == small_sweep.settings.scale
+
+
+class TestResultSummary:
+    @pytest.fixture(scope="class")
+    def run_result(self, tiny_rdb):
+        config = MechanismConfig(
+            k=5, epsilon=4.0, n_bits=tiny_rdb.n_bits, granularity=4
+        )
+        return TAPSMechanism(config).run(tiny_rdb, rng=0)
+
+    def test_summary_fields(self, run_result):
+        summary = summarize_result(run_result)
+        assert summary["mechanism"] == "taps"
+        assert summary["k"] == 5
+        assert len(summary["heavy_hitters"]) == 5
+        assert summary["satisfies_ldp"] is True
+        assert summary["upload_bits"] > 0
+
+    def test_summary_is_json_serialisable(self, run_result):
+        json.dumps(summarize_result(run_result))
+
+    def test_save_result_writes_file(self, run_result, tmp_path):
+        path = save_result(run_result, tmp_path / "out" / "result.json")
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["mechanism"] == "taps"

@@ -1,0 +1,143 @@
+"""Tests for the federation substrate: parties, grouping and transcripts."""
+
+import numpy as np
+import pytest
+
+from repro.federation.grouping import split_into_groups, split_off_fraction
+from repro.federation.messages import Message, MessageDirection
+from repro.federation.party import Party
+from repro.federation.transcript import FederationTranscript
+
+
+class TestParty:
+    def test_basic_statistics(self):
+        party = Party("p", np.array([1, 1, 2, 3, 3, 3]))
+        assert party.n_users == 6
+        assert party.item_counts() == {1: 2, 2: 1, 3: 3}
+        assert party.local_top_k(2) == [3, 1]
+        assert party.local_frequencies()[3] == pytest.approx(0.5)
+
+    def test_unique_items_sorted(self):
+        party = Party("p", np.array([5, 1, 5, 2]))
+        np.testing.assert_array_equal(party.unique_items(), [1, 2, 5])
+
+    def test_empty_party_rejected(self):
+        with pytest.raises(ValueError):
+            Party("p", np.array([], dtype=int))
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError):
+            Party("p", np.array([-1, 2]))
+
+    def test_subsample_size_and_metadata(self):
+        party = Party("p", np.arange(100))
+        sub = party.subsample(0.25, rng=0)
+        assert sub.n_users == 25
+        assert sub.metadata["subsampled_fraction"] == 0.25
+        assert set(sub.items) <= set(party.items)
+
+    def test_subsample_invalid_fraction(self):
+        party = Party("p", np.arange(10))
+        with pytest.raises(ValueError):
+            party.subsample(0.0)
+        with pytest.raises(ValueError):
+            party.subsample(1.5)
+
+
+class TestGrouping:
+    def test_groups_partition_all_users(self):
+        groups = split_into_groups(103, 8, rng=0)
+        assert len(groups) == 8
+        combined = np.sort(np.concatenate(groups))
+        np.testing.assert_array_equal(combined, np.arange(103))
+
+    def test_group_sizes_balanced(self):
+        groups = split_into_groups(100, 7, rng=1)
+        sizes = [g.size for g in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_users(self):
+        groups = split_into_groups(0, 3, rng=0)
+        assert all(g.size == 0 for g in groups)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            split_into_groups(-1, 2)
+        with pytest.raises(ValueError):
+            split_into_groups(10, 0)
+
+    def test_split_off_fraction_sizes(self):
+        group = np.arange(200)
+        splits, remainder = split_off_fraction(group, 0.1, 2, rng=0)
+        assert all(s.size == 20 for s in splits)
+        assert remainder.size == 160
+        combined = np.sort(np.concatenate(splits + [remainder]))
+        np.testing.assert_array_equal(combined, group)
+
+    def test_split_off_fraction_disjoint(self):
+        splits, remainder = split_off_fraction(np.arange(50), 0.2, 2, rng=3)
+        all_sets = [set(s.tolist()) for s in splits] + [set(remainder.tolist())]
+        for i in range(len(all_sets)):
+            for j in range(i + 1, len(all_sets)):
+                assert not (all_sets[i] & all_sets[j])
+
+    def test_split_off_fraction_tiny_group_keeps_remainder(self):
+        splits, remainder = split_off_fraction(np.arange(3), 0.4, 2, rng=0)
+        assert remainder.size >= 1
+
+    def test_split_off_zero_splits(self):
+        splits, remainder = split_off_fraction(np.arange(10), 0.1, 0, rng=0)
+        assert splits == []
+        assert remainder.size == 10
+
+    def test_split_off_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_off_fraction(np.arange(10), 1.0, 1)
+
+
+class TestTranscript:
+    def test_upload_and_broadcast_accounting(self):
+        transcript = FederationTranscript(pair_bits=64)
+        transcript.log_upload("a", "report", 10, level=3)
+        transcript.log_broadcast("a", "prefixes", 5, level=3)
+        assert transcript.upload_bits() == 640
+        assert transcript.broadcast_bits() == 320
+        assert transcript.total_bits() == 960
+        assert transcript.n_messages() == 2
+
+    def test_bits_override(self):
+        transcript = FederationTranscript()
+        transcript.log_upload("a", "raw", 0, bits_override=12345)
+        assert transcript.upload_bits() == 12345
+
+    def test_bits_by_party_and_kind(self):
+        transcript = FederationTranscript(pair_bits=10)
+        transcript.log_upload("a", "x", 1)
+        transcript.log_upload("b", "x", 2)
+        transcript.log_broadcast("a", "y", 3)
+        assert transcript.bits_by_party() == {"a": 40, "b": 20}
+        assert transcript.bits_by_kind() == {"x": 30, "y": 30}
+
+    def test_messages_of_kind(self):
+        transcript = FederationTranscript()
+        transcript.log_upload("a", "x", 1)
+        transcript.log_upload("a", "y", 1)
+        assert len(transcript.messages_of_kind("x")) == 1
+
+    def test_extend_with_other_transcript(self):
+        a = FederationTranscript()
+        b = FederationTranscript()
+        a.log_upload("a", "x", 1)
+        b.log_upload("b", "x", 2)
+        a.extend(b)
+        assert a.n_messages() == 2
+
+    def test_message_dataclass(self):
+        msg = Message(
+            direction=MessageDirection.PARTY_TO_SERVER,
+            party="a",
+            kind="x",
+            payload_bits=8,
+        )
+        assert msg.level is None
+        assert msg.direction is MessageDirection.PARTY_TO_SERVER

@@ -1,0 +1,106 @@
+"""Cross-module integration tests on the generated evaluation datasets."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FedPEMMechanism,
+    GTFMechanism,
+    MechanismConfig,
+    TAPMechanism,
+    TAPSMechanism,
+    f1_score,
+    load_dataset,
+    ncr_score,
+)
+from repro.metrics.scores import average_local_recall
+
+
+MECHANISMS = [GTFMechanism, FedPEMMechanism, TAPMechanism, TAPSMechanism]
+
+
+@pytest.fixture(scope="module")
+def rdb_small():
+    """A mid-sized RDB instance shared by the integration tests."""
+    return load_dataset("rdb", scale="tiny", seed=5)
+
+
+class TestEndToEndOnGeneratedData:
+    @pytest.mark.parametrize("mechanism_cls", MECHANISMS)
+    def test_full_pipeline_produces_valid_output(self, rdb_small, mechanism_cls):
+        config = MechanismConfig(
+            k=10, epsilon=4.0, n_bits=rdb_small.n_bits, granularity=6
+        )
+        result = mechanism_cls(config).run(rdb_small, rng=0)
+        truth = rdb_small.true_top_k(10)
+        assert len(result.heavy_hitters) == 10
+        assert 0.0 <= f1_score(result.heavy_hitters, truth) <= 1.0
+        assert 0.0 <= ncr_score(result.heavy_hitters, truth) <= 1.0
+        assert result.accountant.satisfies_ldp()
+
+    @pytest.mark.parametrize("oracle", ["krr", "oue", "olh"])
+    def test_all_oracles_complete(self, rdb_small, oracle):
+        config = MechanismConfig(
+            k=5, epsilon=4.0, n_bits=rdb_small.n_bits, granularity=4, oracle=oracle
+        )
+        result = TAPSMechanism(config).run(rdb_small, rng=1)
+        assert len(result.heavy_hitters) == 5
+
+    def test_per_user_and_aggregate_modes_both_work(self, rdb_small):
+        for mode in ("aggregate", "per_user"):
+            config = MechanismConfig(
+                k=5,
+                epsilon=4.0,
+                n_bits=rdb_small.n_bits,
+                granularity=4,
+                simulation_mode=mode,
+            )
+            result = TAPMechanism(config).run(rdb_small, rng=2)
+            assert len(result.heavy_hitters) == 5
+
+    def test_utility_improves_with_more_privacy_budget(self):
+        # Statistical smoke test of the Figure 4/5 trend: ε = 8 should do at
+        # least as well as ε = 0.5 on average (very loose, tiny data).
+        dataset = load_dataset("uba", scale="tiny", seed=9)
+        truth = dataset.true_top_k(10)
+        def mean_f1(eps):
+            scores = []
+            for seed in range(3):
+                config = MechanismConfig(
+                    k=10, epsilon=eps, n_bits=dataset.n_bits, granularity=6
+                )
+                result = TAPSMechanism(config).run(dataset, rng=seed)
+                scores.append(f1_score(result.heavy_hitters, truth))
+            return float(np.mean(scores))
+
+        assert mean_f1(8.0) >= mean_f1(0.5)
+
+    def test_local_recall_metric_computable_from_result(self, rdb_small):
+        config = MechanismConfig(
+            k=10, epsilon=4.0, n_bits=rdb_small.n_bits, granularity=6
+        )
+        result = TAPSMechanism(config).run(rdb_small, rng=3)
+        truth = rdb_small.true_top_k(10)
+        local = {
+            name: record.local_top_items(10)
+            for name, record in result.party_records.items()
+        }
+        assert 0.0 <= average_local_recall(local, truth) <= 1.0
+
+    def test_communication_far_below_direct_upload(self, rdb_small):
+        from repro.baselines.direct import DirectUploadCostModel
+
+        config = MechanismConfig(
+            k=10, epsilon=4.0, n_bits=rdb_small.n_bits, granularity=6
+        )
+        result = TAPSMechanism(config).run(rdb_small, rng=4)
+        oue = DirectUploadCostModel("oue", 4.0).costs_for_dataset(rdb_small)
+        assert result.upload_bits() < oue.communication_bits / 100
+
+    def test_subsampled_dataset_runs(self, rdb_small):
+        subset = rdb_small.subsample_users(0.5, rng=0)
+        config = MechanismConfig(
+            k=5, epsilon=4.0, n_bits=subset.n_bits, granularity=4
+        )
+        result = FedPEMMechanism(config).run(subset, rng=5)
+        assert len(result.heavy_hitters) == 5

@@ -1,0 +1,100 @@
+"""Tests for the FO base class, privacy accountant and oracle registry."""
+
+import numpy as np
+import pytest
+
+from repro.ldp.base import EstimationResult
+from repro.ldp.budget import PrivacyAccountant
+from repro.ldp.krr import KRandomizedResponse
+from repro.ldp.registry import available_oracles, make_oracle
+
+
+class TestEstimationResult:
+    def _result(self, counts):
+        counts = np.asarray(counts, dtype=float)
+        return EstimationResult(
+            support_counts=counts.astype(int),
+            estimated_counts=counts,
+            estimated_frequencies=counts / max(counts.sum(), 1),
+            n_users=int(counts.sum()),
+            domain_size=counts.size,
+            oracle_name="krr",
+            epsilon=1.0,
+        )
+
+    def test_top_indices_sorted_by_count(self):
+        result = self._result([5, 30, 10, 20])
+        np.testing.assert_array_equal(result.top_indices(2), [1, 3])
+
+    def test_top_indices_with_k_larger_than_domain(self):
+        result = self._result([1, 2])
+        assert result.top_indices(10).size == 2
+
+    def test_top_indices_zero_k(self):
+        assert self._result([1, 2]).top_indices(0).size == 0
+
+
+class TestRunValidation:
+    def test_invalid_domain_size(self):
+        with pytest.raises(ValueError):
+            KRandomizedResponse(1.0).run(np.array([0]), 0, rng=0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            KRandomizedResponse(1.0).run(np.array([0]), 2, rng=0, mode="bogus")
+
+    def test_empty_values_produce_zero_estimates(self):
+        result = KRandomizedResponse(1.0).run(np.array([], dtype=int), 4, rng=0)
+        assert result.n_users == 0
+        np.testing.assert_array_equal(result.estimated_counts, np.zeros(4))
+
+
+class TestPrivacyAccountant:
+    def test_single_report_per_user_satisfies_ldp(self):
+        acct = PrivacyAccountant(epsilon=2.0)
+        acct.record([0, 1, 2], party="a", level=1, epsilon=2.0, oracle="krr", domain_size=4)
+        assert acct.satisfies_ldp()
+        assert acct.n_reports() == 3
+        assert acct.max_spent() == pytest.approx(2.0)
+
+    def test_double_report_violates_ldp(self):
+        acct = PrivacyAccountant(epsilon=2.0)
+        acct.record([0], party="a", level=1, epsilon=2.0, oracle="krr", domain_size=4)
+        acct.record([0], party="a", level=2, epsilon=2.0, oracle="krr", domain_size=4)
+        assert not acct.satisfies_ldp()
+        assert acct.users_reporting_more_than_once() == [("a", 0)]
+
+    def test_same_user_id_in_different_parties_is_fine(self):
+        acct = PrivacyAccountant(epsilon=1.0)
+        acct.record([0], party="a", level=1, epsilon=1.0, oracle="krr", domain_size=4)
+        acct.record([0], party="b", level=1, epsilon=1.0, oracle="krr", domain_size=4)
+        assert acct.satisfies_ldp()
+
+    def test_overspending_detected(self):
+        acct = PrivacyAccountant(epsilon=1.0)
+        acct.record([7], party="a", level=1, epsilon=1.5, oracle="krr", domain_size=4)
+        assert not acct.satisfies_ldp()
+
+    def test_spent_for_unknown_user_is_zero(self):
+        assert PrivacyAccountant(epsilon=1.0).spent("a", 3) == 0.0
+
+    def test_max_spent_empty(self):
+        assert PrivacyAccountant(epsilon=1.0).max_spent() == 0.0
+
+
+class TestRegistry:
+    def test_available_oracles(self):
+        assert {"krr", "oue", "olh", "sue"} <= set(available_oracles())
+
+    def test_make_oracle_by_name(self):
+        for name in available_oracles():
+            oracle = make_oracle(name, 2.0)
+            assert oracle.name == name
+            assert oracle.epsilon == 2.0
+
+    def test_make_oracle_case_insensitive(self):
+        assert make_oracle("KRR", 1.0).name == "krr"
+
+    def test_unknown_oracle_raises(self):
+        with pytest.raises(KeyError):
+            make_oracle("nope", 1.0)

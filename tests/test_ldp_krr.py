@@ -1,0 +1,97 @@
+"""Tests for the k-RR frequency oracle."""
+
+import numpy as np
+import pytest
+
+from repro.ldp.krr import KRandomizedResponse
+
+
+class TestSupportProbabilities:
+    def test_probabilities_sum_over_domain(self):
+        # p + (d-1)q must equal 1: a k-RR report names exactly one value.
+        oracle = KRandomizedResponse(epsilon=2.0)
+        d = 16
+        p, q = oracle.support_probabilities(d)
+        assert p + (d - 1) * q == pytest.approx(1.0)
+
+    def test_ldp_ratio_bounded_by_e_eps(self):
+        for eps in (0.5, 1.0, 4.0):
+            oracle = KRandomizedResponse(epsilon=eps)
+            p, q = oracle.support_probabilities(32)
+            assert p / q == pytest.approx(np.exp(eps))
+
+    def test_degenerate_domain(self):
+        p, q = KRandomizedResponse(1.0).support_probabilities(1)
+        assert p == 1.0 and q == 0.0
+
+
+class TestPerturb:
+    def test_reports_stay_in_domain(self):
+        oracle = KRandomizedResponse(epsilon=1.0)
+        values = np.random.default_rng(0).integers(0, 8, size=500)
+        reports = oracle.perturb(values, 8, rng=1)
+        assert reports.min() >= 0 and reports.max() < 8
+
+    def test_high_epsilon_keeps_most_values(self):
+        oracle = KRandomizedResponse(epsilon=10.0)
+        values = np.full(1000, 3)
+        reports = oracle.perturb(values, 16, rng=0)
+        assert np.mean(reports == 3) > 0.95
+
+    def test_empty_input(self):
+        oracle = KRandomizedResponse(epsilon=1.0)
+        reports = oracle.perturb(np.array([], dtype=np.int64), 8, rng=0)
+        assert reports.size == 0
+
+
+class TestEstimation:
+    def test_estimates_are_nearly_unbiased(self):
+        oracle = KRandomizedResponse(epsilon=3.0)
+        rng = np.random.default_rng(5)
+        n, d = 20_000, 10
+        true_freqs = np.array([0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.04, 0.03, 0.02, 0.01])
+        values = rng.choice(d, size=n, p=true_freqs)
+        result = oracle.run(values, d, rng=7, mode="per_user")
+        np.testing.assert_allclose(
+            result.estimated_frequencies, true_freqs, atol=0.03
+        )
+
+    def test_aggregate_mode_matches_per_user_in_expectation(self):
+        oracle = KRandomizedResponse(epsilon=2.0)
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 6, size=10_000)
+        per_user = oracle.run(values, 6, rng=1, mode="per_user")
+        aggregate = oracle.run(values, 6, rng=2, mode="aggregate")
+        np.testing.assert_allclose(
+            per_user.estimated_frequencies,
+            aggregate.estimated_frequencies,
+            atol=0.05,
+        )
+
+    def test_sample_support_counts_preserves_total(self):
+        # k-RR reports partition the users, so supports must sum to n.
+        oracle = KRandomizedResponse(epsilon=1.0)
+        true_counts = np.array([100, 50, 0, 25])
+        supports = oracle.sample_support_counts(true_counts, rng=3)
+        assert supports.sum() == true_counts.sum()
+
+    def test_variance_formula(self):
+        oracle = KRandomizedResponse(epsilon=2.0)
+        d, n = 20, 1000
+        e_eps = np.exp(2.0)
+        expected = (d - 2 + e_eps) / ((e_eps - 1) ** 2 * n)
+        assert oracle.variance(n, d) == pytest.approx(expected)
+
+    def test_variance_infinite_without_users(self):
+        assert KRandomizedResponse(1.0).variance(0, 10) == float("inf")
+
+
+class TestValidation:
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            KRandomizedResponse(epsilon=-1.0)
+
+    def test_values_outside_domain_rejected(self):
+        oracle = KRandomizedResponse(epsilon=1.0)
+        with pytest.raises(ValueError):
+            oracle.run(np.array([9]), 8, rng=0)

@@ -1,0 +1,89 @@
+"""Tests for the OLH frequency oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ldp.olh import OptimizedLocalHashing, _universal_hash
+
+
+class TestHashDomain:
+    def test_hash_domain_size_formula(self):
+        assert OptimizedLocalHashing(1.0).hash_domain_size() == math.ceil(math.e + 1)
+        assert OptimizedLocalHashing(2.0).hash_domain_size() == math.ceil(
+            math.exp(2.0) + 1
+        )
+
+    def test_hash_domain_at_least_two(self):
+        assert OptimizedLocalHashing(0.01).hash_domain_size() >= 2
+
+
+class TestUniversalHash:
+    def test_outputs_within_buckets(self):
+        seeds = np.arange(100, dtype=np.int64)
+        values = np.full(100, 7, dtype=np.int64)
+        hashed = _universal_hash(seeds, values, 8)
+        assert hashed.min() >= 0 and hashed.max() < 8
+
+    def test_deterministic_per_seed(self):
+        seeds = np.array([5, 5], dtype=np.int64)
+        values = np.array([3, 3], dtype=np.int64)
+        hashed = _universal_hash(seeds, values, 16)
+        assert hashed[0] == hashed[1]
+
+    def test_roughly_uniform_over_buckets(self):
+        seeds = np.arange(20_000, dtype=np.int64)
+        values = np.full(20_000, 42, dtype=np.int64)
+        hashed = _universal_hash(seeds, values, 4)
+        counts = np.bincount(hashed, minlength=4) / 20_000
+        np.testing.assert_allclose(counts, 0.25, atol=0.02)
+
+
+class TestSupportProbabilities:
+    def test_q_is_inverse_hash_domain(self):
+        oracle = OptimizedLocalHashing(2.0)
+        _, q = oracle.support_probabilities(100)
+        assert q == pytest.approx(1.0 / oracle.hash_domain_size())
+
+    def test_p_exceeds_q(self):
+        oracle = OptimizedLocalHashing(1.0)
+        p, q = oracle.support_probabilities(100)
+        assert p > q
+
+
+class TestEstimation:
+    def test_estimates_are_nearly_unbiased(self):
+        oracle = OptimizedLocalHashing(epsilon=3.0)
+        rng = np.random.default_rng(2)
+        true_freqs = np.array([0.5, 0.3, 0.2])
+        values = rng.choice(3, size=15_000, p=true_freqs)
+        result = oracle.run(values, 3, rng=8, mode="per_user")
+        np.testing.assert_allclose(result.estimated_frequencies, true_freqs, atol=0.04)
+
+    def test_aggregate_mode_agrees_with_per_user(self):
+        oracle = OptimizedLocalHashing(epsilon=2.0)
+        values = np.random.default_rng(4).integers(0, 4, size=6000)
+        a = oracle.run(values, 4, rng=5, mode="aggregate")
+        b = oracle.run(values, 4, rng=6, mode="per_user")
+        np.testing.assert_allclose(
+            a.estimated_frequencies, b.estimated_frequencies, atol=0.06
+        )
+
+    def test_variance_matches_oue(self):
+        from repro.ldp.oue import OptimizedUnaryEncoding
+
+        eps, n, d = 2.5, 700, 50
+        assert OptimizedLocalHashing(eps).variance(n, d) == pytest.approx(
+            OptimizedUnaryEncoding(eps).variance(n, d)
+        )
+
+
+class TestCosts:
+    def test_report_bits_independent_of_domain(self):
+        oracle = OptimizedLocalHashing(epsilon=2.0)
+        assert oracle.report_bits(10) == oracle.report_bits(1_000_000)
+
+    def test_decode_cost_scales_with_domain(self):
+        oracle = OptimizedLocalHashing(epsilon=2.0)
+        assert oracle.decode_cost(10, 100) == 1000

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the LDP frequency oracles.
+
+These check the invariants that the privacy and utility analysis of the
+paper relies on, for arbitrary ε and domain sizes:
+
+* the support-probability ratio never exceeds ``e^ε`` (the LDP guarantee),
+* unbiased estimation inverts the support expectation exactly,
+* the aggregate sampling path conserves counts and stays within bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ldp.krr import KRandomizedResponse
+from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.oue import OptimizedUnaryEncoding
+
+EPSILONS = st.floats(min_value=0.1, max_value=8.0, allow_nan=False)
+DOMAIN_SIZES = st.integers(min_value=2, max_value=256)
+ORACLE_CLASSES = [KRandomizedResponse, OptimizedUnaryEncoding, OptimizedLocalHashing]
+
+
+@pytest.mark.parametrize("oracle_cls", ORACLE_CLASSES)
+@given(epsilon=EPSILONS, domain_size=DOMAIN_SIZES)
+@settings(max_examples=40, deadline=None)
+def test_support_probability_ratio_respects_epsilon(oracle_cls, epsilon, domain_size):
+    """p/q <= e^ε for every oracle, budget and domain size."""
+    oracle = oracle_cls(epsilon)
+    p, q = oracle.support_probabilities(domain_size)
+    assert 0.0 < q < p <= 1.0
+    assert p / q <= np.exp(epsilon) * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("oracle_cls", ORACLE_CLASSES)
+@given(epsilon=EPSILONS, domain_size=DOMAIN_SIZES)
+@settings(max_examples=40, deadline=None)
+def test_estimation_inverts_expected_supports(oracle_cls, epsilon, domain_size):
+    """Feeding the *expected* support counts recovers the true counts exactly."""
+    oracle = oracle_cls(epsilon)
+    p, q = oracle.support_probabilities(domain_size)
+    rng = np.random.default_rng(0)
+    true_counts = rng.integers(0, 50, size=domain_size).astype(float)
+    n = true_counts.sum()
+    expected_supports = true_counts * p + (n - true_counts) * q
+    estimates = oracle.estimate_counts(expected_supports, int(n), domain_size)
+    np.testing.assert_allclose(estimates, true_counts, atol=1e-6)
+
+
+@pytest.mark.parametrize("oracle_cls", ORACLE_CLASSES)
+@given(epsilon=EPSILONS, domain_size=st.integers(min_value=2, max_value=32))
+@settings(max_examples=30, deadline=None)
+def test_aggregate_sampling_bounds(oracle_cls, epsilon, domain_size):
+    """Sampled supports are integers within [0, n] for every candidate."""
+    oracle = oracle_cls(epsilon)
+    rng = np.random.default_rng(1)
+    true_counts = rng.integers(0, 30, size=domain_size)
+    supports = oracle.sample_support_counts(true_counts, rng=2)
+    n = true_counts.sum()
+    assert supports.shape == (domain_size,)
+    assert supports.min() >= 0
+    assert supports.max() <= n
+
+
+@given(epsilon=EPSILONS, domain_size=st.integers(min_value=2, max_value=32))
+@settings(max_examples=30, deadline=None)
+def test_krr_supports_partition_users(epsilon, domain_size):
+    """k-RR supports always sum to exactly n (each report names one value)."""
+    oracle = KRandomizedResponse(epsilon)
+    rng = np.random.default_rng(3)
+    true_counts = rng.integers(0, 40, size=domain_size)
+    supports = oracle.sample_support_counts(true_counts, rng=4)
+    assert supports.sum() == true_counts.sum()
+
+
+@pytest.mark.parametrize("oracle_cls", ORACLE_CLASSES)
+@given(epsilon=EPSILONS)
+@settings(max_examples=25, deadline=None)
+def test_variance_decreases_with_more_users(oracle_cls, epsilon):
+    """Var[f_hat] must strictly decrease as the user count grows."""
+    oracle = oracle_cls(epsilon)
+    assert oracle.variance(2_000, 50) < oracle.variance(200, 50)
+
+
+@given(
+    epsilon=st.floats(min_value=0.5, max_value=6.0),
+    values=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=200),
+)
+@settings(max_examples=25, deadline=None)
+def test_krr_run_output_shapes(epsilon, values):
+    """End-to-end run returns aligned arrays regardless of input."""
+    oracle = KRandomizedResponse(epsilon)
+    result = oracle.run(np.array(values), 8, rng=0, mode="per_user")
+    assert result.support_counts.shape == (8,)
+    assert result.estimated_counts.shape == (8,)
+    assert result.estimated_frequencies.shape == (8,)
+    assert result.n_users == len(values)

@@ -1,0 +1,115 @@
+"""Tests for the evaluation metrics (F1, NCR, average local recall)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ground_truth import (
+    exact_prefix_frequencies,
+    federated_top_k,
+    global_prefix_frequencies,
+    party_local_top_k,
+    true_top_prefixes,
+)
+from repro.metrics.scores import (
+    average_local_recall,
+    f1_score,
+    ncr_score,
+    precision_recall,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_match(self):
+        assert precision_recall([1, 2, 3], [1, 2, 3]) == (1.0, 1.0)
+
+    def test_half_overlap(self):
+        p, r = precision_recall([1, 2], [2, 3])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+    def test_empty_estimate(self):
+        assert precision_recall([], [1]) == (0.0, 0.0)
+
+    def test_both_empty(self):
+        assert precision_recall([], []) == (1.0, 1.0)
+
+
+class TestF1Score:
+    def test_perfect(self):
+        assert f1_score([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert f1_score([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert f1_score([1, 2, 3, 4], [1, 2, 5, 6]) == pytest.approx(0.5)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            est = rng.choice(30, size=10, replace=False).tolist()
+            truth = rng.choice(30, size=10, replace=False).tolist()
+            assert 0.0 <= f1_score(est, truth) <= 1.0
+
+
+class TestNCRScore:
+    def test_perfect(self):
+        assert ncr_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_missing_top_item_penalised_more(self):
+        truth = [1, 2, 3, 4]
+        missing_top = ncr_score([2, 3, 4], truth)
+        missing_bottom = ncr_score([1, 2, 3], truth)
+        assert missing_bottom > missing_top
+
+    def test_disjoint_is_zero(self):
+        assert ncr_score([9, 10], [1, 2]) == 0.0
+
+    def test_empty_truth(self):
+        assert ncr_score([], []) == 1.0
+        assert ncr_score([1], []) == 0.0
+
+    def test_matches_hand_computation(self):
+        truth = [10, 20, 30]  # qualities 3, 2, 1; max = 6
+        assert ncr_score([10, 30], truth) == pytest.approx(4 / 6)
+
+
+class TestAverageLocalRecall:
+    def test_perfect_parties(self):
+        local = {"a": [1, 2], "b": [2, 1]}
+        assert average_local_recall(local, [1, 2]) == 1.0
+
+    def test_mixed_parties(self):
+        local = {"a": [1, 2], "b": [3, 4]}
+        assert average_local_recall(local, [1, 2]) == pytest.approx(0.5)
+
+    def test_empty_inputs(self):
+        assert average_local_recall({}, [1]) == 0.0
+        assert average_local_recall({"a": [1]}, []) == 1.0
+
+
+class TestGroundTruth:
+    def test_federated_top_k_delegates(self, two_party_dataset):
+        assert federated_top_k(two_party_dataset, 2) == two_party_dataset.true_top_k(2)
+
+    def test_party_local_top_k_keys(self, two_party_dataset):
+        local = party_local_top_k(two_party_dataset, 3)
+        assert set(local) == {"alpha", "beta"}
+        assert 50 in local["beta"]
+
+    def test_exact_prefix_frequencies_sum_to_one(self):
+        items = np.array([0, 1, 2, 3, 3, 3])
+        freqs = exact_prefix_frequencies(items, n_bits=4, prefix_length=2)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+        assert freqs["00"] == pytest.approx(6 / 6)
+
+    def test_exact_prefix_frequencies_empty(self):
+        assert exact_prefix_frequencies(np.array([], dtype=int), 4, 2) == {}
+
+    def test_global_prefix_frequencies_and_top_prefixes(self, two_party_dataset):
+        freqs = global_prefix_frequencies(two_party_dataset, 4)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+        top = true_top_prefixes(two_party_dataset, 4, 2)
+        assert len(top) == 2
+        # item 5 = 0000000101 -> 4-bit prefix '0000' dominates
+        assert "0000" in top

@@ -1,0 +1,118 @@
+"""Tests for the candidate domain abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.trie.candidate_domain import CandidateDomain
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        dom = CandidateDomain(["00", "01", "10"])
+        assert dom.n_candidates == 3
+        assert dom.size == 4  # plus dummy
+        assert dom.dummy_index == 3
+        assert dom.prefix_length == 2
+        assert list(dom) == ["00", "01", "10"]
+
+    def test_without_dummy(self):
+        dom = CandidateDomain(["0", "1"], include_dummy=False)
+        assert dom.size == 2
+        assert dom.dummy_index is None
+
+    def test_duplicates_removed_preserving_order(self):
+        dom = CandidateDomain(["01", "00", "01"])
+        assert dom.prefixes == ["01", "00"]
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateDomain(["0", "01"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateDomain([])
+
+    def test_full_domain(self):
+        dom = CandidateDomain.full_domain(3)
+        assert dom.n_candidates == 8
+        assert dom.prefixes[0] == "000"
+        assert dom.prefixes[-1] == "111"
+
+    def test_full_domain_refuses_huge(self):
+        with pytest.raises(ValueError):
+            CandidateDomain.full_domain(21)
+
+
+class TestEncoding:
+    def test_encode_items_maps_to_candidate_indices(self):
+        dom = CandidateDomain(["00", "01"])
+        # items with 4-bit encodings 0000, 0111, 1100
+        out = dom.encode_items(np.array([0b0000, 0b0111, 0b1100]), n_bits=4)
+        assert out[0] == dom.index_of("00")
+        assert out[1] == dom.index_of("01")
+        assert out[2] == dom.dummy_index  # out of domain
+
+    def test_encode_items_without_dummy_raises_on_ood(self):
+        dom = CandidateDomain(["00"], include_dummy=False)
+        with pytest.raises(ValueError):
+            dom.encode_items(np.array([0b1100]), n_bits=4)
+
+    def test_encode_items_empty(self):
+        dom = CandidateDomain(["0"])
+        assert dom.encode_items(np.array([], dtype=int), n_bits=4).size == 0
+
+    def test_encode_items_prefix_longer_than_bits_raises(self):
+        dom = CandidateDomain(["00000"])
+        with pytest.raises(ValueError):
+            dom.encode_items(np.array([1]), n_bits=4)
+
+    def test_encode_prefixes(self):
+        dom = CandidateDomain(["10", "11"])
+        out = dom.encode_prefixes(["11", "00", "10"])
+        assert out[0] == 1
+        assert out[1] == dom.dummy_index
+        assert out[2] == 0
+
+    def test_encode_prefixes_wrong_length_raises(self):
+        dom = CandidateDomain(["10"])
+        with pytest.raises(ValueError):
+            dom.encode_prefixes(["1"])
+
+    def test_encode_items_agrees_with_string_lookup(self):
+        rng = np.random.default_rng(0)
+        prefixes = [format(i, "04b") for i in rng.choice(16, size=7, replace=False)]
+        dom = CandidateDomain(prefixes)
+        items = rng.integers(0, 256, size=300)
+        encoded = dom.encode_items(items, n_bits=8)
+        for item, idx in zip(items, encoded):
+            prefix = format(item, "08b")[:4]
+            if prefix in dom:
+                assert idx == dom.index_of(prefix)
+            else:
+                assert idx == dom.dummy_index
+
+
+class TestExtensionAndPruning:
+    def test_extended_produces_cartesian_product(self):
+        dom = CandidateDomain(["00", "01", "10"])
+        extended = dom.extended(["00", "10"], 2)
+        assert extended.n_candidates == 8
+        assert extended.prefix_length == 4
+        assert "0000" in extended
+        assert "1011" in extended
+        assert "0100" not in extended
+
+    def test_extended_unknown_prefix_raises(self):
+        dom = CandidateDomain(["00"])
+        with pytest.raises(KeyError):
+            dom.extended(["11"], 1)
+
+    def test_without_removes_candidates(self):
+        dom = CandidateDomain(["00", "01", "10", "11"])
+        pruned = dom.without(["01", "11", "0110"])  # unknown prefixes are ignored
+        assert pruned.prefixes == ["00", "10"]
+
+    def test_without_everything_raises(self):
+        dom = CandidateDomain(["00", "01"])
+        with pytest.raises(ValueError):
+            dom.without(["00", "01"])

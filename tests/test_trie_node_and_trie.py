@@ -1,0 +1,93 @@
+"""Tests for the trie node and explicit prefix trie."""
+
+import numpy as np
+import pytest
+
+from repro.trie.node import TrieNode
+from repro.trie.prefix_trie import PrefixTrie
+
+
+class TestTrieNode:
+    def test_root_defaults(self):
+        node = TrieNode()
+        assert node.prefix == ""
+        assert node.depth == 0
+        assert node.is_leaf
+
+    def test_get_or_create_child(self):
+        node = TrieNode()
+        child = node.get_or_create_child("1")
+        assert child.prefix == "1"
+        assert node.get_or_create_child("1") is child
+        assert not node.is_leaf
+
+    def test_invalid_bit_raises(self):
+        with pytest.raises(ValueError):
+            TrieNode().get_or_create_child("2")
+
+    def test_iter_subtree_visits_all(self):
+        node = TrieNode()
+        node.get_or_create_child("0").get_or_create_child("1")
+        node.get_or_create_child("1")
+        prefixes = {n.prefix for n in node.iter_subtree()}
+        assert prefixes == {"", "0", "01", "1"}
+
+
+class TestPrefixTrie:
+    def test_insert_and_find(self):
+        trie = PrefixTrie()
+        trie.insert("0101", count=3)
+        assert trie.count_of("0101") == 3
+        assert "0101" in trie
+        assert "11" not in trie
+
+    def test_insert_accumulates(self):
+        trie = PrefixTrie()
+        trie.insert("10", count=1)
+        trie.insert("10", count=2)
+        assert trie.count_of("10") == 3
+
+    def test_from_items_propagates_counts_upwards(self):
+        items = np.array([0b00, 0b01, 0b01, 0b11])
+        trie = PrefixTrie.from_items(items, n_bits=2)
+        assert trie.count_of("0") == 3
+        assert trie.count_of("01") == 2
+        assert trie.count_of("1") == 1
+        assert trie.root.count == 4
+
+    def test_from_items_frequencies_sum_to_one_per_level(self):
+        items = np.random.default_rng(0).integers(0, 16, size=200)
+        trie = PrefixTrie.from_items(items, n_bits=4)
+        for depth in range(1, 5):
+            total = sum(n.frequency for n in trie.nodes_at_depth(depth))
+            assert total == pytest.approx(1.0)
+
+    def test_from_items_empty(self):
+        trie = PrefixTrie.from_items(np.array([], dtype=int), n_bits=4)
+        assert len(trie) == 0
+
+    def test_top_prefixes(self):
+        items = np.array([0b10] * 5 + [0b01] * 3 + [0b00] * 1)
+        trie = PrefixTrie.from_items(items, n_bits=2)
+        assert trie.top_prefixes(2, 2) == ["10", "01"]
+
+    def test_nodes_at_depth_negative_raises(self):
+        with pytest.raises(ValueError):
+            PrefixTrie().nodes_at_depth(-1)
+
+    def test_max_depth_and_len(self):
+        trie = PrefixTrie()
+        trie.insert("010")
+        assert trie.max_depth() == 3
+        assert len(trie) == 3  # '0', '01', '010'
+
+    def test_prune_keeps_ancestors_and_descendants(self):
+        trie = PrefixTrie()
+        trie.insert("000")
+        trie.insert("011")
+        trie.insert("110")
+        trie.prune(keep=["00"])
+        assert "000" in trie
+        assert "00" in trie
+        assert "011" not in trie
+        assert "110" not in trie

@@ -1,0 +1,70 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_children, stable_choice
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        gen = as_generator(None)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=20)
+        b = as_generator(2).integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = as_generator(np.random.SeedSequence(5))
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnChildren:
+    def test_returns_requested_count(self):
+        children = spawn_children(np.random.default_rng(0), 5)
+        assert len(children) == 5
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_children(np.random.default_rng(0), 2)
+        a = children[0].integers(0, 1_000_000, size=50)
+        b = children[1].integers(0, 1_000_000, size=50)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_parent_seed(self):
+        a = spawn_children(np.random.default_rng(9), 3)[2].integers(0, 100, size=5)
+        b = spawn_children(np.random.default_rng(9), 3)[2].integers(0, 100, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_children(self):
+        assert spawn_children(np.random.default_rng(0), 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(np.random.default_rng(0), -1)
+
+
+class TestStableChoice:
+    def test_single_choice_from_options(self):
+        value = stable_choice(np.random.default_rng(0), ["a", "bb", "ccc"])
+        assert value in {"a", "bb", "ccc"}
+
+    def test_sized_choice_returns_list(self):
+        values = stable_choice(np.random.default_rng(0), ["x", "y"], size=10)
+        assert len(values) == 10
+        assert set(values) <= {"x", "y"}
+
+    def test_empty_options_raise(self):
+        with pytest.raises(ValueError):
+            stable_choice(np.random.default_rng(0), [])

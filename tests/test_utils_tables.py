@@ -1,0 +1,65 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import TextTable
+
+
+class TestTextTable:
+    def test_render_contains_headers_and_values(self):
+        table = TextTable(["mechanism", "F1"])
+        table.add_row(["TAPS", 0.8312])
+        text = table.render()
+        assert "mechanism" in text
+        assert "TAPS" in text
+        assert "0.8312" in text
+
+    def test_float_formatting(self):
+        table = TextTable(["v"], float_format="{:.1f}")
+        table.add_row([0.123456])
+        assert "0.1" in table.render()
+        assert "0.1234" not in table.render()
+
+    def test_title_rendered_first(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        text = table.render(title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_row_length_mismatch_raises(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row([1])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_to_records_roundtrip(self):
+        table = TextTable(["name", "score"])
+        table.add_row(["x", 1])
+        table.add_row(["y", 2])
+        records = table.to_records()
+        assert records == [
+            {"name": "x", "score": "1"},
+            {"name": "y", "score": "2"},
+        ]
+
+    def test_n_rows(self):
+        table = TextTable(["a"])
+        assert table.n_rows == 0
+        table.add_row([1])
+        assert table.n_rows == 1
+
+    def test_columns_are_aligned(self):
+        table = TextTable(["col"])
+        table.add_row(["short"])
+        table.add_row(["a much longer cell"])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all rendered lines should have the same width"
+
+    def test_bool_cells_render_as_text(self):
+        table = TextTable(["flag"])
+        table.add_row([True])
+        assert "True" in table.render()

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_empty,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_accepts_zero_when_not_strict(self):
+        check_positive("x", 0, strict=False)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -3, strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("v", 1, 1, 10)
+        check_in_range("v", 10, 1, 10)
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range("v", 1, 1, 10, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="v must lie in"):
+            check_in_range("v", 11, 1, 10)
+
+
+class TestCheckNonEmpty:
+    def test_accepts_non_empty(self):
+        check_non_empty("items", [1])
+        check_non_empty("items", "a")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            check_non_empty("items", [])
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        check_type("x", 5, int)
+        check_type("x", "s", (int, str))
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be of type int"):
+            check_type("x", "5", int)
+
+    def test_tuple_message_lists_alternatives(self):
+        with pytest.raises(TypeError, match="int, float"):
+            check_type("x", "5", (int, float))
