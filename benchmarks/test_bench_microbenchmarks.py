@@ -6,12 +6,20 @@ repetition, using pytest-benchmark's default statistics:
 
 * one frequency-oracle round per oracle,
 * a full single-party PEM run,
-* a full TAPS run on the RDB stand-in.
+* a full TAPS run on the RDB stand-in,
+* serial vs. parallel sweep throughput through the execution engine
+  (persisted machine-readably to ``benchmarks/results/engine_speedup.json``
+  for the performance trajectory).
 
 They back the running-time columns of Table 4 with per-component numbers.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -20,6 +28,7 @@ from repro.baselines.pem import SinglePartyPEM
 from repro.core.config import MechanismConfig
 from repro.core.taps import TAPSMechanism
 from repro.datasets.registry import load_dataset
+from repro.experiments.runner import ExperimentSettings, run_sweep
 from repro.ldp.registry import make_oracle
 
 
@@ -59,3 +68,75 @@ def test_taps_end_to_end_run(benchmark, bench_dataset):
 
     result = benchmark(lambda: mechanism.run(bench_dataset, rng=0))
     assert len(result.heavy_hitters) == 10
+
+
+def _effective_cores() -> int:
+    """Cores actually usable by this process (honours CPU affinity masks)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_engine_sweep_speedup():
+    """Serial vs. parallel sweep throughput through the execution engine.
+
+    Runs the same small sweep grid on the serial and the process backend,
+    records both wall-clock times (plus the verified records-identical
+    check) to ``benchmarks/results/engine_speedup.json``, and — on machines
+    that actually have multiple usable cores — asserts the parallel run is
+    at least ``REPRO_BENCH_SPEEDUP_MIN`` (default 1.5) times faster.  Set
+    ``REPRO_BENCH_SPEEDUP_MIN=0`` to record without asserting on
+    constrained/noisy runners.
+    """
+    sweep_settings = ExperimentSettings(
+        scale="small",
+        repetitions=3,
+        granularity=6,
+        epsilons=(1.0, 4.0),
+        ks=(10,),
+        datasets=("rdb", "ycm"),
+        mechanisms=("fedpem", "taps"),
+        seed=2025,
+    )
+    parallel_workers = _effective_cores()
+
+    start = time.perf_counter()
+    serial = run_sweep(sweep_settings, backend="serial")
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(sweep_settings, backend="process", max_workers=parallel_workers)
+    parallel_seconds = time.perf_counter() - start
+
+    def strip(records):
+        return [
+            {key: value for key, value in rec.items() if key != "runtime_seconds"}
+            for rec in records
+        ]
+
+    records_identical = strip(serial.records) == strip(parallel.records)
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    results_dir = Path(__file__).parent / "results"
+    payload = {
+        "backend": "process",
+        "max_workers": parallel_workers,
+        "cpu_count": os.cpu_count(),
+        "effective_cores": _effective_cores(),
+        "n_cells": len(serial.records),
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 4),
+        "records_identical": records_identical,
+    }
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / "engine_speedup.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n===== engine_speedup =====\n{json.dumps(payload, indent=2)}\n")
+
+    assert records_identical, "parallel sweep must reproduce the serial records"
+    minimum = float(os.environ.get("REPRO_BENCH_SPEEDUP_MIN", "1.5"))
+    if minimum > 0 and _effective_cores() >= 2:
+        assert speedup > minimum, (
+            f"expected >{minimum}x speedup on multi-core, got {speedup:.2f}x"
+        )

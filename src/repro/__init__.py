@@ -33,6 +33,13 @@ from repro.baselines import (
     TrieHHBaseline,
 )
 from repro.datasets import FederatedDataset, dataset_summary_table, load_dataset
+from repro.engine import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
 from repro.ldp import (
     KRandomizedResponse,
     OptimizedLocalHashing,
@@ -58,6 +65,11 @@ __all__ = [
     "FederatedDataset",
     "load_dataset",
     "dataset_summary_table",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
     "KRandomizedResponse",
     "OptimizedUnaryEncoding",
     "OptimizedLocalHashing",

@@ -9,7 +9,7 @@ hitters — which is the failure mode the paper's TAP/TAPS address.
 
 from __future__ import annotations
 
-from repro.core.base import FederatedMechanism
+from repro.core.base import FederatedMechanism, PartyTask, PartyTaskOutcome
 from repro.core.config import ExtensionStrategy, MechanismConfig
 from repro.core.estimation import PartyEstimator
 from repro.core.results import MechanismResult, PartyRunRecord
@@ -35,6 +35,34 @@ class FedPEMMechanism(FederatedMechanism):
         )
         super().__init__(config)
 
+    def _party_task(self, task: PartyTask) -> PartyTaskOutcome:
+        """One party's full PEM run — independent, hence a single engine task."""
+        estimator = task.estimator
+        config = estimator.config
+        g = config.granularity
+        k = config.k
+        record = PartyRunRecord(party=task.name, n_users=estimator.party.n_users)
+        previous: list[str] | None = None
+        final_estimate = None
+        for level in range(1, g + 1):
+            domain = estimator.build_domain(level, previous)
+            estimate = estimator.estimate_level(level, domain)
+            record.levels.append(estimate)
+            previous = estimate.selected_prefixes
+            final_estimate = estimate
+        # Each party uploads exactly its local top-k (Algorithm 1 line 2).
+        ranked = sorted(
+            final_estimate.estimated_counts.items(),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        top_prefixes = [prefix for prefix, _ in ranked[:k]]
+        record.local_heavy_hitters = {
+            int(prefix, 2): max(0.0, final_estimate.estimated_frequencies[prefix])
+            * estimator.party.n_users
+            for prefix in top_prefixes
+        }
+        return PartyTaskOutcome(record=record, estimator=estimator)
+
     def _execute(
         self,
         dataset: FederatedDataset,
@@ -43,37 +71,16 @@ class FedPEMMechanism(FederatedMechanism):
         transcript: FederationTranscript,
         rng,
     ) -> dict[str, PartyRunRecord]:
-        g = config.granularity
-        k = config.k
-        records: dict[str, PartyRunRecord] = {}
-        for name, estimator in estimators.items():
+        for name in estimators:
             transcript.log_broadcast(name, "parameters", 1, level=0)
-            record = PartyRunRecord(party=name, n_users=estimator.party.n_users)
-            previous: list[str] | None = None
-            final_estimate = None
-            for level in range(1, g + 1):
-                domain = estimator.build_domain(level, previous)
-                estimate = estimator.estimate_level(level, domain)
-                record.levels.append(estimate)
-                previous = estimate.selected_prefixes
-                final_estimate = estimate
-            # Each party uploads exactly its local top-k (Algorithm 1 line 2).
-            ranked = sorted(
-                final_estimate.estimated_counts.items(),
-                key=lambda kv: (-kv[1], kv[0]),
-            )
-            top_prefixes = [prefix for prefix, _ in ranked[:k]]
-            record.local_heavy_hitters = {
-                int(prefix, 2): max(
-                    0.0, final_estimate.estimated_frequencies[prefix]
-                )
-                * estimator.party.n_users
-                for prefix in top_prefixes
-            }
+        outcomes = self._run_parties(estimators, self._party_task)
+        records: dict[str, PartyRunRecord] = {}
+        for name, outcome in outcomes.items():
             self._log_final_report(
-                transcript, name, record.local_heavy_hitters, level=g
+                transcript, name, outcome.record.local_heavy_hitters,
+                level=config.granularity,
             )
-            records[name] = record
+            records[name] = outcome.record
         return records
 
     def run(self, dataset: FederatedDataset, rng=None) -> MechanismResult:

@@ -19,7 +19,7 @@ Two properties of GTF drive its behaviour in the evaluation:
 
 from __future__ import annotations
 
-from repro.core.base import FederatedMechanism
+from repro.core.base import FederatedMechanism, PartyTask, PartyTaskOutcome
 from repro.core.aggregation import aggregate_local_reports
 from repro.core.config import ExtensionStrategy, MechanismConfig
 from repro.core.estimation import PartyEstimator
@@ -45,6 +45,23 @@ class GTFMechanism(FederatedMechanism):
         )
         super().__init__(config)
 
+    def _level_task(self, task: PartyTask) -> PartyTaskOutcome:
+        """One party's estimation round at one level (independent given the
+        globally filtered prefixes, hence one engine task per party per level)."""
+        estimator = task.estimator
+        level, global_selected = task.payload
+        domain = estimator.build_domain(level, global_selected)
+        estimate = estimator.estimate_level(level, domain)
+        # Each party reports its local top-k prefixes and frequencies.
+        ranked = sorted(
+            estimate.estimated_frequencies.items(),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        reported = dict(ranked[: estimator.config.k])
+        return PartyTaskOutcome(
+            record=None, estimator=estimator, payload=(estimate, reported)
+        )
+
     def _execute(
         self,
         dataset: FederatedDataset,
@@ -65,18 +82,15 @@ class GTFMechanism(FederatedMechanism):
         global_selected: list[str] | None = None
         final_estimates: dict[str, object] = {}
         for level in range(1, g + 1):
+            # The global filter is a synchronisation barrier: parties run the
+            # level in parallel, then the server merges before the next one.
+            payloads = {name: (level, global_selected) for name in estimators}
+            outcomes = self._run_parties(estimators, self._level_task, payloads)
             level_frequencies: dict[str, dict[str, float]] = {}
-            for name, estimator in estimators.items():
-                domain = estimator.build_domain(level, global_selected)
-                estimate = estimator.estimate_level(level, domain)
+            for name, outcome in outcomes.items():
+                estimate, reported = outcome.payload
                 records[name].levels.append(estimate)
                 final_estimates[name] = estimate
-                # Each party reports its local top-k prefixes and frequencies.
-                ranked = sorted(
-                    estimate.estimated_frequencies.items(),
-                    key=lambda kv: (-kv[1], kv[0]),
-                )
-                reported = dict(ranked[:k])
                 level_frequencies[name] = reported
                 transcript.log_upload(
                     name, "gtf_level_report", len(reported), level=level

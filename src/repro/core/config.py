@@ -7,6 +7,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.engine import available_backends, get_backend
 from repro.ldp.base import FrequencyOracle, SimulationMode
 from repro.ldp.registry import make_oracle
 from repro.utils.validation import check_in_range, check_positive
@@ -67,6 +68,17 @@ class MechanismConfig:
         laptop scale a handful of validation users would produce pure-noise
         pruning decisions, so levels whose validation sets fall below this
         floor simply skip pruning.
+    backend / max_workers:
+        Execution backend for the mechanism's independent party tasks
+        (``"serial"``, ``"thread"`` or ``"process"``, see
+        :mod:`repro.engine`).  Purely an execution knob: every backend
+        produces identical results for a fixed seed.  ``max_workers=None``
+        uses the executor's default worker count.  Each ``run()`` owns its
+        pool (created at start, shut down at the end), so party-level
+        ``"process"`` pays pool startup per run — worth it for few, large
+        parties; prefer ``"thread"`` (or cell-level parallelism via
+        :class:`~repro.experiments.runner.ExperimentSettings`) for many
+        small runs.
     """
 
     k: int = 10
@@ -83,6 +95,8 @@ class MechanismConfig:
     simulation_mode: SimulationMode = "aggregate"
     pair_bits: int = 64
     min_validation_users: int = 30
+    backend: str = "serial"
+    max_workers: Optional[int] = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -105,6 +119,13 @@ class MechanismConfig:
             check_positive("fixed_extension", self.fixed_extension)
         check_positive("pair_bits", self.pair_bits)
         check_positive("min_validation_users", self.min_validation_users, strict=False)
+        if self.max_workers is not None:
+            check_positive("max_workers", self.max_workers)
+        if self.backend.lower() not in available_backends():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {sorted(available_backends())}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived quantities
@@ -129,6 +150,10 @@ class MechanismConfig:
     def make_oracle(self) -> FrequencyOracle:
         """Instantiate the configured frequency oracle."""
         return make_oracle(self.oracle, self.epsilon)
+
+    def make_backend(self):
+        """Instantiate the configured execution backend (see :mod:`repro.engine`)."""
+        return get_backend(self.backend, self.max_workers)
 
     # ------------------------------------------------------------------ #
     # Convenience

@@ -157,11 +157,14 @@ class PartyEstimator:
                 oracle=self.oracle.name,
                 domain_size=domain.size,
             )
-        counts: dict[str, float] = {}
-        freqs: dict[str, float] = {}
-        for idx, prefix in enumerate(domain.prefixes):
-            counts[prefix] = float(result.estimated_counts[idx])
-            freqs[prefix] = float(result.estimated_frequencies[idx])
+        counts = {
+            prefix: float(count)
+            for prefix, count in zip(domain.prefixes, result.estimated_counts)
+        }
+        freqs = {
+            prefix: float(freq)
+            for prefix, freq in zip(domain.prefixes, result.estimated_frequencies)
+        }
         sigma = self.oracle.std(max(int(user_indices.size), 1), domain.size)
         return LevelOutcome(
             counts=counts,

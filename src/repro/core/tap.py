@@ -10,7 +10,7 @@ returns the federated top-k.
 
 from __future__ import annotations
 
-from repro.core.base import FederatedMechanism
+from repro.core.base import FederatedMechanism, PartyTask, PartyTaskOutcome
 from repro.core.config import MechanismConfig
 from repro.core.estimation import PartyEstimator
 from repro.core.results import MechanismResult, PartyRunRecord
@@ -31,6 +31,35 @@ class TAPMechanism(FederatedMechanism):
             config = config.with_updates(**overrides)
         super().__init__(config)
 
+    def _phase2_task(self, task: PartyTask) -> PartyTaskOutcome:
+        """One party's complete, independent phase II (Algorithm 3, 7-11).
+
+        Self-contained: touches only the task's estimator, so the engine may
+        run parties concurrently or in another process.
+        """
+        estimator = task.estimator
+        config = estimator.config
+        g = config.granularity
+        g_s = config.effective_shared_level
+        shared_levels, previous = task.payload
+
+        record = PartyRunRecord(party=task.name, n_users=estimator.party.n_users)
+        record.levels.extend(shared_levels)
+        final_estimate = None
+        for level in range(g_s + 1, g + 1):
+            domain = estimator.build_domain(level, previous)
+            estimate = estimator.estimate_level(level, domain)
+            record.levels.append(estimate)
+            previous = estimate.selected_prefixes
+            final_estimate = estimate
+        if final_estimate is None:
+            # g == g_s is prevented by config validation, but stay safe.
+            final_estimate = record.levels[-1]
+        record.local_heavy_hitters = self._local_heavy_hitters(
+            final_estimate, estimator, config.k
+        )
+        return PartyTaskOutcome(record=record, estimator=estimator)
+
     def _execute(
         self,
         dataset: FederatedDataset,
@@ -40,35 +69,24 @@ class TAPMechanism(FederatedMechanism):
         rng,
     ) -> dict[str, PartyRunRecord]:
         g = config.granularity
-        g_s = config.effective_shared_level
-        k = config.k
 
         # ----- Phase I: shared shallow trie construction (steps 1-6). -----
         shared = construct_shared_trie(estimators, transcript)
 
-        # ----- Phase II: independent estimation with a warm start (7-11). ---
+        # ----- Phase II: independent estimation with a warm start (7-11),
+        # one backend task per party.  Transcript logging stays with the
+        # coordinator so the message order is backend-independent. -----
+        payloads = {
+            name: (shared.per_party_levels[name], shared.per_party_selected[name])
+            for name in estimators
+        }
+        outcomes = self._run_parties(estimators, self._phase2_task, payloads)
         records: dict[str, PartyRunRecord] = {}
-        for name, estimator in estimators.items():
-            record = PartyRunRecord(party=name, n_users=estimator.party.n_users)
-            record.levels.extend(shared.per_party_levels[name])
-            previous = shared.per_party_selected[name]
-            final_estimate = None
-            for level in range(g_s + 1, g + 1):
-                domain = estimator.build_domain(level, previous)
-                estimate = estimator.estimate_level(level, domain)
-                record.levels.append(estimate)
-                previous = estimate.selected_prefixes
-                final_estimate = estimate
-            if final_estimate is None:
-                # g == g_s is prevented by config validation, but stay safe.
-                final_estimate = record.levels[-1]
-            record.local_heavy_hitters = self._local_heavy_hitters(
-                final_estimate, estimator, k
-            )
+        for name, outcome in outcomes.items():
             self._log_final_report(
-                transcript, name, record.local_heavy_hitters, level=g
+                transcript, name, outcome.record.local_heavy_hitters, level=g
             )
-            records[name] = record
+            records[name] = outcome.record
         return records
 
     def run(self, dataset: FederatedDataset, rng=None) -> MechanismResult:

@@ -15,7 +15,7 @@ which is where TAPS's accuracy advantage over TAP comes from (Figure 7).
 
 from __future__ import annotations
 
-from repro.core.base import FederatedMechanism
+from repro.core.base import FederatedMechanism, PartyTask, PartyTaskOutcome
 from repro.core.config import MechanismConfig
 from repro.core.estimation import PartyEstimator
 from repro.core.pruning import (
@@ -55,6 +55,72 @@ class TAPSMechanism(FederatedMechanism):
     # ------------------------------------------------------------------ #
     # Protocol
     # ------------------------------------------------------------------ #
+    def _phase2_task(self, task: PartyTask) -> PartyTaskOutcome:
+        """One party's phase II: validate/prune, estimate, select candidates.
+
+        TAPS parties chain on their predecessor's pruning candidates, so the
+        coordinator submits these tasks one at a time; the task itself is
+        still self-contained (it only touches its own estimator) and flows
+        through the same engine abstraction as the parallel mechanisms.
+        """
+        estimator = task.estimator
+        config = estimator.config
+        g = config.granularity
+        g_s = config.effective_shared_level
+        k = config.k
+        (
+            shared_levels,
+            previous_selected,
+            previous_pruning,
+            gamma,
+            is_last,
+        ) = task.payload
+
+        record = PartyRunRecord(party=task.name, n_users=estimator.party.n_users)
+        record.levels.extend(shared_levels)
+        current_pruning: dict[int, PruningCandidates] = {}
+        final_estimate = None
+
+        for level in range(g_s + 1, g + 1):
+            domain = estimator.build_domain(level, previous_selected)
+            users = estimator.users_at_level(level)
+            pruned: list[str] = []
+
+            apply_pruning = (
+                self._is_pruning_level(level, g, g_s)
+                and previous_pruning is not None
+                and level in previous_pruning
+            )
+            if apply_pruning:
+                domain, users, pruned = self._validate_and_prune(
+                    estimator,
+                    domain,
+                    users,
+                    previous_pruning[level],
+                    k=k,
+                    beta=config.dividing_ratio,
+                    gamma=gamma,
+                    epsilon=config.epsilon,
+                    min_validation_users=config.min_validation_users,
+                )
+
+            estimate = estimator.estimate_level(level, domain, users, pruned=pruned)
+            record.levels.append(estimate)
+            previous_selected = estimate.selected_prefixes
+            final_estimate = estimate
+
+            if self._is_pruning_level(level, g, g_s) and not is_last:
+                current_pruning[level] = select_pruning_candidates(estimate, 2 * k)
+
+        if final_estimate is None:
+            final_estimate = record.levels[-1]
+        record.local_heavy_hitters = self._local_heavy_hitters(
+            final_estimate, estimator, k
+        )
+        return PartyTaskOutcome(
+            record=record, estimator=estimator, payload=current_pruning
+        )
+
     def _execute(
         self,
         dataset: FederatedDataset,
@@ -64,9 +130,6 @@ class TAPSMechanism(FederatedMechanism):
         rng,
     ) -> dict[str, PartyRunRecord]:
         g = config.granularity
-        g_s = config.effective_shared_level
-        k = config.k
-        beta = config.dividing_ratio
         total_population = dataset.total_users
 
         # ----- Phase I: shared shallow trie construction. -----
@@ -75,62 +138,26 @@ class TAPSMechanism(FederatedMechanism):
         # ----- Phase II: sequential estimation with consensus pruning. -----
         ordered_parties = dataset.sorted_by_population(descending=True)
         records: dict[str, PartyRunRecord] = {}
-        previous_pruning: dict[int, PruningCandidates] = {}
+        previous_pruning: dict[int, PruningCandidates] | None = None
         previous_population = 0
 
         for index, party in enumerate(ordered_parties):
             name = party.name
-            estimator = estimators[name]
-            record = PartyRunRecord(party=name, n_users=party.n_users)
-            record.levels.extend(shared.per_party_levels[name])
-            previous_selected = shared.per_party_selected[name]
-            current_pruning: dict[int, PruningCandidates] = {}
-            final_estimate = None
-
-            for level in range(g_s + 1, g + 1):
-                domain = estimator.build_domain(level, previous_selected)
-                users = estimator.users_at_level(level)
-                pruned: list[str] = []
-
-                apply_pruning = (
-                    self._is_pruning_level(level, g, g_s)
-                    and index > 0
-                    and level in previous_pruning
-                )
-                if apply_pruning:
-                    domain, users, pruned = self._validate_and_prune(
-                        estimator,
-                        domain,
-                        users,
-                        previous_pruning[level],
-                        k=k,
-                        beta=beta,
-                        gamma=population_confidence(
-                            previous_population, total_population
-                        ),
-                        epsilon=config.epsilon,
-                        min_validation_users=config.min_validation_users,
-                    )
-
-                estimate = estimator.estimate_level(
-                    level, domain, users, pruned=pruned
-                )
-                record.levels.append(estimate)
-                previous_selected = estimate.selected_prefixes
-                final_estimate = estimate
-
-                if self._is_pruning_level(level, g, g_s) and index < len(ordered_parties) - 1:
-                    current_pruning[level] = select_pruning_candidates(estimate, 2 * k)
-
-            if final_estimate is None:
-                final_estimate = record.levels[-1]
-            record.local_heavy_hitters = self._local_heavy_hitters(
-                final_estimate, estimator, k
+            is_last = index == len(ordered_parties) - 1
+            payload = (
+                shared.per_party_levels[name],
+                shared.per_party_selected[name],
+                previous_pruning if index > 0 else None,
+                population_confidence(previous_population, total_population),
+                is_last,
             )
+            outcome = self._submit_party(estimators, self._phase2_task, name, payload)
+            record = outcome.record
+            current_pruning: dict[int, PruningCandidates] = outcome.payload
             self._log_final_report(transcript, name, record.local_heavy_hitters, level=g)
 
             # Ship the pruning dictionary D_i through the server to the next party.
-            if current_pruning and index < len(ordered_parties) - 1:
+            if current_pruning and not is_last:
                 n_pairs = sum(c.n_pairs for c in current_pruning.values())
                 transcript.log_upload(
                     name, "pruning_candidates", n_pairs, content=dict(current_pruning)

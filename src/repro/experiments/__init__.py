@@ -13,9 +13,13 @@ runs at smoke-test scale in CI and at larger scales offline.
 
 from repro.experiments.runner import (
     ExperimentSettings,
+    SweepCell,
     SweepResult,
     build_mechanism,
+    cell_seed,
     evaluate_run,
+    iter_cells,
+    run_cell,
     run_sweep,
     MECHANISM_REGISTRY,
 )
@@ -41,9 +45,13 @@ from repro.experiments.serialization import (
 
 __all__ = [
     "ExperimentSettings",
+    "SweepCell",
     "SweepResult",
     "build_mechanism",
+    "cell_seed",
     "evaluate_run",
+    "iter_cells",
+    "run_cell",
     "run_sweep",
     "MECHANISM_REGISTRY",
     "figure4",

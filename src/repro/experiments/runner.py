@@ -5,12 +5,21 @@ A *sweep* runs a set of mechanisms over a set of datasets for a grid of
 collects tidy records (one dict per run) carrying the utility metrics and
 cost counters.  Figures and tables are just different groupings of these
 records.
+
+The sweep is decomposed into a pure task generator (:func:`iter_cells`,
+which enumerates :class:`SweepCell` specs with their run seeds fixed up
+front) and a backend-driven executor (:func:`run_sweep`, which maps
+:func:`run_cell` over the cells on the engine selected by
+``ExperimentSettings.backend``).  Cells are mutually independent, so the
+grid parallelizes across threads or processes with results identical to a
+serial run — seeds are part of the cell spec, never of the schedule.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -22,6 +31,7 @@ from repro.core.tap import TAPMechanism
 from repro.core.taps import TAPSMechanism
 from repro.datasets.base import FederatedDataset
 from repro.datasets.registry import load_dataset
+from repro.engine import ExecutionBackend, get_backend
 from repro.metrics.scores import average_local_recall, f1_score, ncr_score
 
 #: Mechanism name → constructor taking a MechanismConfig.
@@ -50,7 +60,18 @@ class ExperimentSettings:
     oracle:
         Frequency oracle name.
     seed:
-        Base seed; repetition ``r`` of a cell uses ``seed + r``.
+        Base seed; the run seed of each cell is derived from it by
+        :func:`cell_seed` (stable across runs and across processes).
+    backend / max_workers:
+        Execution backend for the sweep's *cells* (``"serial"``,
+        ``"thread"`` or ``"process"``, see :mod:`repro.engine`) and its
+        worker count (``None``: executor default).  Purely an execution
+        knob — every backend yields identical records for a fixed seed.
+    party_backend:
+        Backend forwarded into each cell's :class:`MechanismConfig` to run
+        that mechanism's *parties*; nested process-in-process requests
+        degrade to serial inside engine workers (see
+        :func:`repro.engine.get_backend`).
     """
 
     scale: str = "small"
@@ -63,6 +84,24 @@ class ExperimentSettings:
     ks: tuple[int, ...] = (10, 20, 40)
     datasets: tuple[str, ...] = ("rdb", "ycm", "tys", "uba", "syn")
     mechanisms: tuple[str, ...] = ("gtf", "fedpem", "taps")
+    backend: str = "serial"
+    max_workers: int | None = None
+    party_backend: str = "serial"
+
+    def __post_init__(self) -> None:
+        from repro.engine import available_backends
+
+        for field_name in ("backend", "party_backend"):
+            value = getattr(self, field_name)
+            if value.lower() not in available_backends():
+                raise ValueError(
+                    f"unknown {field_name} {value!r}; "
+                    f"available: {sorted(available_backends())}"
+                )
+
+    def with_updates(self, **changes) -> "ExperimentSettings":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
 
     def smoke(self) -> "ExperimentSettings":
         """A drastically reduced copy for unit tests."""
@@ -142,10 +181,150 @@ def make_config(
         n_bits=n_bits,
         granularity=granularity,
         oracle=settings.oracle,
+        backend=settings.party_backend,
     )
     if overrides:
         config = config.with_updates(**overrides)
     return config
+
+
+def mechanism_seed_offset(mech_name: str) -> int:
+    """Stable per-mechanism seed offset in ``[0, 1000)``.
+
+    A CRC-32 digest rather than ``hash()``: the builtin string hash is
+    randomized per process (PYTHONHASHSEED), which made sweep seeds — and
+    therefore every sweep metric — irreproducible across runs and across
+    process-backend workers.
+    """
+    return zlib.crc32(mech_name.lower().encode("utf-8")) % 1000
+
+
+def cell_seed(base_seed: int, mech_name: str, repetition: int) -> int:
+    """The run seed of one sweep cell — an explicit function of the spec.
+
+    Seeds depend only on (base seed, mechanism, repetition), never on the
+    execution order or backend, which is what makes parallel sweeps
+    reproduce serial sweeps exactly.
+    """
+    return base_seed + 7919 * repetition + mechanism_seed_offset(mech_name)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """A self-contained spec for one run of the sweep grid.
+
+    Everything a worker needs travels in the cell: the dataset is referred
+    to by (name, scale, seed, kwargs) — cheap to ship and deterministically
+    reloadable — and the run ``seed`` and ``config`` are fixed at
+    generation time.
+    """
+
+    dataset: str
+    mechanism: str
+    epsilon: float
+    k: int
+    repetition: int
+    seed: int
+    truth_size: int
+    config: MechanismConfig
+    scale: str
+    dataset_seed: int
+    dataset_kwargs: tuple = ()
+
+
+#: Per-process dataset cache so workers load each dataset once, not per cell.
+#: Bounded (LRU) so long-lived processes sweeping many (dataset, scale, seed,
+#: kwargs) combinations don't accumulate every user array ever loaded.
+_DATASET_CACHE: "dict[tuple, FederatedDataset]" = {}
+_DATASET_CACHE_MAX = 8
+
+
+def _cached_dataset(
+    name: str, scale: str, seed: int, kwargs_items: tuple
+) -> FederatedDataset:
+    key = (name, scale, seed, kwargs_items)
+    dataset = _DATASET_CACHE.get(key)
+    if dataset is None:
+        dataset = load_dataset(name, scale=scale, seed=seed, **dict(kwargs_items))
+    else:
+        del _DATASET_CACHE[key]  # re-insert below: dicts keep insertion order
+    _DATASET_CACHE[key] = dataset
+    while len(_DATASET_CACHE) > _DATASET_CACHE_MAX:
+        _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+    return dataset
+
+
+def iter_cells(
+    settings: ExperimentSettings,
+    *,
+    datasets: Sequence[str] | None = None,
+    mechanisms: Sequence[str] | None = None,
+    epsilons: Iterable[float] | None = None,
+    ks: Iterable[int] | None = None,
+    config_overrides: Mapping[str, object] | None = None,
+    dataset_kwargs: Mapping[str, object] | None = None,
+) -> Iterator[SweepCell]:
+    """Enumerate the sweep grid as independent :class:`SweepCell` tasks.
+
+    Cells come out in the historical nesting order (dataset → k → ε →
+    mechanism → repetition), with per-cell seeds and configs resolved up
+    front; the configuration is built once per (dataset, k, ε) — it is
+    identical for every mechanism and repetition of that group.
+    """
+    datasets = tuple(datasets if datasets is not None else settings.datasets)
+    mechanisms = tuple(mechanisms if mechanisms is not None else settings.mechanisms)
+    epsilons = tuple(epsilons if epsilons is not None else settings.epsilons)
+    ks = tuple(ks if ks is not None else settings.ks)
+    config_overrides = dict(config_overrides or {})
+    kwargs_items = tuple(sorted((dataset_kwargs or {}).items()))
+
+    for dataset_name in datasets:
+        dataset = _cached_dataset(
+            dataset_name, settings.scale, settings.seed, kwargs_items
+        )
+        for k in ks:
+            truth_size = len(dataset.true_top_k(k))
+            for epsilon in epsilons:
+                config = make_config(
+                    settings, dataset, k=k, epsilon=epsilon, **config_overrides
+                )
+                for mech_name in mechanisms:
+                    for repetition in range(settings.repetitions):
+                        yield SweepCell(
+                            dataset=dataset_name,
+                            mechanism=mech_name,
+                            epsilon=float(epsilon),
+                            k=int(k),
+                            repetition=repetition,
+                            seed=cell_seed(settings.seed, mech_name, repetition),
+                            truth_size=truth_size,
+                            config=config,
+                            scale=settings.scale,
+                            dataset_seed=settings.seed,
+                            dataset_kwargs=kwargs_items,
+                        )
+
+
+def run_cell(cell: SweepCell) -> dict:
+    """Execute one sweep cell and return its tidy record.
+
+    Module-level (hence picklable) so the process backend can run cells in
+    workers; the dataset is reloaded there from the per-process cache.
+    """
+    dataset = _cached_dataset(
+        cell.dataset, cell.scale, cell.dataset_seed, cell.dataset_kwargs
+    )
+    mechanism = build_mechanism(cell.mechanism, cell.config)
+    result = mechanism.run(dataset, rng=cell.seed)
+    return {
+        "dataset": cell.dataset,
+        "mechanism": cell.mechanism,
+        "epsilon": cell.epsilon,
+        "k": cell.k,
+        "repetition": cell.repetition,
+        "truth_size": cell.truth_size,
+        **evaluate_run(result, dataset, cell.k),
+    }
 
 
 def run_sweep(
@@ -157,44 +336,32 @@ def run_sweep(
     ks: Iterable[int] | None = None,
     config_overrides: Mapping[str, object] | None = None,
     dataset_kwargs: Mapping[str, object] | None = None,
+    backend: str | ExecutionBackend | None = None,
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Run the full mechanism × dataset × ε × k × repetition grid.
 
-    Every run appends one record with keys: ``dataset``, ``mechanism``,
+    Every cell appends one record with keys: ``dataset``, ``mechanism``,
     ``epsilon``, ``k``, ``repetition`` plus the metrics of
-    :func:`evaluate_run`.
+    :func:`evaluate_run`.  Cells execute on the engine backend selected by
+    ``backend`` (default: ``settings.backend``); records come back in grid
+    order and are identical across backends for a fixed seed.
     """
-    datasets = tuple(datasets if datasets is not None else settings.datasets)
-    mechanisms = tuple(mechanisms if mechanisms is not None else settings.mechanisms)
-    epsilons = tuple(epsilons if epsilons is not None else settings.epsilons)
-    ks = tuple(ks if ks is not None else settings.ks)
-    config_overrides = dict(config_overrides or {})
-    dataset_kwargs = dict(dataset_kwargs or {})
-
-    sweep = SweepResult(settings=settings)
-    for dataset_name in datasets:
-        dataset = load_dataset(
-            dataset_name, scale=settings.scale, seed=settings.seed, **dataset_kwargs
+    cells = list(
+        iter_cells(
+            settings,
+            datasets=datasets,
+            mechanisms=mechanisms,
+            epsilons=epsilons,
+            ks=ks,
+            config_overrides=config_overrides,
+            dataset_kwargs=dataset_kwargs,
         )
-        for k in ks:
-            truth_size = len(dataset.true_top_k(k))
-            for epsilon in epsilons:
-                for mech_name in mechanisms:
-                    for repetition in range(settings.repetitions):
-                        config = make_config(
-                            settings, dataset, k=k, epsilon=epsilon, **config_overrides
-                        )
-                        mechanism = build_mechanism(mech_name, config)
-                        run_seed = settings.seed + 7919 * repetition + hash(mech_name) % 1000
-                        result = mechanism.run(dataset, rng=run_seed)
-                        record = {
-                            "dataset": dataset_name,
-                            "mechanism": mech_name,
-                            "epsilon": float(epsilon),
-                            "k": int(k),
-                            "repetition": repetition,
-                            "truth_size": truth_size,
-                            **evaluate_run(result, dataset, k),
-                        }
-                        sweep.records.append(record)
-    return sweep
+    )
+    engine = get_backend(
+        settings.backend if backend is None else backend,
+        settings.max_workers if max_workers is None else max_workers,
+    )
+    with engine:
+        records = engine.map_tasks(run_cell, cells)
+    return SweepResult(settings=settings, records=list(records))

@@ -59,6 +59,18 @@ class PrivacyAccountant:
             self.records.append(rec)
             self._per_user[(party, int(uid))] += float(epsilon)
 
+    def merge(self, other: "PrivacyAccountant") -> None:
+        """Absorb another accountant's records (engine tasks account locally).
+
+        The execution engine gives every party task its own accountant so
+        concurrent tasks never contend on shared state; after the backend
+        returns, the per-task accountants are merged — in deterministic
+        party order — into the run-level one.
+        """
+        self.records.extend(other.records)
+        for key, eps in other._per_user.items():
+            self._per_user[key] += eps
+
     def spent(self, party: str, user_id: int) -> float:
         """Total budget consumed by ``user_id`` of ``party``."""
         return self._per_user.get((party, int(user_id)), 0.0)

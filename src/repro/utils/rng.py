@@ -39,17 +39,29 @@ def as_generator(seed: RandomState = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_children(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
-    """Derive ``n`` statistically independent child generators from ``rng``.
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """Derive ``n`` independent integer child seeds from ``rng``.
 
-    The children are produced by drawing fresh 64-bit seeds from the parent,
-    which keeps the parent usable afterwards and makes the fan-out
-    deterministic given the parent's state.
+    This is the explicit, ordered seed contract of the execution engine:
+    seeds are drawn in a single batch *before* any task is dispatched, so
+    task ``i`` receives the same seed regardless of which backend runs it,
+    in which order, or on how many workers.  Plain integers (rather than
+    generators) cross process boundaries cheaply and unambiguously.
     """
     if n < 0:
         raise ValueError(f"number of children must be non-negative, got {n}")
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [int(s) for s in seeds]
+
+
+def spawn_children(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    The children are produced by drawing fresh 64-bit seeds from the parent
+    (see :func:`spawn_seeds`), which keeps the parent usable afterwards and
+    makes the fan-out deterministic given the parent's state.
+    """
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]
 
 
 def stable_choice(
