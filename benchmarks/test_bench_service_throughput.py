@@ -1,0 +1,126 @@
+"""Ingestion-throughput microbenchmark of the online aggregation service.
+
+Streams a synthetic population through ``ClientPool`` → ``AggregationServer``
+rounds at several batch sizes and records, per (oracle, batch size):
+
+* ``reports_per_sec`` — end-to-end ingestion throughput (perturb + encode +
+  wire decode + shard accumulate),
+* ``peak_batch_bytes`` / ``accumulator_bytes`` — the service memory model:
+  the report buffer is bounded by the batch, the server state by the domain,
+* ``wire_bytes`` — exact bytes the stream put on the wire.
+
+Results persist machine-readably to
+``benchmarks/results/service_throughput.json`` for the performance
+trajectory.  The OLH entries decode in candidate shards on the engine
+backend selected by ``REPRO_BENCH_BACKEND`` / ``REPRO_BENCH_WORKERS``
+(default: serial), mirroring the sweep benchmarks' knobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import get_backend
+from repro.ldp.registry import make_oracle
+from repro.service.clients import ClientPool
+from repro.service.protocol import encode_report_batch
+from repro.service.server import AggregationServer
+from repro.trie.candidate_domain import CandidateDomain
+
+#: Population and domain of the synthetic ingestion workload.
+N_USERS = 200_000
+DOMAIN_BITS = 6  # 64 candidates + dummy
+
+BATCH_SIZES = (2_048, 16_384, 65_536)
+
+#: (oracle, population) pairs: OLH decoding is O(n·d), so it runs a smaller
+#: stream to keep the quick profile in seconds.
+WORKLOADS = (("krr", N_USERS), ("oue", 50_000), ("olh", 50_000))
+
+
+def _bench_backend():
+    spec = os.environ.get("REPRO_BENCH_BACKEND") or None
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    return spec, get_backend(spec, int(workers) if workers else None)
+
+
+def _batch_buffer_bytes(batch) -> int:
+    """In-memory size of one batch's report buffer."""
+    reports = batch.reports
+    if isinstance(reports, tuple):
+        return int(sum(np.asarray(part).nbytes for part in reports))
+    return int(np.asarray(reports).nbytes)
+
+
+def _stream_once(oracle_name: str, n_users: int, batch_size: int, backend) -> dict:
+    oracle = make_oracle(oracle_name, epsilon=4.0)
+    domain = CandidateDomain.full_domain(DOMAIN_BITS, include_dummy=True)
+    items = np.random.default_rng(0).integers(0, 1 << DOMAIN_BITS, size=n_users)
+    pool = ClientPool(items, name="bench", batch_size=batch_size)
+    server = AggregationServer(decode_backend=backend if oracle_name == "olh" else None)
+
+    start = time.perf_counter()
+    round_id = server.open_round(party="bench", level=DOMAIN_BITS, oracle=oracle,
+                                 domain=domain)
+    peak_batch_bytes = 0
+    for batch in pool.iter_report_batches(oracle, domain, DOMAIN_BITS, rng=1):
+        peak_batch_bytes = max(peak_batch_bytes, _batch_buffer_bytes(batch))
+        server.ingest(round_id, encode_report_batch(batch))
+    result = server.finalize_round(round_id)
+    elapsed = time.perf_counter() - start
+
+    assert result.n_users == n_users
+    return {
+        "oracle": oracle_name,
+        "n_users": n_users,
+        "batch_size": batch_size,
+        "n_batches": -(-n_users // batch_size),
+        "seconds": round(elapsed, 4),
+        "reports_per_sec": round(n_users / max(elapsed, 1e-9)),
+        "peak_batch_bytes": peak_batch_bytes,
+        "accumulator_bytes": int(result.support_counts.nbytes),
+        "wire_bytes": server.upload_bits() // 8,
+    }
+
+
+def test_service_ingestion_throughput():
+    """Measure ingestion throughput vs batch size and persist the profile.
+
+    Asserts the memory model rather than absolute speed (CI machines vary):
+    the accumulator stays ``O(domain)`` and the report buffer scales with
+    the batch, not the population.
+    """
+    backend_spec, backend = _bench_backend()
+    entries = []
+    with backend:
+        for oracle_name, n_users in WORKLOADS:
+            for batch_size in BATCH_SIZES:
+                entries.append(_stream_once(oracle_name, n_users, batch_size, backend))
+
+    payload = {
+        "backend": backend_spec or "serial",
+        "max_workers": os.environ.get("REPRO_BENCH_WORKERS"),
+        "domain_size": (1 << DOMAIN_BITS) + 1,
+        "entries": entries,
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / "service_throughput.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n===== service_throughput =====\n{json.dumps(payload, indent=2)}\n")
+
+    domain_size = (1 << DOMAIN_BITS) + 1
+    for entry in entries:
+        assert entry["reports_per_sec"] > 0
+        # Server state is O(domain): one 64-bit counter per candidate.
+        assert entry["accumulator_bytes"] == domain_size * 8
+        # The report buffer never exceeds one batch of reports (OUE's bit
+        # matrix is the widest: batch × domain booleans).
+        assert entry["peak_batch_bytes"] <= entry["batch_size"] * (domain_size + 16)
+    # Throughput profile exists for every configured workload.
+    assert len(entries) == len(WORKLOADS) * len(BATCH_SIZES)

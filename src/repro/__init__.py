@@ -48,6 +48,12 @@ from repro.ldp import (
 )
 from repro.metrics import average_local_recall, f1_score, ncr_score
 from repro.federation import Party
+from repro.service import (
+    AggregationServer,
+    ClientPool,
+    SlidingWindowDiscovery,
+    run_in_service_mode,
+)
 
 __version__ = "1.0.0"
 
@@ -78,5 +84,9 @@ __all__ = [
     "ncr_score",
     "average_local_recall",
     "Party",
+    "AggregationServer",
+    "ClientPool",
+    "SlidingWindowDiscovery",
+    "run_in_service_mode",
     "__version__",
 ]

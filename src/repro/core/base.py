@@ -17,6 +17,7 @@ from repro.datasets.base import FederatedDataset
 from repro.engine import ExecutionBackend, SerialBackend
 from repro.federation.transcript import FederationTranscript
 from repro.ldp.budget import PrivacyAccountant
+from repro.service.server import AggregationServer, ServiceRoundRunner
 from repro.utils.rng import RandomState, as_generator, spawn_seeds
 
 
@@ -96,6 +97,7 @@ class FederatedMechanism(abc.ABC):
         # single batch before anything runs, so party i's randomness is a
         # function of its position alone — never of backend scheduling.
         party_seeds = spawn_seeds(gen, dataset.n_parties)
+        service_mode = config.execution_mode == "service"
         estimators = {
             party.name: PartyEstimator(
                 party,
@@ -103,6 +105,7 @@ class FederatedMechanism(abc.ABC):
                 oracle,
                 np.random.default_rng(seed),
                 PrivacyAccountant(epsilon=config.epsilon),
+                round_runner=self._make_round_runner(config, party.name),
             )
             for party, seed in zip(dataset.parties, party_seeds)
         }
@@ -120,6 +123,16 @@ class FederatedMechanism(abc.ABC):
         for name in estimators:
             accountant.merge(estimators[name].accountant)
 
+        # Service mode: fold each party's exact wire accounting into the
+        # transcript, in deterministic party order.  The runners travel with
+        # the estimators, so messages logged inside process-backend workers
+        # come back with the adopted estimator copies.
+        if service_mode:
+            for name in estimators:
+                server = estimators[name].round_runner.server
+                transcript.extend(server.drain_messages())
+                server.shutdown()
+
         reports = {
             name: record.local_heavy_hitters for name, record in party_records.items()
         }
@@ -135,6 +148,28 @@ class FederatedMechanism(abc.ABC):
             runtime_seconds=runtime,
             config=config,
             metadata={"dataset": dataset.name},
+        )
+
+    @staticmethod
+    def _make_round_runner(config: MechanismConfig, party_name: str):
+        """The per-party round runner for the configured execution mode.
+
+        ``None`` keeps the estimator's in-memory default; service mode
+        gives every party its own aggregation server so party tasks stay
+        self-contained on any backend.  The config's ``backend`` /
+        ``max_workers`` double as the server's sharded-decode engine (it
+        only materialises for OLH rounds; nested process requests degrade
+        to serial inside engine workers).
+        """
+        if config.execution_mode != "service":
+            return None
+        return ServiceRoundRunner(
+            server=AggregationServer(
+                decode_backend=config.backend,
+                decode_workers=config.max_workers,
+            ),
+            party=party_name,
+            batch_size=config.effective_report_batch_size,
         )
 
     # ------------------------------------------------------------------ #

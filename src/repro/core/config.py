@@ -13,6 +13,13 @@ from repro.ldp.registry import make_oracle
 from repro.utils.validation import check_in_range, check_positive
 
 
+#: Valid values of :attr:`MechanismConfig.execution_mode`.
+EXECUTION_MODES: tuple[str, ...] = ("memory", "service")
+
+#: Report batch size service runs fall back to when none is configured.
+DEFAULT_REPORT_BATCH_SIZE = 65_536
+
+
 class ExtensionStrategy(str, enum.Enum):
     """How many prefixes to extend at each trie level."""
 
@@ -68,6 +75,25 @@ class MechanismConfig:
         laptop scale a handful of validation users would produce pure-noise
         pruning decisions, so levels whose validation sets fall below this
         floor simply skip pruning.
+    execution_mode:
+        ``"memory"`` (default) runs every frequency-oracle round as a
+        one-shot in-memory computation; ``"service"`` routes each round
+        through the online aggregation service
+        (:mod:`repro.service`): clients emit privatized report batches of
+        bounded size, the server accumulates them into mergeable shards,
+        and the transcript records exact wire bytes instead of analytic
+        estimates.  For a fixed seed on the serial backend both modes
+        produce bit-identical results (given the same
+        ``report_batch_size``).  Service execution requires
+        ``simulation_mode="per_user"`` — there are no individual reports to
+        stream in aggregate mode.
+    report_batch_size:
+        Upper bound on the number of reports perturbed/ingested at a time.
+        ``None`` keeps the in-memory path one-shot and lets service runs
+        use :data:`DEFAULT_REPORT_BATCH_SIZE`.  Purely a memory knob (the
+        report buffer becomes ``O(batch × domain)``); it changes how the
+        RNG stream is split across draws, so runs with different batch
+        sizes are identically distributed but not bit-identical.
     backend / max_workers:
         Execution backend for the mechanism's independent party tasks
         (``"serial"``, ``"thread"`` or ``"process"``, see
@@ -95,6 +121,8 @@ class MechanismConfig:
     simulation_mode: SimulationMode = "aggregate"
     pair_bits: int = 64
     min_validation_users: int = 30
+    execution_mode: str = "memory"
+    report_batch_size: Optional[int] = None
     backend: str = "serial"
     max_workers: Optional[int] = None
     metadata: dict = field(default_factory=dict)
@@ -121,6 +149,19 @@ class MechanismConfig:
         check_positive("min_validation_users", self.min_validation_users, strict=False)
         if self.max_workers is not None:
             check_positive("max_workers", self.max_workers)
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution_mode {self.execution_mode!r}; "
+                f"available: {sorted(EXECUTION_MODES)}"
+            )
+        if self.report_batch_size is not None:
+            check_positive("report_batch_size", self.report_batch_size)
+        if self.execution_mode == "service" and self.simulation_mode != "per_user":
+            raise ValueError(
+                "service execution streams individual privatized reports; "
+                'set simulation_mode="per_user" (aggregate sampling has no '
+                "reports to put on the wire)"
+            )
         if self.backend.lower() not in available_backends():
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
@@ -146,6 +187,17 @@ class MechanismConfig:
     def effective_fixed_extension(self) -> int:
         """The fixed ``t`` used by the FIXED strategy (defaults to ``k``)."""
         return self.fixed_extension if self.fixed_extension is not None else self.k
+
+    @property
+    def effective_report_batch_size(self) -> Optional[int]:
+        """Report batch bound: the explicit value, or the service default.
+
+        ``None`` (in memory mode without an explicit bound) keeps the
+        historical one-shot perturbation path.
+        """
+        if self.report_batch_size is not None:
+            return self.report_batch_size
+        return DEFAULT_REPORT_BATCH_SIZE if self.execution_mode == "service" else None
 
     def make_oracle(self) -> FrequencyOracle:
         """Instantiate the configured frequency oracle."""

@@ -11,6 +11,7 @@ prune.
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,7 +22,7 @@ from repro.core.results import LevelEstimate
 from repro.encoding.prefix import level_lengths
 from repro.federation.grouping import split_into_groups
 from repro.federation.party import Party
-from repro.ldp.base import FrequencyOracle
+from repro.ldp.base import EstimationResult, FrequencyOracle
 from repro.ldp.budget import PrivacyAccountant
 from repro.trie.candidate_domain import CandidateDomain
 from repro.utils.rng import as_generator
@@ -36,6 +37,53 @@ class LevelOutcome:
     sigma: float
     n_users: int
     domain_size: int
+
+
+class RoundRunner(abc.ABC):
+    """Strategy executing one frequency-oracle round for an estimator.
+
+    This is the seam between the trie mechanisms and the execution
+    substrate: :class:`PartyEstimator` prepares the round (user group,
+    candidate domain, encoded values) and hands it to a runner.  The
+    in-memory runner calls the oracle directly; the service runner
+    (:class:`repro.service.server.ServiceRoundRunner`) streams privatized
+    report batches through an :class:`~repro.service.server.AggregationServer`
+    instead.  Runners must consume the provided generator exactly like the
+    oracle's own per-batch perturbation would, which is what keeps the two
+    paths bit-identical for a fixed seed.
+    """
+
+    @abc.abstractmethod
+    def run_round(
+        self,
+        oracle: FrequencyOracle,
+        values: np.ndarray,
+        domain: CandidateDomain,
+        rng,
+        *,
+        mode: str,
+    ) -> EstimationResult:
+        """Run one FO round of ``values`` over ``domain`` and estimate counts."""
+
+
+@dataclass
+class DirectRoundRunner(RoundRunner):
+    """The in-memory path: a one-shot (or batched) ``oracle.run`` call."""
+
+    batch_size: int | None = None
+
+    def run_round(
+        self,
+        oracle: FrequencyOracle,
+        values: np.ndarray,
+        domain: CandidateDomain,
+        rng,
+        *,
+        mode: str,
+    ) -> EstimationResult:
+        return oracle.run(
+            values, domain.size, rng, mode=mode, batch_size=self.batch_size
+        )
 
 
 class PartyEstimator:
@@ -53,6 +101,11 @@ class PartyEstimator:
         Generator driving grouping and perturbation for this party.
     accountant:
         Optional privacy accountant; every report is recorded into it.
+    round_runner:
+        Strategy executing the raw FO rounds (default: the in-memory
+        :class:`DirectRoundRunner` honouring ``config.report_batch_size``).
+        Service-mode mechanisms inject a
+        :class:`repro.service.server.ServiceRoundRunner` here.
     """
 
     def __init__(
@@ -62,12 +115,16 @@ class PartyEstimator:
         oracle: FrequencyOracle,
         rng,
         accountant: PrivacyAccountant | None = None,
+        round_runner: RoundRunner | None = None,
     ):
         self.party = party
         self.config = config
         self.oracle = oracle
         self.rng = as_generator(rng)
         self.accountant = accountant
+        if round_runner is None:
+            round_runner = DirectRoundRunner(config.effective_report_batch_size)
+        self.round_runner = round_runner
         self.level_prefix_lengths = level_lengths(config.n_bits, config.granularity)
         self.groups = self._allocate_groups()
 
@@ -142,9 +199,10 @@ class PartyEstimator:
         """Run the FO for the given users over ``domain`` and estimate counts."""
         items = self.party.items[np.asarray(user_indices, dtype=np.int64)]
         values = domain.encode_items(items, self.config.n_bits)
-        result = self.oracle.run(
+        result = self.round_runner.run_round(
+            self.oracle,
             values,
-            domain.size,
+            domain,
             self.rng,
             mode=self.config.simulation_mode,
         )

@@ -52,6 +52,7 @@ from repro.engine.backends import (
     available_backends,
     get_backend,
     in_worker_process,
+    split_ranges,
 )
 from repro.utils.rng import spawn_seeds as fan_out_seeds
 
@@ -65,4 +66,5 @@ __all__ = [
     "fan_out_seeds",
     "get_backend",
     "in_worker_process",
+    "split_ranges",
 ]

@@ -72,6 +72,13 @@ class ExperimentSettings:
         that mechanism's *parties*; nested process-in-process requests
         degrade to serial inside engine workers (see
         :func:`repro.engine.get_backend`).
+    execution_mode / report_batch_size:
+        Forwarded into each cell's :class:`MechanismConfig`:
+        ``execution_mode="service"`` runs every mechanism through the
+        online aggregation service (streamed per-user report batches with
+        exact wire accounting, see :mod:`repro.service`);
+        ``report_batch_size`` bounds the reports perturbed/ingested at a
+        time.
     """
 
     scale: str = "small"
@@ -87,8 +94,11 @@ class ExperimentSettings:
     backend: str = "serial"
     max_workers: int | None = None
     party_backend: str = "serial"
+    execution_mode: str = "memory"
+    report_batch_size: int | None = None
 
     def __post_init__(self) -> None:
+        from repro.core.config import EXECUTION_MODES
         from repro.engine import available_backends
 
         for field_name in ("backend", "party_backend"):
@@ -98,6 +108,11 @@ class ExperimentSettings:
                     f"unknown {field_name} {value!r}; "
                     f"available: {sorted(available_backends())}"
                 )
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution_mode {self.execution_mode!r}; "
+                f"available: {sorted(EXECUTION_MODES)}"
+            )
 
     def with_updates(self, **changes) -> "ExperimentSettings":
         """Return a copy with the given fields replaced."""
@@ -175,6 +190,10 @@ def make_config(
     """Build the mechanism configuration for one sweep cell."""
     n_bits = settings.n_bits if settings.n_bits is not None else dataset.n_bits
     granularity = min(settings.granularity, n_bits)
+    mode_kwargs: dict[str, object] = {}
+    if settings.execution_mode == "service":
+        # The service streams real reports; aggregate sampling has none.
+        mode_kwargs["simulation_mode"] = "per_user"
     config = MechanismConfig(
         k=k,
         epsilon=epsilon,
@@ -182,6 +201,9 @@ def make_config(
         granularity=granularity,
         oracle=settings.oracle,
         backend=settings.party_backend,
+        execution_mode=settings.execution_mode,
+        report_batch_size=settings.report_batch_size,
+        **mode_kwargs,
     )
     if overrides:
         config = config.with_updates(**overrides)

@@ -102,6 +102,58 @@ class FrequencyOracle(abc.ABC):
         """Tally reports into per-candidate support counts."""
 
     # ------------------------------------------------------------------ #
+    # Chunked accumulation (the online-aggregation path)
+    # ------------------------------------------------------------------ #
+    def n_reports(self, reports: object) -> int:
+        """Number of user reports contained in a report batch.
+
+        Array-shaped reports (k-RR indices, OUE/SUE bit matrices) count
+        their leading axis; oracles with structured reports (OLH's
+        ``(seeds, buckets)`` pair) override.
+        """
+        return int(np.asarray(reports).shape[0])
+
+    def report_value_domain(self, domain_size: int) -> int:
+        """Size of the per-report value domain as shipped on the wire.
+
+        Equals the candidate domain for most oracles; OLH overrides with the
+        hashed domain ``d'`` its bucket reports live in.
+        """
+        return int(domain_size)
+
+    def accumulate(
+        self, counts: np.ndarray, reports: object, domain_size: int
+    ) -> np.ndarray:
+        """Add a report batch's support counts into an accumulator.
+
+        The workhorse of the online aggregation service
+        (:mod:`repro.service.shards`): ingesting a stream batch-by-batch
+        never materialises more than one batch of reports, and the
+        accumulator stays ``O(domain_size)``.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (int(domain_size),):
+            raise ValueError(
+                f"accumulator has shape {counts.shape}, expected ({domain_size},)"
+            )
+        return counts + self.support_counts(reports, domain_size)
+
+    def merge_counts(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Combine two support-count accumulators over the same domain.
+
+        Integer addition — associative and commutative, so shards built from
+        any partition of a report stream merge to the same totals in any
+        order.
+        """
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        if left.shape != right.shape:
+            raise ValueError(
+                f"cannot merge accumulators of shapes {left.shape} and {right.shape}"
+            )
+        return left + right
+
+    # ------------------------------------------------------------------ #
     # Aggregate (sampled) simulation path
     # ------------------------------------------------------------------ #
     def sample_support_counts(
@@ -172,6 +224,7 @@ class FrequencyOracle(abc.ABC):
         rng: RandomState = None,
         *,
         mode: SimulationMode = "per_user",
+        batch_size: int | None = None,
     ) -> EstimationResult:
         """Perturb ``values``, tally supports and estimate counts/frequencies.
 
@@ -186,8 +239,18 @@ class FrequencyOracle(abc.ABC):
         mode:
             ``"per_user"`` materialises every report, ``"aggregate"`` samples
             the support counts from their exact distribution.
+        batch_size:
+            In ``"per_user"`` mode, perturb and accumulate at most this many
+            reports at a time, bounding the report buffer at
+            ``O(batch_size × domain_size)`` instead of
+            ``O(n_users × domain_size)``.  Batching changes how the RNG
+            stream is split across draws (the estimates stay identically
+            distributed); for a fixed seed, results are bit-identical to the
+            online aggregation service streaming the same batch size.
         """
         check_positive("domain_size", domain_size)
+        if batch_size is not None:
+            check_positive("batch_size", batch_size)
         gen = as_generator(rng)
         values = np.asarray(values, dtype=np.int64)
         if values.size and (values.min() < 0 or values.max() >= domain_size):
@@ -197,8 +260,16 @@ class FrequencyOracle(abc.ABC):
             true_counts = np.bincount(values, minlength=domain_size)
             supports = self.sample_support_counts(true_counts, gen)
         elif mode == "per_user":
-            reports = self.perturb(values, domain_size, gen)
-            supports = self.support_counts(reports, domain_size)
+            if batch_size is None or batch_size >= n:
+                reports = self.perturb(values, domain_size, gen)
+                supports = self.support_counts(reports, domain_size)
+            else:
+                supports = np.zeros(domain_size, dtype=np.int64)
+                for start in range(0, n, batch_size):
+                    chunk = self.perturb(
+                        values[start : start + batch_size], domain_size, gen
+                    )
+                    supports = self.accumulate(supports, chunk, domain_size)
         else:  # pragma: no cover - guarded by Literal typing in practice
             raise ValueError(f"unknown simulation mode {mode!r}")
         est_counts = self.estimate_counts(supports, n, domain_size)

@@ -1,0 +1,75 @@
+"""Online aggregation service: streamed reports, sharded accumulators.
+
+The batch simulations materialise every user's report for a level at once,
+capping the population at whatever an ``(n_users, domain_size)`` matrix fits
+in RAM.  This subsystem replaces that with a message-driven pipeline whose
+server memory is ``O(domain_size)``:
+
+* :mod:`repro.service.clients` — :class:`ClientPool` draws users from a
+  party/dataset and emits privatized report batches of bounded size;
+* :mod:`repro.service.protocol` — canonical byte codecs for report batches
+  and round broadcasts; exact wire sizes feed the federation transcript;
+* :mod:`repro.service.shards` — mergeable per-level support-count
+  accumulators (associative :meth:`~shards.LevelShard.merge`), with OLH
+  decoding sharded over candidate ranges on the execution engine;
+* :mod:`repro.service.server` — :class:`AggregationServer` round lifecycle
+  plus :class:`ServiceRoundRunner`, the estimation-seam adapter that turns
+  ``MechanismConfig(execution_mode="service")`` into end-to-end streamed
+  TAP/TAPS runs;
+* :mod:`repro.service.streaming` — sliding-window re-discovery for
+  continual heavy-hitter tracking.
+
+Determinism contract: for a fixed seed on the serial backend, a service run
+is bit-identical to the in-memory run with the same report batching
+(``tests/test_service_equivalence.py``).
+"""
+
+from repro.service.clients import DEFAULT_BATCH_SIZE, ClientPool, iter_perturbed_batches
+from repro.service.protocol import (
+    REPORT_CODECS,
+    ReportBatch,
+    RoundBroadcast,
+    WireFormatError,
+    decode_broadcast,
+    decode_report_batch,
+    encode_broadcast,
+    encode_report_batch,
+    register_report_codec,
+    wire_bits,
+)
+from repro.service.server import (
+    AggregationServer,
+    ServiceError,
+    ServiceRound,
+    ServiceRoundRunner,
+    run_in_service_mode,
+)
+from repro.service.shards import LevelShard, OLHDecodeShard, ShardError, make_shard
+from repro.service.streaming import SlidingWindowDiscovery, WindowSnapshot
+
+__all__ = [
+    "AggregationServer",
+    "ClientPool",
+    "DEFAULT_BATCH_SIZE",
+    "LevelShard",
+    "OLHDecodeShard",
+    "REPORT_CODECS",
+    "ReportBatch",
+    "RoundBroadcast",
+    "ServiceError",
+    "ServiceRound",
+    "ServiceRoundRunner",
+    "ShardError",
+    "SlidingWindowDiscovery",
+    "WindowSnapshot",
+    "WireFormatError",
+    "decode_broadcast",
+    "decode_report_batch",
+    "encode_broadcast",
+    "encode_report_batch",
+    "iter_perturbed_batches",
+    "make_shard",
+    "register_report_codec",
+    "run_in_service_mode",
+    "wire_bits",
+]

@@ -1,0 +1,395 @@
+"""The aggregation server: streamed rounds, sharded state, exact accounting.
+
+An :class:`AggregationServer` owns the server side of the online protocol:
+it opens one round per (party, level) frequency-oracle round, ingests
+privatized report batches from the wire into a mergeable
+:class:`~repro.service.shards.LevelShard`, and finalises the round into the
+same :class:`~repro.ldp.base.EstimationResult` the in-memory path produces.
+Server memory per round is ``O(domain_size)`` — independent of the number
+of reporting users — and every message is logged with its **exact** wire
+byte count.
+
+:class:`ServiceRoundRunner` plugs the server into the estimation seam
+(:class:`repro.core.estimation.RoundRunner`), which is how
+``execution_mode="service"`` turns TAP/TAPS (and the baselines) into
+end-to-end streamed protocols without touching their trie logic.  The
+non-negotiable invariant, enforced by ``tests/test_service_equivalence.py``:
+for a fixed seed on the serial backend, a service run is bit-identical to
+the in-memory run with the same report batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.estimation import RoundRunner
+from repro.engine import ExecutionBackend, get_backend
+from repro.federation.messages import Message, MessageDirection
+from repro.ldp.base import EstimationResult, FrequencyOracle
+from repro.service.clients import DEFAULT_BATCH_SIZE, iter_perturbed_batches
+from repro.service.protocol import (
+    ReportBatch,
+    RoundBroadcast,
+    decode_report_batch,
+    encode_broadcast,
+    encode_report_batch,
+    wire_bits,
+)
+from repro.service.shards import LevelShard, make_shard
+
+
+class ServiceError(RuntimeError):
+    """A request violates the aggregation-service protocol."""
+
+
+@dataclass
+class ServiceRound:
+    """Server-side state of one streamed frequency-oracle round.
+
+    ``shard`` is released on finalisation so a long-lived server holds
+    ``O(domain_size)`` state only for its *open* rounds.
+    """
+
+    round_id: int
+    party: str
+    level: int
+    oracle: FrequencyOracle
+    domain_size: int
+    shard: LevelShard | None
+    is_open: bool = True
+    n_batches: int = 0
+    upload_bits: int = 0
+    broadcast_bits: int = 0
+
+
+class AggregationServer:
+    """Ingests streamed report batches into per-round shards.
+
+    Parameters
+    ----------
+    decode_backend:
+        Execution backend (name or instance) for sharded OLH decoding;
+        ``None`` decodes inline.  A name is resolved lazily, once, and the
+        resulting engine is shared by every round's shard; instances are
+        used as-is (their lifecycle stays with the caller).
+    decode_workers:
+        Worker count when resolving a named decode backend.
+    n_decode_shards:
+        Candidate ranges per OLH decode (see
+        :class:`~repro.service.shards.OLHDecodeShard`).
+    """
+
+    def __init__(
+        self,
+        *,
+        decode_backend: str | ExecutionBackend | None = None,
+        decode_workers: int | None = None,
+        n_decode_shards: int = 8,
+    ):
+        self.decode_backend = decode_backend
+        self.decode_workers = decode_workers
+        self.n_decode_shards = n_decode_shards
+        self.rounds: dict[int, ServiceRound] = {}
+        self._messages: list[Message] = []
+        self._next_round_id = 0
+        self._upload_bits = 0
+        self._broadcast_bits = 0
+        self._decode_engine: ExecutionBackend | None = None
+        self._owns_decode_engine = False
+
+    def __getstate__(self):
+        # Live executors don't pickle; workers re-resolve the spec lazily
+        # (nested "process" requests degrade to serial there as usual).
+        state = self.__dict__.copy()
+        state["_decode_engine"] = None
+        state["_owns_decode_engine"] = False
+        if isinstance(state["decode_backend"], ExecutionBackend):
+            state["decode_backend"] = state["decode_backend"].name
+        return state
+
+    def _resolve_decode_engine(self) -> ExecutionBackend | None:
+        if self.decode_backend is None:
+            return None
+        if self._decode_engine is None:
+            if isinstance(self.decode_backend, ExecutionBackend):
+                self._decode_engine = self.decode_backend
+            else:
+                self._decode_engine = get_backend(
+                    self.decode_backend, self.decode_workers
+                )
+                self._owns_decode_engine = True
+        return self._decode_engine
+
+    def shutdown(self) -> None:
+        """Release a decode engine this server resolved from a name."""
+        if self._owns_decode_engine and self._decode_engine is not None:
+            self._decode_engine.shutdown()
+        self._decode_engine = None
+        self._owns_decode_engine = False
+
+    # ------------------------------------------------------------------ #
+    # Round lifecycle
+    # ------------------------------------------------------------------ #
+    def open_round(
+        self, *, party: str, level: int, oracle: FrequencyOracle, domain
+    ) -> int:
+        """Open a streamed round over ``domain`` and broadcast it to clients.
+
+        ``domain`` is a :class:`~repro.trie.candidate_domain.CandidateDomain`
+        (anything with ``size`` and ``prefixes`` works); the broadcast that
+        announces the candidate prefixes is logged with its exact encoded
+        size, replacing the batch simulations' analytic pair accounting.
+        """
+        round_id = self._next_round_id
+        self._next_round_id += 1
+        # Only OLH decoding shards; resolving the engine lazily here keeps
+        # every other oracle from ever materialising a worker pool.
+        decode_engine = (
+            self._resolve_decode_engine() if oracle.name == "olh" else None
+        )
+        shard = make_shard(
+            oracle,
+            domain.size,
+            decode_backend=decode_engine,
+            n_decode_shards=self.n_decode_shards,
+        )
+        broadcast = RoundBroadcast(
+            party=party,
+            level=int(level),
+            oracle_name=oracle.name,
+            epsilon=oracle.epsilon,
+            domain_size=int(domain.size),
+            prefixes=tuple(domain.prefixes),
+        )
+        bits = wire_bits(encode_broadcast(broadcast))
+        round_ = ServiceRound(
+            round_id=round_id,
+            party=party,
+            level=int(level),
+            oracle=oracle,
+            domain_size=int(domain.size),
+            shard=shard,
+            broadcast_bits=bits,
+        )
+        self.rounds[round_id] = round_
+        self._broadcast_bits += bits
+        self._messages.append(
+            Message(
+                direction=MessageDirection.SERVER_TO_PARTY,
+                party=party,
+                kind="service_round_open",
+                payload_bits=bits,
+                level=round_.level,
+            )
+        )
+        return round_id
+
+    def _round(self, round_id: int, *, require_open: bool = True) -> ServiceRound:
+        try:
+            round_ = self.rounds[round_id]
+        except KeyError:
+            raise ServiceError(f"unknown round {round_id}") from None
+        if require_open and not round_.is_open:
+            raise ServiceError(f"round {round_id} is already finalised")
+        return round_
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, round_id: int, payload: bytes) -> int:
+        """Decode one wire batch into the round's shard; returns its size."""
+        round_ = self._round(round_id)
+        batch = decode_report_batch(payload)
+        self._validate_batch(round_, batch)
+        n = round_.shard.ingest(batch.reports)
+        bits = wire_bits(payload)
+        round_.n_batches += 1
+        round_.upload_bits += bits
+        self._upload_bits += bits
+        self._messages.append(
+            Message(
+                direction=MessageDirection.PARTY_TO_SERVER,
+                party=batch.party,
+                kind="report_batch",
+                payload_bits=bits,
+                level=round_.level,
+            )
+        )
+        return n
+
+    def ingest_batch(self, round_id: int, batch: ReportBatch) -> int:
+        """Encode a batch to wire bytes and ingest it (bytes always counted)."""
+        return self.ingest(round_id, encode_report_batch(batch))
+
+    def merge_shard(self, round_id: int, shard: LevelShard, *, party: str) -> None:
+        """Merge a pre-aggregated edge shard into a round.
+
+        The hierarchical path: an edge aggregator ships its ``O(domain)``
+        count vector instead of raw batches.  Accounted at the vector's
+        exact size (64-bit counts).
+        """
+        round_ = self._round(round_id)
+        round_.shard.merge(shard)
+        bits = int(shard.counts.nbytes) * 8
+        round_.n_batches += shard.n_batches
+        round_.upload_bits += bits
+        self._upload_bits += bits
+        self._messages.append(
+            Message(
+                direction=MessageDirection.PARTY_TO_SERVER,
+                party=party,
+                kind="shard_merge",
+                payload_bits=bits,
+                level=round_.level,
+            )
+        )
+
+    @staticmethod
+    def _validate_batch(round_: ServiceRound, batch: ReportBatch) -> None:
+        if batch.party != round_.party:
+            raise ServiceError(
+                f"round {round_.round_id} belongs to party {round_.party!r}, "
+                f"batch came from {batch.party!r}"
+            )
+        if batch.level != round_.level:
+            raise ServiceError(
+                f"round {round_.round_id} runs level {round_.level}, "
+                f"batch was produced for level {batch.level}"
+            )
+        if batch.oracle_name != round_.oracle.name:
+            raise ServiceError(
+                f"round {round_.round_id} runs oracle {round_.oracle.name!r}, "
+                f"batch was perturbed with {batch.oracle_name!r}"
+            )
+        if batch.epsilon != round_.oracle.epsilon:
+            raise ServiceError(
+                f"round {round_.round_id} uses epsilon {round_.oracle.epsilon}, "
+                f"batch reports epsilon {batch.epsilon}"
+            )
+        if batch.domain_size != round_.domain_size:
+            raise ServiceError(
+                f"round {round_.round_id} has domain size {round_.domain_size}, "
+                f"batch was encoded over {batch.domain_size}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+    def finalize_round(self, round_id: int) -> EstimationResult:
+        """Close a round and estimate counts/frequencies from its shard.
+
+        The estimation mirrors :meth:`repro.ldp.base.FrequencyOracle.run`
+        operation-for-operation, so a streamed round finalises bit-identical
+        to the in-memory computation over the same supports.  The round's
+        shard is released: a long-lived server only pays ``O(domain_size)``
+        for rounds still open.
+        """
+        round_ = self._round(round_id)
+        round_.is_open = False
+        shard = round_.shard
+        round_.shard = None
+        n = shard.n_users
+        oracle = round_.oracle
+        est_counts = oracle.estimate_counts(shard.counts, n, round_.domain_size)
+        est_freqs = est_counts / n if n else np.zeros_like(est_counts)
+        return EstimationResult(
+            support_counts=np.asarray(shard.counts, dtype=np.int64),
+            estimated_counts=est_counts,
+            estimated_frequencies=est_freqs,
+            n_users=n,
+            domain_size=round_.domain_size,
+            oracle_name=oracle.name,
+            epsilon=oracle.epsilon,
+            metadata={
+                "execution": "service",
+                "n_batches": round_.n_batches,
+                "upload_bits": round_.upload_bits,
+                "broadcast_bits": round_.broadcast_bits,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def messages(self) -> list[Message]:
+        """The wire messages logged so far (exact byte counts)."""
+        return list(self._messages)
+
+    def drain_messages(self) -> list[Message]:
+        """Hand the logged messages to a transcript and reset the buffer.
+
+        The log-rotation mechanism for long-lived servers: the running
+        bit totals below survive a drain.
+        """
+        messages, self._messages = self._messages, []
+        return messages
+
+    def upload_bits(self) -> int:
+        """Running total of client → server wire bits (drain-proof)."""
+        return self._upload_bits
+
+    def broadcast_bits(self) -> int:
+        """Running total of server → client wire bits (drain-proof)."""
+        return self._broadcast_bits
+
+
+@dataclass
+class ServiceRoundRunner(RoundRunner):
+    """Routes an estimator's FO rounds through the aggregation service.
+
+    Each round: the server broadcasts the candidate domain, a client pool
+    perturbs the party's reports in bounded batches, every batch crosses
+    the wire as real bytes, and the server's shard finalises into the
+    round's estimates.  Plugged into
+    :class:`~repro.core.estimation.PartyEstimator` by
+    ``MechanismConfig(execution_mode="service")``.
+    """
+
+    server: AggregationServer = field(default_factory=AggregationServer)
+    party: str = "party"
+    batch_size: int = DEFAULT_BATCH_SIZE
+
+    def run_round(
+        self,
+        oracle: FrequencyOracle,
+        values: np.ndarray,
+        domain,
+        rng,
+        *,
+        mode: str,
+    ) -> EstimationResult:
+        if mode != "per_user":
+            raise ServiceError(
+                "service execution streams individual privatized reports; "
+                f"simulation mode {mode!r} has none (use per_user)"
+            )
+        round_id = self.server.open_round(
+            party=self.party, level=domain.prefix_length, oracle=oracle, domain=domain
+        )
+        for batch in iter_perturbed_batches(
+            oracle,
+            values,
+            domain.size,
+            rng,
+            batch_size=self.batch_size,
+            party=self.party,
+            level=domain.prefix_length,
+        ):
+            self.server.ingest_batch(round_id, batch)
+        return self.server.finalize_round(round_id)
+
+
+def run_in_service_mode(mechanism, dataset, rng=None):
+    """Re-run any federated mechanism with service-mode execution.
+
+    Convenience for examples/benchmarks: copies the mechanism's
+    configuration with ``execution_mode="service"`` (forcing per-user
+    reports) and runs it on ``dataset``.
+    """
+    config = mechanism.config.with_updates(
+        execution_mode="service", simulation_mode="per_user"
+    )
+    return type(mechanism)(config).run(dataset, rng)

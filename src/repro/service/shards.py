@@ -1,0 +1,187 @@
+"""Mergeable per-level support-count accumulators.
+
+A :class:`LevelShard` is the server-side state of one frequency-oracle round
+in the online aggregation service: an ``O(domain_size)`` integer vector that
+report batches are folded into as they arrive.  Because support counting is
+a sum, shards form a commutative monoid under :meth:`LevelShard.merge` —
+ingesting a report stream whole, in any batching, or in separately-built
+shards that are merged afterwards all produce identical counts (the algebra
+``tests/test_service_shards.py`` pins down).
+
+OLH is the computation-heavy oracle (decoding a batch costs a full candidate
+scan), so :class:`OLHDecodeShard` additionally splits the candidate domain
+into contiguous ranges and decodes them as independent tasks on an execution
+backend (:mod:`repro.engine`).  Counts are exact integers, so the sharded
+decode is bit-identical on every backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import ExecutionBackend, get_backend, split_ranges
+from repro.ldp.base import FrequencyOracle
+from repro.ldp.olh import OptimizedLocalHashing
+
+
+class ShardError(ValueError):
+    """A shard operation violates the accumulator contract."""
+
+
+class LevelShard:
+    """Accumulates the support counts of one (party, level) round.
+
+    Parameters
+    ----------
+    oracle:
+        The frequency oracle whose reports the shard ingests.
+    domain_size:
+        Candidate-domain size (dummy included) of the round.
+    """
+
+    def __init__(self, oracle: FrequencyOracle, domain_size: int):
+        if domain_size < 1:
+            raise ShardError(f"domain_size must be positive, got {domain_size}")
+        self.oracle = oracle
+        self.domain_size = int(domain_size)
+        self.counts = np.zeros(self.domain_size, dtype=np.int64)
+        self.n_users = 0
+        self.n_batches = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(self, reports: object) -> int:
+        """Fold one report batch into the accumulator; returns its size."""
+        n = self.oracle.n_reports(reports)
+        self.counts = self._decode(reports)
+        self.n_users += n
+        self.n_batches += 1
+        return n
+
+    def _decode(self, reports: object) -> np.ndarray:
+        return self.oracle.accumulate(self.counts, reports, self.domain_size)
+
+    # ------------------------------------------------------------------ #
+    # Merge algebra
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "LevelShard") -> "LevelShard":
+        """Absorb another shard built over the same round; returns ``self``.
+
+        Associative and commutative: any merge tree over a partition of a
+        report stream yields the counts of ingesting the stream whole.
+        """
+        self._check_compatible(other)
+        self.counts = self.oracle.merge_counts(self.counts, other.counts)
+        self.n_users += other.n_users
+        self.n_batches += other.n_batches
+        return self
+
+    def _check_compatible(self, other: "LevelShard") -> None:
+        if not isinstance(other, LevelShard):
+            raise ShardError(f"cannot merge a {type(other).__name__} into a shard")
+        if other.oracle.name != self.oracle.name:
+            raise ShardError(
+                f"oracle mismatch: {self.oracle.name!r} vs {other.oracle.name!r}"
+            )
+        if other.oracle.epsilon != self.oracle.epsilon:
+            raise ShardError(
+                f"epsilon mismatch: {self.oracle.epsilon} vs {other.oracle.epsilon}"
+            )
+        if other.domain_size != self.domain_size:
+            raise ShardError(
+                f"domain mismatch: {self.domain_size} vs {other.domain_size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(oracle={self.oracle.name!r}, "
+            f"domain_size={self.domain_size}, n_users={self.n_users})"
+        )
+
+
+def _decode_olh_range(task: tuple) -> np.ndarray:
+    """Decode one candidate range of an OLH batch (module-level: picklable)."""
+    epsilon, seeds, ys, start, stop = task
+    oracle = OptimizedLocalHashing(epsilon)
+    return oracle.support_counts_range((seeds, ys), start, stop)
+
+
+class OLHDecodeShard(LevelShard):
+    """An OLH shard that decodes batches in candidate shards on a backend.
+
+    Parameters
+    ----------
+    backend:
+        Backend name or instance for the per-range decode tasks (``None``:
+        serial).  The live backend never travels through pickling — workers
+        re-resolve the spec, degrading nested ``"process"`` requests to
+        serial as usual.
+    n_decode_shards:
+        Number of candidate ranges per batch (default 8, capped at the
+        domain size by :func:`repro.engine.split_ranges`).
+    """
+
+    def __init__(
+        self,
+        oracle: OptimizedLocalHashing,
+        domain_size: int,
+        *,
+        backend: str | ExecutionBackend | None = None,
+        n_decode_shards: int = 8,
+    ):
+        super().__init__(oracle, domain_size)
+        if n_decode_shards < 1:
+            raise ShardError(f"n_decode_shards must be positive, got {n_decode_shards}")
+        self.n_decode_shards = int(n_decode_shards)
+        if isinstance(backend, ExecutionBackend):
+            self._backend_spec = backend.name
+            self._backend_workers = getattr(backend, "max_workers", None)
+            self._backend: ExecutionBackend | None = backend
+        else:
+            self._backend_spec = backend
+            self._backend_workers = None
+            self._backend = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_backend"] = None  # live executors don't pickle; respawn lazily
+        return state
+
+    def _engine(self) -> ExecutionBackend:
+        if self._backend is None:
+            self._backend = get_backend(self._backend_spec, self._backend_workers)
+        return self._backend
+
+    def _decode(self, reports: object) -> np.ndarray:
+        seeds, ys = reports
+        seeds = np.asarray(seeds, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        tasks = [
+            (self.oracle.epsilon, seeds, ys, start, stop)
+            for start, stop in split_ranges(self.domain_size, self.n_decode_shards)
+        ]
+        parts = self._engine().map_tasks(_decode_olh_range, tasks)
+        return self.counts + np.concatenate(parts)
+
+
+def make_shard(
+    oracle: FrequencyOracle,
+    domain_size: int,
+    *,
+    decode_backend: str | ExecutionBackend | None = None,
+    n_decode_shards: int = 8,
+) -> LevelShard:
+    """Build the right shard for ``oracle`` over a ``domain_size`` domain.
+
+    A ``decode_backend`` only matters for OLH, the one oracle whose decode
+    is heavy enough to shard; every other oracle accumulates inline.
+    """
+    if oracle.name == OptimizedLocalHashing.name and decode_backend is not None:
+        return OLHDecodeShard(
+            oracle,
+            domain_size,
+            backend=decode_backend,
+            n_decode_shards=n_decode_shards,
+        )
+    return LevelShard(oracle, domain_size)

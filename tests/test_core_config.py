@@ -58,6 +58,30 @@ class TestValidation:
         with pytest.raises(ValueError):
             MechanismConfig(epsilon=0)
 
+    def test_unknown_execution_mode(self):
+        with pytest.raises(ValueError, match="execution_mode"):
+            MechanismConfig(execution_mode="quantum")
+
+    def test_service_mode_requires_per_user_reports(self):
+        with pytest.raises(ValueError, match="per_user"):
+            MechanismConfig(execution_mode="service", simulation_mode="aggregate")
+        cfg = MechanismConfig(execution_mode="service", simulation_mode="per_user")
+        assert cfg.execution_mode == "service"
+
+    def test_report_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MechanismConfig(report_batch_size=0)
+
+    def test_effective_report_batch_size(self):
+        from repro.core.config import DEFAULT_REPORT_BATCH_SIZE
+
+        assert MechanismConfig().effective_report_batch_size is None
+        assert MechanismConfig(report_batch_size=7).effective_report_batch_size == 7
+        service = MechanismConfig(
+            execution_mode="service", simulation_mode="per_user"
+        )
+        assert service.effective_report_batch_size == DEFAULT_REPORT_BATCH_SIZE
+
 
 class TestTransforms:
     def test_with_updates_is_copy(self):

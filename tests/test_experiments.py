@@ -41,6 +41,27 @@ class TestSettings:
         with pytest.raises(KeyError):
             build_mechanism("bogus", config)
 
+    def test_unknown_execution_mode_raises(self):
+        with pytest.raises(ValueError, match="execution_mode"):
+            ExperimentSettings(execution_mode="quantum")
+
+    def test_service_mode_forwards_into_cell_configs(self, tiny_rdb):
+        settings = ExperimentSettings().smoke().with_updates(
+            execution_mode="service", report_batch_size=128
+        )
+        config = make_config(settings, tiny_rdb, k=5, epsilon=4.0)
+        assert config.execution_mode == "service"
+        assert config.report_batch_size == 128
+        assert config.simulation_mode == "per_user"
+
+    def test_service_sweep_runs_with_exact_wire_records(self):
+        settings = ExperimentSettings().smoke().with_updates(
+            execution_mode="service", report_batch_size=256, mechanisms=("tap",)
+        )
+        sweep = run_sweep(settings)
+        assert len(sweep.records) == 1
+        assert sweep.records[0]["communication_bits"] > 0
+
 
 class TestRunSweep:
     def test_record_schema(self, smoke_settings):

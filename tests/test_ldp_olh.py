@@ -79,6 +79,65 @@ class TestEstimation:
         )
 
 
+class TestVectorizedDecode:
+    """The chunked NumPy decode must reproduce the per-candidate scan exactly."""
+
+    @staticmethod
+    def _reference_support_counts(oracle, reports, domain_size):
+        """The pre-vectorisation decode: one Python pass per candidate."""
+        seeds, ys = reports
+        d_prime = oracle.hash_domain_size()
+        counts = np.zeros(domain_size, dtype=np.int64)
+        for candidate in range(domain_size):
+            hashed = _universal_hash(seeds, np.full(seeds.shape, candidate), d_prime)
+            counts[candidate] = int(np.count_nonzero(hashed == ys))
+        return counts
+
+    def test_matches_per_candidate_reference(self):
+        oracle = OptimizedLocalHashing(epsilon=3.0)
+        domain_size = 211
+        values = np.random.default_rng(0).integers(0, domain_size, size=4_000)
+        reports = oracle.perturb(values, domain_size, np.random.default_rng(1))
+        fast = oracle.support_counts(reports, domain_size)
+        assert np.array_equal(
+            fast, self._reference_support_counts(oracle, reports, domain_size)
+        )
+
+    def test_chunking_boundaries_are_exact(self, monkeypatch):
+        """Force tiny candidate chunks; results must not change."""
+        from repro.ldp import olh as olh_module
+
+        oracle = OptimizedLocalHashing(epsilon=2.0)
+        values = np.random.default_rng(2).integers(0, 50, size=300)
+        reports = oracle.perturb(values, 50, np.random.default_rng(3))
+        full = oracle.support_counts(reports, 50)
+        monkeypatch.setattr(olh_module, "_DECODE_BLOCK_ELEMENTS", 301)
+        assert np.array_equal(oracle.support_counts(reports, 50), full)
+
+    def test_range_decode_concatenates_to_full(self):
+        oracle = OptimizedLocalHashing(epsilon=2.0)
+        values = np.random.default_rng(4).integers(0, 64, size=500)
+        reports = oracle.perturb(values, 64, np.random.default_rng(5))
+        full = oracle.support_counts(reports, 64)
+        parts = [
+            oracle.support_counts_range(reports, start, stop)
+            for start, stop in [(0, 10), (10, 41), (41, 64)]
+        ]
+        assert np.array_equal(np.concatenate(parts), full)
+
+    def test_empty_batch(self):
+        oracle = OptimizedLocalHashing(epsilon=2.0)
+        empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert not oracle.support_counts(empty, 16).any()
+        assert oracle.n_reports(empty) == 0
+
+    def test_invalid_range(self):
+        oracle = OptimizedLocalHashing(epsilon=2.0)
+        reports = (np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64))
+        with pytest.raises(ValueError, match="range"):
+            oracle.support_counts_range(reports, 5, 2)
+
+
 class TestCosts:
     def test_report_bits_independent_of_domain(self):
         oracle = OptimizedLocalHashing(epsilon=2.0)

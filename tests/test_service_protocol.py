@@ -1,0 +1,144 @@
+"""Tests for the service wire codecs: lossless round trips, exact sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ldp.registry import available_oracles, make_oracle
+from repro.service.clients import iter_perturbed_batches
+from repro.service.protocol import (
+    ReportBatch,
+    RoundBroadcast,
+    WireFormatError,
+    decode_broadcast,
+    decode_report_batch,
+    encode_broadcast,
+    encode_report_batch,
+    wire_bits,
+)
+
+
+def _one_batch(oracle_name: str, n: int = 200, domain_size: int = 37) -> ReportBatch:
+    oracle = make_oracle(oracle_name, epsilon=3.0)
+    values = np.random.default_rng(5).integers(0, domain_size, size=n)
+    (batch,) = iter_perturbed_batches(
+        oracle, values, domain_size, rng=7, batch_size=n, party="alpha", level=4
+    )
+    return batch
+
+
+def _reports_equal(a, b) -> bool:
+    if isinstance(a, tuple):
+        return all(np.array_equal(x, y) for x, y in zip(a, b))
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+class TestReportBatchRoundTrip:
+    @pytest.mark.parametrize("oracle_name", available_oracles())
+    def test_lossless(self, oracle_name):
+        batch = _one_batch(oracle_name)
+        decoded = decode_report_batch(encode_report_batch(batch))
+        assert decoded.party == batch.party
+        assert decoded.level == batch.level
+        assert decoded.oracle_name == batch.oracle_name
+        assert decoded.epsilon == batch.epsilon
+        assert decoded.domain_size == batch.domain_size
+        assert decoded.value_domain == batch.value_domain
+        assert decoded.n_users == batch.n_users
+        assert _reports_equal(decoded.reports, batch.reports)
+
+    @pytest.mark.parametrize("oracle_name", available_oracles())
+    def test_encoding_is_canonical(self, oracle_name):
+        batch = _one_batch(oracle_name)
+        assert encode_report_batch(batch) == encode_report_batch(batch)
+
+    def test_empty_batch_round_trip(self):
+        oracle = make_oracle("krr", epsilon=2.0)
+        batch = ReportBatch(
+            party="p", level=1, oracle_name="krr", epsilon=2.0,
+            domain_size=9, value_domain=9, n_users=0,
+            reports=np.zeros(0, dtype=np.int64),
+        )
+        decoded = decode_report_batch(encode_report_batch(batch))
+        assert decoded.n_users == 0
+        assert oracle.n_reports(decoded.reports) == 0
+
+
+class TestPayloadSizes:
+    def test_krr_uses_one_byte_per_small_domain_report(self):
+        batch = _one_batch("krr", n=100, domain_size=200)
+        header = encode_report_batch(
+            ReportBatch(**{**batch.__dict__, "n_users": 0,
+                           "reports": np.zeros(0, dtype=np.int64)})
+        )
+        payload_bytes = len(encode_report_batch(batch)) - len(header)
+        assert payload_bytes == 100  # uint8 per report
+
+    def test_unary_packs_to_ceil_d_over_8_bytes_per_user(self):
+        batch = _one_batch("oue", n=50, domain_size=37)
+        empty = ReportBatch(**{**batch.__dict__, "n_users": 0,
+                               "reports": np.zeros((0, 37), dtype=bool)})
+        payload_bytes = len(encode_report_batch(batch)) - len(
+            encode_report_batch(empty)
+        )
+        assert payload_bytes == 50 * ((37 + 7) // 8)
+
+    def test_olh_ships_seed_plus_small_bucket(self):
+        batch = _one_batch("olh", n=64)
+        empty = ReportBatch(**{**batch.__dict__, "n_users": 0,
+                               "reports": (np.zeros(0, np.int64), np.zeros(0, np.int64))})
+        payload_bytes = len(encode_report_batch(batch)) - len(
+            encode_report_batch(empty)
+        )
+        assert payload_bytes == 64 * 9  # 8-byte seed + 1-byte bucket (d' < 256)
+
+    def test_wire_bits_is_exact(self):
+        payload = encode_report_batch(_one_batch("krr"))
+        assert wire_bits(payload) == len(payload) * 8
+
+
+class TestBroadcastRoundTrip:
+    def test_lossless(self):
+        broadcast = RoundBroadcast(
+            party="beta", level=3, oracle_name="krr", epsilon=4.0,
+            domain_size=5, prefixes=("000", "010", "110", "111"),
+        )
+        assert decode_broadcast(encode_broadcast(broadcast)) == broadcast
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_report_batch(b"XXXXjunk")
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_broadcast(b"XXXXjunk")
+
+    def test_unknown_oracle_codec(self):
+        batch = ReportBatch(
+            party="p", level=1, oracle_name="mystery", epsilon=1.0,
+            domain_size=4, value_domain=4, n_users=1,
+            reports=np.zeros(1, dtype=np.int64),
+        )
+        with pytest.raises(WireFormatError, match="mystery"):
+            encode_report_batch(batch)
+
+    def test_truncated_payload(self):
+        payload = encode_report_batch(_one_batch("krr"))
+        with pytest.raises(WireFormatError, match="bytes"):
+            decode_report_batch(payload[:-3])
+
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError, match="header"):
+            decode_report_batch(b"RPB1\x05")
+
+    def test_out_of_domain_values_rejected_up_front(self):
+        from repro.ldp.registry import make_oracle
+
+        oracle = make_oracle("oue", epsilon=2.0)
+        with pytest.raises(ValueError, match="candidate indices"):
+            list(
+                iter_perturbed_batches(
+                    oracle, np.array([7]), 4, rng=0, batch_size=8
+                )
+            )

@@ -1,0 +1,236 @@
+"""Tests for the aggregation server: round lifecycle, exact accounting, and
+round finalisation matching the in-memory oracle computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federation.messages import MessageDirection
+from repro.ldp.registry import available_oracles, make_oracle
+from repro.service.clients import ClientPool, iter_perturbed_batches
+from repro.service.protocol import encode_report_batch
+from repro.service.server import (
+    AggregationServer,
+    ServiceError,
+    ServiceRoundRunner,
+    run_in_service_mode,
+)
+from repro.service.shards import make_shard
+from repro.trie.candidate_domain import CandidateDomain
+
+
+def _domain(bits: int = 5) -> CandidateDomain:
+    return CandidateDomain.full_domain(bits, include_dummy=True)
+
+
+def _stream_round(server, oracle, values, domain, seed, batch_size):
+    round_id = server.open_round(
+        party="alpha", level=domain.prefix_length, oracle=oracle, domain=domain
+    )
+    for batch in iter_perturbed_batches(
+        oracle, values, domain.size, rng=np.random.default_rng(seed),
+        batch_size=batch_size, party="alpha", level=domain.prefix_length,
+    ):
+        server.ingest(round_id, encode_report_batch(batch))
+    return round_id
+
+
+class TestRoundFinalization:
+    @pytest.mark.parametrize("oracle_name", available_oracles())
+    def test_streamed_round_equals_in_memory_run(self, oracle_name):
+        """Single-batch streaming is bit-identical to the one-shot path."""
+        oracle = make_oracle(oracle_name, epsilon=3.0)
+        domain = _domain()
+        values = np.random.default_rng(1).integers(0, domain.size, size=500)
+        direct = oracle.run(values, domain.size, np.random.default_rng(9),
+                            mode="per_user")
+        server = AggregationServer()
+        round_id = _stream_round(server, oracle, values, domain, 9, batch_size=500)
+        streamed = server.finalize_round(round_id)
+        assert np.array_equal(streamed.support_counts, direct.support_counts)
+        assert np.array_equal(streamed.estimated_counts, direct.estimated_counts)
+        assert np.array_equal(
+            streamed.estimated_frequencies, direct.estimated_frequencies
+        )
+        assert streamed.n_users == direct.n_users
+
+    @pytest.mark.parametrize("oracle_name", available_oracles())
+    def test_batched_streaming_equals_batched_in_memory(self, oracle_name):
+        """Equal batch splits consume the RNG identically on both paths."""
+        oracle = make_oracle(oracle_name, epsilon=3.0)
+        domain = _domain()
+        values = np.random.default_rng(1).integers(0, domain.size, size=500)
+        direct = oracle.run(values, domain.size, np.random.default_rng(9),
+                            mode="per_user", batch_size=77)
+        server = AggregationServer()
+        round_id = _stream_round(server, oracle, values, domain, 9, batch_size=77)
+        streamed = server.finalize_round(round_id)
+        assert np.array_equal(streamed.support_counts, direct.support_counts)
+        assert streamed.metadata["n_batches"] == -(-500 // 77)
+
+    def test_empty_round(self):
+        oracle = make_oracle("krr", epsilon=2.0)
+        server = AggregationServer()
+        round_id = server.open_round(
+            party="a", level=3, oracle=oracle, domain=_domain(3)
+        )
+        result = server.finalize_round(round_id)
+        assert result.n_users == 0
+        assert not result.estimated_counts.any()
+
+
+class TestAccounting:
+    def test_exact_wire_bits(self):
+        oracle = make_oracle("krr", epsilon=2.0)
+        domain = _domain(4)
+        values = np.random.default_rng(0).integers(0, domain.size, size=300)
+        server = AggregationServer()
+        _stream_round(server, oracle, values, domain, 3, batch_size=100)
+        uploads = [
+            m for m in server.messages
+            if m.direction is MessageDirection.PARTY_TO_SERVER
+        ]
+        assert len(uploads) == 3
+        assert all(m.kind == "report_batch" for m in uploads)
+        assert server.upload_bits() == sum(m.payload_bits for m in uploads)
+        assert server.broadcast_bits() > 0
+        drained = server.drain_messages()
+        assert len(drained) == 4 and server.messages == []
+
+    def test_merge_shard_path(self):
+        oracle = make_oracle("krr", epsilon=2.0)
+        domain = _domain(4)
+        values = np.random.default_rng(0).integers(0, domain.size, size=200)
+        reports = oracle.perturb(values, domain.size, np.random.default_rng(1))
+        edge = make_shard(oracle, domain.size)
+        edge.ingest(reports)
+        server = AggregationServer()
+        round_id = server.open_round(party="a", level=4, oracle=oracle, domain=domain)
+        server.merge_shard(round_id, edge, party="edge-0")
+        result = server.finalize_round(round_id)
+        assert result.n_users == 200
+        assert result.metadata["n_batches"] == edge.n_batches == 1
+        assert np.array_equal(
+            result.support_counts, oracle.support_counts(reports, domain.size)
+        )
+        merge_messages = [m for m in server.messages if m.kind == "shard_merge"]
+        assert merge_messages and merge_messages[0].payload_bits == domain.size * 64
+
+    def test_totals_survive_drain_and_shards_are_released(self):
+        oracle = make_oracle("krr", epsilon=2.0)
+        domain = _domain(4)
+        values = np.random.default_rng(0).integers(0, domain.size, size=300)
+        server = AggregationServer()
+        round_id = _stream_round(server, oracle, values, domain, 3, batch_size=100)
+        server.finalize_round(round_id)
+        upload, broadcast = server.upload_bits(), server.broadcast_bits()
+        assert upload > 0 and broadcast > 0
+        server.drain_messages()
+        assert server.upload_bits() == upload
+        assert server.broadcast_bits() == broadcast
+        # Finalisation released the O(domain) accumulator.
+        assert server.rounds[round_id].shard is None
+
+
+class TestProtocolErrors:
+    def _open(self):
+        oracle = make_oracle("krr", epsilon=2.0)
+        server = AggregationServer()
+        domain = _domain(3)
+        round_id = server.open_round(party="a", level=3, oracle=oracle, domain=domain)
+        return server, oracle, domain, round_id
+
+    def _payload(self, oracle, domain, **overrides):
+        values = np.zeros(10, dtype=np.int64)
+        (batch,) = iter_perturbed_batches(
+            oracle, values, domain.size, rng=0, batch_size=10, party="a", level=3
+        )
+        if overrides:
+            batch = type(batch)(**{**batch.__dict__, **overrides})
+        return encode_report_batch(batch)
+
+    def test_unknown_round(self):
+        server, oracle, domain, _ = self._open()
+        with pytest.raises(ServiceError, match="unknown round"):
+            server.ingest(99, self._payload(oracle, domain))
+
+    def test_finalised_round_rejects_ingest(self):
+        server, oracle, domain, round_id = self._open()
+        server.finalize_round(round_id)
+        with pytest.raises(ServiceError, match="finalised"):
+            server.ingest(round_id, self._payload(oracle, domain))
+
+    def test_party_mismatch(self):
+        server, oracle, domain, round_id = self._open()
+        with pytest.raises(ServiceError, match="party"):
+            server.ingest(round_id, self._payload(oracle, domain, party="b"))
+
+    def test_level_mismatch(self):
+        """A mis-addressed batch must not fold into the wrong round."""
+        server, oracle, domain, round_id = self._open()
+        with pytest.raises(ServiceError, match="level"):
+            server.ingest(round_id, self._payload(oracle, domain, level=4))
+
+    def test_oracle_mismatch(self):
+        server, _, domain, round_id = self._open()
+        other = make_oracle("oue", epsilon=2.0)
+        with pytest.raises(ServiceError, match="oracle"):
+            server.ingest(round_id, self._payload(other, domain))
+
+    def test_epsilon_mismatch(self):
+        server, _, domain, round_id = self._open()
+        other = make_oracle("krr", epsilon=3.0)
+        with pytest.raises(ServiceError, match="epsilon"):
+            server.ingest(round_id, self._payload(other, domain))
+
+    def test_domain_mismatch(self):
+        server, oracle, _, round_id = self._open()
+        with pytest.raises(ServiceError, match="domain size"):
+            server.ingest(round_id, self._payload(oracle, _domain(4)))
+
+    def test_aggregate_mode_refused(self):
+        runner = ServiceRoundRunner(party="a", batch_size=10)
+        with pytest.raises(ServiceError, match="per_user"):
+            runner.run_round(
+                make_oracle("krr", 2.0), np.zeros(5, dtype=np.int64),
+                _domain(3), np.random.default_rng(0), mode="aggregate",
+            )
+
+
+class TestClientPool:
+    def test_from_dataset_and_party(self, two_party_dataset):
+        pooled = ClientPool.from_dataset(two_party_dataset, batch_size=100)
+        assert pooled.n_users == two_party_dataset.total_users
+        alpha = ClientPool.from_dataset(two_party_dataset, party="alpha")
+        assert alpha.name == "alpha"
+        with pytest.raises(KeyError, match="gamma"):
+            ClientPool.from_dataset(two_party_dataset, party="gamma")
+
+    def test_bounded_batches_cover_all_users(self, two_party_dataset):
+        pool = ClientPool.from_dataset(two_party_dataset, batch_size=128)
+        oracle = make_oracle("krr", epsilon=4.0)
+        domain = _domain(4)
+        batches = list(
+            pool.iter_report_batches(
+                oracle, domain, two_party_dataset.n_bits, rng=0
+            )
+        )
+        assert all(b.n_users <= 128 for b in batches)
+        assert sum(b.n_users for b in batches) == pool.n_users
+
+    def test_draw_users_for_load_generation(self, two_party_dataset):
+        pool = ClientPool.from_dataset(two_party_dataset)
+        users = pool.draw_users(1000, rng=3)
+        assert users.shape == (1000,)
+        assert users.min() >= 0 and users.max() < pool.n_users
+
+
+class TestRunInServiceMode:
+    def test_converts_any_mechanism(self, two_party_dataset, tiny_config):
+        from repro.core.tap import TAPMechanism
+
+        mechanism = TAPMechanism(tiny_config)  # aggregate-mode config
+        result = run_in_service_mode(mechanism, two_party_dataset, rng=0)
+        assert result.transcript.messages_of_kind("report_batch")
+        assert len(result.heavy_hitters) == tiny_config.k

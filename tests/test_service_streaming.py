@@ -1,0 +1,99 @@
+"""Tests for sliding-window continual heavy-hitter tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MechanismConfig
+from repro.service.streaming import SlidingWindowDiscovery
+
+
+def _config(**overrides) -> MechanismConfig:
+    base = dict(
+        k=3, epsilon=6.0, n_bits=8, granularity=4,
+        oracle="krr", simulation_mode="per_user",
+    )
+    base.update(overrides)
+    return MechanismConfig(**base)
+
+
+def _drifting_stream(rng: np.random.Generator, n_steps: int, flip_at: int):
+    for step in range(n_steps):
+        hot = 17 if step < flip_at else 200
+        yield np.concatenate(
+            [np.full(600, hot), rng.integers(0, 256, size=200)]
+        )
+
+
+class TestCadence:
+    def test_no_snapshot_until_window_full(self):
+        tracker = SlidingWindowDiscovery(_config(), window_batches=3, rng=0)
+        rng = np.random.default_rng(1)
+        batches = list(_drifting_stream(rng, 3, flip_at=99))
+        assert tracker.push(batches[0]) is None
+        assert tracker.push(batches[1]) is None
+        assert tracker.push(batches[2]) is not None
+
+    def test_stride_skips_passes(self):
+        tracker = SlidingWindowDiscovery(
+            _config(), window_batches=2, stride=3, rng=0
+        )
+        rng = np.random.default_rng(1)
+        produced = [
+            tracker.push(batch) is not None
+            for batch in _drifting_stream(rng, 9, flip_at=99)
+        ]
+        # Window fills at step 2, then every 3rd arrival: steps 2, 5, 8.
+        assert produced == [False, True, False, False, True, False, False, True, False]
+
+    def test_window_is_bounded(self):
+        tracker = SlidingWindowDiscovery(_config(), window_batches=2, rng=0)
+        rng = np.random.default_rng(1)
+        for batch in _drifting_stream(rng, 6, flip_at=99):
+            tracker.push(batch)
+        assert tracker.window_users == 2 * 800
+
+
+class TestDiscovery:
+    def test_tracks_drifting_heavy_hitter(self):
+        tracker = SlidingWindowDiscovery(_config(), window_batches=3, rng=42)
+        rng = np.random.default_rng(0)
+        for batch in _drifting_stream(rng, 10, flip_at=5):
+            tracker.push(batch)
+        assert tracker.snapshots[0].heavy_hitters[0] == 17
+        assert tracker.latest().heavy_hitters[0] == 200
+
+    def test_snapshots_carry_exact_wire_costs(self):
+        tracker = SlidingWindowDiscovery(_config(), window_batches=2, rng=5)
+        rng = np.random.default_rng(0)
+        for batch in _drifting_stream(rng, 2, flip_at=99):
+            snapshot = tracker.push(batch)
+        assert snapshot.upload_bits > 0
+        assert snapshot.broadcast_bits > 0
+        assert snapshot.n_users == 1600
+
+    def test_replay_is_deterministic(self):
+        def run():
+            tracker = SlidingWindowDiscovery(
+                _config(), window_batches=3, stride=2, rng=42
+            )
+            rng = np.random.default_rng(0)
+            for batch in _drifting_stream(rng, 8, flip_at=4):
+                tracker.push(batch)
+            return tracker.snapshots
+
+        assert run() == run()
+
+
+class TestValidation:
+    def test_rejects_empty_batches(self):
+        tracker = SlidingWindowDiscovery(_config(), window_batches=2, rng=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            tracker.push(np.array([], dtype=np.int64))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDiscovery(_config(), window_batches=0)
+        with pytest.raises(ValueError):
+            SlidingWindowDiscovery(_config(), window_batches=2, stride=0)
