@@ -13,9 +13,12 @@ all four mechanisms on utility and communication.
 Run with::
 
     python examples/cross_region_retail.py
+    python examples/cross_region_retail.py --smoke   # canonical smoke scale (CI)
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -34,6 +37,8 @@ from repro.datasets.distributions import (
     scatter_item_ids,
     zipf_frequencies,
 )
+from repro.datasets.registry import SCALES
+from repro.experiments import SMOKE_PRESET
 from repro.utils.tables import TextTable
 
 N_BITS = 14
@@ -66,7 +71,7 @@ def build_branch(
     return Party(name=name, items=purchases)
 
 
-def build_retail_dataset(seed: int = 3) -> FederatedDataset:
+def build_retail_dataset(seed: int = 3, *, users_scale: float = 1.0) -> FederatedDataset:
     """Europe (larger) + America (smaller), with partially disjoint catalogues."""
     rng = np.random.default_rng(seed)
     catalogue = scatter_item_ids(
@@ -76,10 +81,12 @@ def build_retail_dataset(seed: int = 3) -> FederatedDataset:
     europe_ids = catalogue[N_GLOBAL_PRODUCTS : N_GLOBAL_PRODUCTS + N_REGIONAL_PRODUCTS]
     america_ids = catalogue[N_GLOBAL_PRODUCTS + N_REGIONAL_PRODUCTS :]
     europe = build_branch(
-        "amazon_europe", 18_000, global_ids, europe_ids, global_share=0.7, rng=rng
+        "amazon_europe", int(18_000 * users_scale), global_ids, europe_ids,
+        global_share=0.7, rng=rng,
     )
     america = build_branch(
-        "amazon_america", 9_000, global_ids, america_ids, global_share=0.6, rng=rng
+        "amazon_america", int(9_000 * users_scale), global_ids, america_ids,
+        global_share=0.6, rng=rng,
     )
     return FederatedDataset(
         name="holiday_campaign", parties=[europe, america], n_bits=N_BITS
@@ -87,7 +94,17 @@ def build_retail_dataset(seed: int = 3) -> FederatedDataset:
 
 
 def main() -> None:
-    dataset = build_retail_dataset()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the canonical smoke scale (used by CI)")
+    args = parser.parse_args()
+    # Same reduction as the registry's canonical smoke preset applies to
+    # its datasets — this example builds its parties by hand, so the scale
+    # multiplier comes straight from SCALES[SMOKE_PRESET["scale"]].
+    users_scale = SCALES[SMOKE_PRESET["scale"]].users_multiplier if args.smoke else 1.0
+    repetitions = SMOKE_PRESET["repetitions"] if args.smoke else 3
+
+    dataset = build_retail_dataset(users_scale=users_scale)
     k = 10
     truth = dataset.true_top_k(k)
     print(f"branches: {dataset.party_sizes()}")
@@ -102,7 +119,7 @@ def main() -> None:
         TAPSMechanism(config),
     ):
         scores, hits, bits, runtime = [], [], [], []
-        for seed in range(3):
+        for seed in range(repetitions):
             result = mechanism.run(dataset, rng=seed)
             scores.append(f1_score(result.heavy_hitters, truth))
             hits.append(len(set(result.heavy_hitters) & set(truth)))

@@ -10,9 +10,12 @@ oracle to show that the mechanism is FO-agnostic (Figure 6).
 Run with::
 
     python examples/keyboard_oov_words.py
+    python examples/keyboard_oov_words.py --smoke   # canonical smoke scale (CI)
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -24,14 +27,17 @@ from repro import (
     load_dataset,
     ncr_score,
 )
+from repro.experiments import SMOKE_PRESET
 from repro.utils.tables import TextTable
 
 
-def sweep_privacy_budget(dataset, k: int) -> TextTable:
+def sweep_privacy_budget(
+    dataset, k: int, *, epsilons=(2.0, 3.0, 4.0, 5.0), repetitions: int = 3
+) -> TextTable:
     """F1/NCR of FedPEM vs TAPS across privacy budgets."""
     truth = dataset.true_top_k(k)
     table = TextTable(["epsilon", "FedPEM F1", "TAPS F1", "FedPEM NCR", "TAPS NCR"])
-    for epsilon in (2.0, 3.0, 4.0, 5.0):
+    for epsilon in epsilons:
         config = MechanismConfig(
             k=k, epsilon=epsilon, n_bits=dataset.n_bits, granularity=6
         )
@@ -39,7 +45,7 @@ def sweep_privacy_budget(dataset, k: int) -> TextTable:
         ncr_cells: list[float] = []
         for mechanism_cls in (FedPEMMechanism, TAPSMechanism):
             f1s, ncrs = [], []
-            for seed in range(3):
+            for seed in range(repetitions):
                 result = mechanism_cls(config).run(dataset, rng=seed)
                 f1s.append(f1_score(result.heavy_hitters, truth))
                 ncrs.append(ncr_score(result.heavy_hitters, truth))
@@ -50,7 +56,7 @@ def sweep_privacy_budget(dataset, k: int) -> TextTable:
     return table
 
 
-def sweep_frequency_oracles(dataset, k: int) -> TextTable:
+def sweep_frequency_oracles(dataset, k: int, *, repetitions: int = 3) -> TextTable:
     """TAPS utility under k-RR, OUE and OLH at a fixed budget."""
     truth = dataset.true_top_k(k)
     table = TextTable(["oracle", "F1", "NCR", "report bits/user (final level)"])
@@ -59,7 +65,7 @@ def sweep_frequency_oracles(dataset, k: int) -> TextTable:
             k=k, epsilon=4.0, n_bits=dataset.n_bits, granularity=6, oracle=oracle
         )
         f1s, ncrs = [], []
-        for seed in range(3):
+        for seed in range(repetitions):
             result = TAPSMechanism(config).run(dataset, rng=seed)
             f1s.append(f1_score(result.heavy_hitters, truth))
             ncrs.append(ncr_score(result.heavy_hitters, truth))
@@ -70,15 +76,31 @@ def sweep_frequency_oracles(dataset, k: int) -> TextTable:
 
 
 def main() -> None:
-    dataset = load_dataset("rdb", scale="small", seed=11)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the canonical smoke scale (used by CI)")
+    args = parser.parse_args()
+    scale = SMOKE_PRESET["scale"] if args.smoke else "small"
+    epsilons = SMOKE_PRESET["epsilons"] if args.smoke else (2.0, 3.0, 4.0, 5.0)
+    repetitions = SMOKE_PRESET["repetitions"] if args.smoke else 3
+
+    dataset = load_dataset("rdb", scale=scale, seed=11)
     k = 10
     print(
         f"keyboard deployments: {dataset.party_sizes()}, "
         f"{dataset.n_unique_items()} distinct OOV words\n"
     )
-    print(sweep_privacy_budget(dataset, k).render(title="Privacy-utility trade-off"))
+    print(
+        sweep_privacy_budget(
+            dataset, k, epsilons=epsilons, repetitions=repetitions
+        ).render(title="Privacy-utility trade-off")
+    )
     print()
-    print(sweep_frequency_oracles(dataset, k).render(title="Frequency-oracle choice (epsilon=4)"))
+    print(
+        sweep_frequency_oracles(dataset, k, repetitions=repetitions).render(
+            title="Frequency-oracle choice (epsilon=4)"
+        )
+    )
 
 
 if __name__ == "__main__":

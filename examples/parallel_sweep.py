@@ -10,6 +10,7 @@ Run with::
 
     python examples/parallel_sweep.py                  # serial vs process
     python examples/parallel_sweep.py --backend thread --workers 4
+    python examples/parallel_sweep.py --smoke          # canonical smoke scale (CI)
 """
 
 from __future__ import annotations
@@ -43,11 +44,15 @@ def main() -> None:
         "--workers", type=int, default=None,
         help="worker count (default: the executor's default, i.e. core count)",
     )
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the canonical smoke scale (used by CI)")
     args = parser.parse_args()
 
     settings = ExperimentSettings(
         scale="small", repetitions=2, epsilons=(1.0, 4.0), ks=(10,), seed=2025
     )
+    if args.smoke:
+        settings = settings.smoke()
 
     serial, serial_s = timed_sweep(settings, "serial", None)
     parallel, parallel_s = timed_sweep(settings, args.backend, args.workers)

@@ -2,7 +2,8 @@
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py            # benchmark scale, a few seconds
+    python examples/quickstart.py --smoke    # canonical smoke scale (CI)
 
 It loads the RDB stand-in dataset (two parties: Reddit-like and IMDB-like),
 runs the TAPS mechanism under ε-LDP, and compares the estimate against the
@@ -11,18 +12,27 @@ exact federated top-k.
 
 from __future__ import annotations
 
+import argparse
+
 from repro import MechanismConfig, TAPSMechanism, f1_score, load_dataset, ncr_score
+from repro.experiments import SMOKE_PRESET
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the canonical smoke scale (used by CI)")
+    args = parser.parse_args()
+
     # 1. A federated dataset: disjoint parties, each user holds one item.
-    dataset = load_dataset("rdb", scale="small", seed=7)
+    scale = SMOKE_PRESET["scale"] if args.smoke else "small"
+    dataset = load_dataset("rdb", scale=scale, seed=7)
     print(f"dataset: {dataset.name}, parties: {dataset.party_sizes()}")
 
-    # 2. Protocol parameters: top-10 query, privacy budget ε = 4, a 6-level
+    # 2. Protocol parameters: top-k query, privacy budget ε = 4, a 6-level
     #    prefix tree over the dataset's binary item encoding.
     config = MechanismConfig(
-        k=10,
+        k=SMOKE_PRESET["ks"][0] if args.smoke else 10,
         epsilon=4.0,
         n_bits=dataset.n_bits,
         granularity=6,

@@ -8,12 +8,16 @@ user population grows.
 Run with::
 
     python examples/scalability_and_costs.py
+    python examples/scalability_and_costs.py --smoke   # canonical smoke scale (CI)
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro import DirectUploadCostModel, MechanismConfig, TAPSMechanism, f1_score, load_dataset
 from repro.analysis.costs import CostModel, table1_costs
+from repro.experiments import SMOKE_PRESET
 from repro.utils.tables import TextTable
 
 
@@ -36,13 +40,13 @@ def asymptotic_costs() -> None:
     )
 
 
-def measured_scalability() -> None:
+def measured_scalability(*, scale: str = "small", fractions=(0.25, 0.5, 1.0)) -> None:
     """TAPS on growing subsamples of the UBA stand-in (Table 4's shape)."""
     table = TextTable(
         ["users", "F1", "TAPS upload (kbits)", "direct OUE upload", "TAPS runtime (s)"]
     )
-    for fraction in (0.25, 0.5, 1.0):
-        dataset = load_dataset("uba", scale="small", seed=5, user_fraction=fraction)
+    for fraction in fractions:
+        dataset = load_dataset("uba", scale=scale, seed=5, user_fraction=fraction)
         config = MechanismConfig(
             k=10, epsilon=4.0, n_bits=dataset.n_bits, granularity=6
         )
@@ -62,8 +66,15 @@ def measured_scalability() -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the canonical smoke scale (used by CI)")
+    args = parser.parse_args()
     asymptotic_costs()
-    measured_scalability()
+    if args.smoke:
+        measured_scalability(scale=SMOKE_PRESET["scale"], fractions=(0.5, 1.0))
+    else:
+        measured_scalability()
 
 
 if __name__ == "__main__":

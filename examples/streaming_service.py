@@ -2,7 +2,8 @@
 
 Run with::
 
-    PYTHONPATH=src python examples/streaming_service.py
+    PYTHONPATH=src python examples/streaming_service.py           # 1M users
+    PYTHONPATH=src python examples/streaming_service.py --smoke   # CI scale
 
 The batch simulations materialise every report of a level at once, so the
 population is capped by an ``(n_users, domain_size)`` matrix in RAM.  In
@@ -20,6 +21,7 @@ show continual heavy-hitter discovery on top of the same service.
 
 from __future__ import annotations
 
+import argparse
 import resource
 import time
 
@@ -27,12 +29,19 @@ import numpy as np
 
 from repro.core.config import MechanismConfig
 from repro.core.tap import TAPMechanism
+from repro.datasets.registry import SCALES
 from repro.datasets.synthetic import make_syn
+from repro.experiments import SMOKE_PRESET
 from repro.metrics.scores import f1_score
 from repro.service.streaming import SlidingWindowDiscovery
 
 N_USERS = 1_000_000
 BATCH_SIZE = 65_536
+#: --smoke: the canonical smoke preset's user reduction applied to this
+#: example's hand-built population, with a batch size small enough that the
+#: run still crosses several wire batches (a pure memory knob).
+SMOKE_USERS = int(N_USERS * SCALES[SMOKE_PRESET["scale"]].users_multiplier)
+SMOKE_BATCH_SIZE = 8_192
 
 
 def peak_rss_mb() -> float:
@@ -40,13 +49,13 @@ def peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def service_run() -> None:
-    print(f"generating a {N_USERS:,}-user SYN population ...")
-    dataset = make_syn(total_users=N_USERS, n_items=2_000, n_bits=12, rng=7)
+def service_run(n_users: int, batch_size: int) -> None:
+    print(f"generating a {n_users:,}-user SYN population ...")
+    dataset = make_syn(total_users=n_users, n_items=2_000, n_bits=12, rng=7)
     print(f"dataset: {dataset.n_parties} parties, {dataset.total_users:,} users")
 
     # k-RR keeps every report a single index — the service streams batches
-    # of at most BATCH_SIZE of them, so nothing (n_users × domain_size)
+    # of at most batch_size of them, so nothing (n_users × domain_size)
     # sized ever exists.  The same config with execution_mode="memory"
     # would be bit-identical for this seed (given equal batching) but
     # perturb each level's group in one shot.
@@ -58,7 +67,7 @@ def service_run() -> None:
         oracle="krr",
         execution_mode="service",
         simulation_mode="per_user",
-        report_batch_size=BATCH_SIZE,
+        report_batch_size=batch_size,
     )
 
     start = time.perf_counter()
@@ -75,14 +84,14 @@ def service_run() -> None:
     by_kind = result.transcript.bits_by_kind()
     batches = result.transcript.messages_of_kind("report_batch")
     print(f"\nwire accounting ({result.transcript.n_messages()} messages):")
-    print(f"  report batches: {len(batches)} x <= {BATCH_SIZE:,} reports, "
+    print(f"  report batches: {len(batches)} x <= {batch_size:,} reports, "
           f"{by_kind['report_batch'] / 8e6:.2f} MB uploaded")
     print(f"  round broadcasts: {by_kind['service_round_open'] / 8e3:.1f} kB")
     print(f"  total upload: {result.upload_bits() / 8e6:.2f} MB, "
           f"total both ways: {result.communication_bits() / 8e6:.2f} MB")
 
 
-def streaming_run() -> None:
+def streaming_run(n_steps: int = 12) -> None:
     print("\n--- continual tracking over a drifting stream ---")
     config = MechanismConfig(
         k=5, epsilon=5.0, n_bits=10, granularity=5,
@@ -90,7 +99,7 @@ def streaming_run() -> None:
     )
     tracker = SlidingWindowDiscovery(config, window_batches=4, stride=2, rng=11)
     rng = np.random.default_rng(3)
-    for step in range(12):
+    for step in range(n_steps):
         # The dominant item flips from 37 to 805 halfway through the stream.
         hot = 37 if step < 6 else 805
         batch = np.concatenate(
@@ -104,8 +113,16 @@ def streaming_run() -> None:
 
 
 def main() -> None:
-    service_run()
-    streaming_run()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the canonical smoke scale (used by CI)")
+    args = parser.parse_args()
+    if args.smoke:
+        service_run(SMOKE_USERS, SMOKE_BATCH_SIZE)
+        streaming_run(n_steps=6)
+    else:
+        service_run(N_USERS, BATCH_SIZE)
+        streaming_run()
 
 
 if __name__ == "__main__":

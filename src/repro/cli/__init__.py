@@ -1,0 +1,66 @@
+"""The ``repro`` command line interface — the operator's front door.
+
+Four subcommands drive the library end to end without writing Python:
+
+* ``repro run``   — one mechanism on one dataset, JSON result out;
+* ``repro sweep`` — a declarative YAML/JSON sweep spec driven through the
+  resumable run store (``--resume`` continues a killed grid);
+* ``repro serve`` — the online aggregation service standing up for
+  streamed rounds with exact wire-bit accounting;
+* ``repro bench`` — any paper table/figure, computed fresh or re-rendered
+  from persisted results.
+
+Installed as the ``repro`` console script (``setup.py``); equally callable
+in-process as ``main(argv)``, which is how the CLI tests exercise it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cli import bench, run, serve, sweep
+from repro.cli.common import CLIError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The assembled top-level parser (one sub-parser per subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
+    for module in (run, sweep, serve, bench):
+        module.add_parser(subparsers)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` console script.
+
+    Returns the process exit status instead of raising ``SystemExit``, so
+    tests can call it directly: 0 on success, 2 on a usage/user error.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "handler", None) is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except CLIError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # pragma: no cover - piping into head etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""``python -m repro.cli`` — same entry point as the ``repro`` script."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,88 @@
+"""``repro serve`` — stand up the aggregation service for streamed rounds.
+
+Wraps :func:`repro.service.harness.serve_dataset`: an
+:class:`~repro.service.server.AggregationServer` plus one
+:class:`~repro.service.clients.ClientPool` per dataset party, streaming
+``--rounds`` full frequency-oracle rounds over the length-``--level``
+prefix domain.  Prints the per-round wire-bit accounting table (exact
+encoded bytes, not analytic estimates) and optionally the same data as
+JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import (
+    CLIError,
+    add_backend_arguments,
+    add_dataset_arguments,
+    add_smoke_argument,
+    emit_json,
+    resolve_scale,
+)
+from repro.datasets.registry import load_dataset
+from repro.service.harness import serve_dataset
+
+
+def add_parser(subparsers) -> argparse.ArgumentParser:
+    parser = subparsers.add_parser(
+        "serve",
+        help="stream service rounds through a server + client pools",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_dataset_arguments(parser)
+    parser.add_argument("--epsilon", type=float, default=4.0,
+                        help="per-user privacy budget ε (default: 4.0)")
+    parser.add_argument("--oracle", default="krr",
+                        help="frequency oracle: krr/oue/olh (default: krr)")
+    parser.add_argument("--level", type=int, default=6,
+                        help="prefix length of the round's candidate domain (default: 6)")
+    parser.add_argument("--rounds", type=int, default=1,
+                        help="rounds to stream per party (default: 1)")
+    parser.add_argument("--batch-size", type=int, default=4096,
+                        help="reports per wire batch (default: 4096)")
+    parser.add_argument(
+        "--users-per-round", type=int, default=None,
+        help="sample this many reporting users per round "
+             "(default: every user reports once)",
+    )
+    parser.add_argument("--top", type=int, default=10,
+                        help="top prefixes to report per round (default: 10)")
+    parser.add_argument("--rng", type=int, default=0,
+                        help="seed for report perturbation (default: 0)")
+    add_backend_arguments(parser)
+    add_smoke_argument(parser)
+    parser.add_argument("-o", "--output", default=None,
+                        help="also write the accounting report as JSON here")
+    parser.set_defaults(handler=cmd)
+    return parser
+
+
+def cmd(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args)
+    try:
+        dataset = load_dataset(args.dataset, scale=scale, seed=args.seed)
+    except KeyError as exc:
+        raise CLIError(str(exc.args[0]) if exc.args else str(exc)) from exc
+    try:
+        report = serve_dataset(
+            dataset,
+            epsilon=args.epsilon,
+            oracle=args.oracle,
+            level=args.level,
+            rounds=args.rounds,
+            batch_size=args.batch_size,
+            users_per_round=args.users_per_round,
+            top=args.top,
+            seed=args.rng,
+            decode_backend=args.backend,
+            decode_workers=args.workers,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    print(report.render())
+    if args.output is not None:
+        emit_json(report.to_dict(), args.output)
+    return 0

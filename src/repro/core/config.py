@@ -2,15 +2,16 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.engine import available_backends, get_backend
 from repro.ldp.base import FrequencyOracle, SimulationMode
 from repro.ldp.registry import make_oracle
-from repro.utils.validation import check_in_range, check_positive
+from repro.utils.validation import check_in_range, check_known_keys, check_positive
 
 
 #: Valid values of :attr:`MechanismConfig.execution_mode`.
@@ -105,6 +106,16 @@ class MechanismConfig:
         parties; prefer ``"thread"`` (or cell-level parallelism via
         :class:`~repro.experiments.runner.ExperimentSettings`) for many
         small runs.
+
+    Examples
+    --------
+    >>> config = MechanismConfig(k=10, epsilon=4.0, n_bits=16, granularity=8)
+    >>> config.step_size            # extension length per level, floor(m/g)
+    2
+    >>> config.effective_shared_level  # the paper's floor(0.25 g) heuristic
+    2
+    >>> config.with_updates(oracle="oue").oracle
+    'oue'
     """
 
     k: int = 10
@@ -213,6 +224,47 @@ class MechanismConfig:
     def with_updates(self, **changes) -> "MechanismConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Spec round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A JSON-safe mapping; :meth:`from_dict` round-trips it exactly.
+
+        Enum fields are stored by value, so the output is what a YAML/JSON
+        sweep spec would contain for the same configuration.
+
+        >>> config = MechanismConfig(k=5, epsilon=2.0, oracle="oue")
+        >>> config.to_dict()["extension"]
+        'adaptive'
+        >>> MechanismConfig.from_dict(config.to_dict()) == config
+        True
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            elif isinstance(value, dict):
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], *, source: str = "<config>"
+    ) -> "MechanismConfig":
+        """Build a configuration from a parsed spec mapping.
+
+        Unknown keys raise ``ValueError`` naming the valid alternatives;
+        the ``extension`` field accepts the enum's string value.
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        check_known_keys(data, field_names, where="config", source=source)
+        kwargs = dict(data)
+        if "extension" in kwargs and not isinstance(kwargs["extension"], ExtensionStrategy):
+            kwargs["extension"] = ExtensionStrategy(kwargs["extension"])
+        return cls(**kwargs)
 
     def for_dataset(self, n_bits: int) -> "MechanismConfig":
         """Adapt the binary width to a dataset, shrinking granularity if needed."""

@@ -5,7 +5,11 @@
 * :mod:`repro.experiments.figures` — Figures 4, 5, 6 and 7,
 * :mod:`repro.experiments.tables` — Tables 2, 3, 4, 5, 6, 7 and 8
   (Table 1 lives in :mod:`repro.analysis.costs`),
-* :mod:`repro.experiments.reporting` — plain-text rendering of the results.
+* :mod:`repro.experiments.reporting` — plain-text rendering of the results,
+* :mod:`repro.experiments.spec` — declarative YAML/JSON sweep specs
+  (what ``repro sweep`` consumes),
+* :mod:`repro.experiments.store` — the resumable run store (completed
+  cells as append-only JSON lines).
 
 Every entry point takes an :class:`ExperimentSettings` so that the same code
 runs at smoke-test scale in CI and at larger scales offline.
@@ -13,6 +17,7 @@ runs at smoke-test scale in CI and at larger scales offline.
 
 from repro.experiments.runner import (
     ExperimentSettings,
+    SMOKE_PRESET,
     SweepCell,
     SweepResult,
     build_mechanism,
@@ -23,6 +28,8 @@ from repro.experiments.runner import (
     run_sweep,
     MECHANISM_REGISTRY,
 )
+from repro.experiments.spec import SpecError, SweepSpec, load_spec, save_spec
+from repro.experiments.store import StoreError, SweepCellStore, cell_key
 from repro.experiments.figures import figure4, figure5, figure6, figure7
 from repro.experiments.tables import (
     table2,
@@ -45,8 +52,16 @@ from repro.experiments.serialization import (
 
 __all__ = [
     "ExperimentSettings",
+    "SMOKE_PRESET",
+    "SpecError",
+    "StoreError",
     "SweepCell",
+    "SweepCellStore",
     "SweepResult",
+    "SweepSpec",
+    "cell_key",
+    "load_spec",
+    "save_spec",
     "build_mechanism",
     "cell_seed",
     "evaluate_run",

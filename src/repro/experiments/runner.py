@@ -17,9 +17,11 @@ serial run — seeds are part of the cell spec, never of the schedule.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
+from concurrent.futures import as_completed
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -31,8 +33,12 @@ from repro.core.tap import TAPMechanism
 from repro.core.taps import TAPSMechanism
 from repro.datasets.base import FederatedDataset
 from repro.datasets.registry import load_dataset
-from repro.engine import ExecutionBackend, get_backend
+from repro.engine import ExecutionBackend, SerialBackend, get_backend
 from repro.metrics.scores import average_local_recall, f1_score, ncr_score
+from repro.utils.validation import check_known_keys
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us)
+    from repro.experiments.store import SweepCellStore
 
 #: Mechanism name → constructor taking a MechanismConfig.
 MECHANISM_REGISTRY: dict[str, Callable[[MechanismConfig], object]] = {
@@ -40,6 +46,18 @@ MECHANISM_REGISTRY: dict[str, Callable[[MechanismConfig], object]] = {
     "fedpem": FedPEMMechanism,
     "tap": TAPMechanism,
     "taps": TAPSMechanism,
+}
+
+
+#: The one canonical smoke-scale preset, shared by :meth:`ExperimentSettings.smoke`,
+#: every example script's ``--smoke`` flag and the CLI's ``--smoke`` flag:
+#: the tiny dataset scale, one repetition, a single (ε, k) point on RDB.
+SMOKE_PRESET: Mapping[str, object] = {
+    "scale": "tiny",
+    "repetitions": 1,
+    "epsilons": (4.0,),
+    "ks": (5,),
+    "datasets": ("rdb",),
 }
 
 
@@ -119,15 +137,46 @@ class ExperimentSettings:
         return replace(self, **changes)
 
     def smoke(self) -> "ExperimentSettings":
-        """A drastically reduced copy for unit tests."""
-        return replace(
-            self,
-            scale="tiny",
-            repetitions=1,
-            epsilons=(4.0,),
-            ks=(5,),
-            datasets=("rdb",),
-        )
+        """A drastically reduced copy for unit tests, CI and ``--smoke`` runs.
+
+        Applies :data:`SMOKE_PRESET` — the single canonical smoke scale —
+        while keeping execution knobs (backend, workers, oracle) intact.
+
+        >>> ExperimentSettings(backend="thread").smoke().scale
+        'tiny'
+        >>> ExperimentSettings(backend="thread").smoke().backend
+        'thread'
+        """
+        return replace(self, **SMOKE_PRESET)
+
+    # ------------------------------------------------------------------ #
+    # Spec round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A JSON-safe mapping; :meth:`from_dict` round-trips it exactly.
+
+        >>> s = ExperimentSettings(repetitions=2, epsilons=(1.0, 4.0))
+        >>> ExperimentSettings.from_dict(s.to_dict()) == s
+        True
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], *, source: str = "<settings>"
+    ) -> "ExperimentSettings":
+        """Build settings from a parsed spec mapping, rejecting unknown keys."""
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        check_known_keys(data, field_names, where="settings", source=source)
+        kwargs = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.items()
+        }
+        return cls(**kwargs)
 
 
 @dataclass
@@ -349,6 +398,36 @@ def run_cell(cell: SweepCell) -> dict:
     }
 
 
+def _run_cells_into_store(
+    engine: ExecutionBackend, cells: Sequence[SweepCell], store: "SweepCellStore"
+) -> None:
+    """Execute the cells missing from ``store``, persisting each on completion.
+
+    Records are appended (and flushed) the moment their cell finishes —
+    in cell order on the serial backend, in completion order on the pool
+    backends — so a killed sweep loses at most the cells in flight.  On a
+    task failure the pending cells are cancelled, but every already
+    completed cell has been persisted, which is exactly what ``--resume``
+    picks up.
+    """
+    pending = [cell for cell in cells if cell not in store]
+    if isinstance(engine, SerialBackend):
+        for cell in pending:
+            store.append(cell, run_cell(cell))
+        return
+    futures = {engine.submit(run_cell, cell): cell for cell in pending}
+    try:
+        for future in as_completed(futures):
+            exc = future.exception()
+            if exc is not None:
+                raise exc
+            store.append(futures[future], future.result())
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+
+
 def run_sweep(
     settings: ExperimentSettings,
     *,
@@ -360,6 +439,7 @@ def run_sweep(
     dataset_kwargs: Mapping[str, object] | None = None,
     backend: str | ExecutionBackend | None = None,
     max_workers: int | None = None,
+    store: "SweepCellStore | None" = None,
 ) -> SweepResult:
     """Run the full mechanism × dataset × ε × k × repetition grid.
 
@@ -368,6 +448,16 @@ def run_sweep(
     :func:`evaluate_run`.  Cells execute on the engine backend selected by
     ``backend`` (default: ``settings.backend``); records come back in grid
     order and are identical across backends for a fixed seed.
+
+    ``store`` plugs in a resumable run store
+    (:class:`~repro.experiments.store.SweepCellStore`): cells already in
+    the store are *not* recomputed, newly finished cells are persisted as
+    they complete, and the returned records — stored and fresh alike — come
+    back in grid order, bit-identical to a storeless run for a fixed seed.
+
+    >>> sweep = run_sweep(ExperimentSettings().smoke())
+    >>> sorted(sweep.records[0])[:4]
+    ['communication_bits', 'dataset', 'epsilon', 'f1']
     """
     cells = list(
         iter_cells(
@@ -385,5 +475,9 @@ def run_sweep(
         settings.max_workers if max_workers is None else max_workers,
     )
     with engine:
-        records = engine.map_tasks(run_cell, cells)
+        if store is None:
+            records = engine.map_tasks(run_cell, cells)
+        else:
+            _run_cells_into_store(engine, cells, store)
+            records = [store.get(cell) for cell in cells]
     return SweepResult(settings=settings, records=list(records))

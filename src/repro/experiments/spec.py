@@ -1,0 +1,210 @@
+"""Declarative sweep specifications: YAML/JSON documents that drive sweeps.
+
+A *spec* is the operator-facing description of one sweep: the
+:class:`~repro.experiments.runner.ExperimentSettings` knobs, the grid axes,
+and the optional per-cell configuration overrides.  ``repro sweep`` loads a
+spec, validates it against the dataclass schemas, and hands the result to
+:func:`~repro.experiments.runner.run_sweep` — a spec-driven run is
+bit-identical to the equivalent API call for a fixed seed, because the spec
+round-trips *exactly* onto the dataclasses (``tests/test_experiments_spec.py``
+pins this down).
+
+Document layout (YAML shown; JSON is isomorphic)::
+
+    name: small-accuracy-grid        # optional, free-form label
+    settings:                        # ExperimentSettings fields
+      scale: small
+      repetitions: 3
+      seed: 2025
+      backend: process
+    grid:                            # sugar for the 4 grid-axis fields
+      datasets: [rdb, syn]
+      mechanisms: [fedpem, taps]
+      epsilons: [1.0, 2.0, 4.0]
+      ks: [10]
+    config_overrides:                # MechanismConfig fields forced per cell
+      oracle: krr
+    dataset_kwargs:                  # forwarded to load_dataset
+      dirichlet_beta: 0.5
+
+Unknown keys raise :class:`SpecError` with the valid alternatives — specs
+are operator input, so every failure names the offending key and file.
+YAML requires PyYAML; JSON always works (``.json`` files, or any file whose
+first non-space character is ``{``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.config import MechanismConfig
+from repro.experiments.runner import ExperimentSettings
+from repro.utils.validation import check_known_keys
+
+#: Top-level keys a spec document may contain.
+SPEC_KEYS: tuple[str, ...] = (
+    "name",
+    "settings",
+    "grid",
+    "config_overrides",
+    "dataset_kwargs",
+)
+
+#: The ``grid:`` section is sugar for these ExperimentSettings fields.
+GRID_KEYS: tuple[str, ...] = ("datasets", "mechanisms", "epsilons", "ks")
+
+
+class SpecError(ValueError):
+    """A sweep spec is malformed; the message names key and source."""
+
+
+def _check_keys(mapping: Mapping, allowed: tuple[str, ...], *, where: str, source: str):
+    check_known_keys(mapping, allowed, where=where, source=source, error=SpecError)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One validated sweep specification.
+
+    ``settings`` already carries the grid axes (they are
+    :class:`ExperimentSettings` fields), so running a spec is just
+    ``run_sweep(spec.settings, config_overrides=..., dataset_kwargs=...)``.
+    """
+
+    settings: ExperimentSettings
+    config_overrides: dict = field(default_factory=dict)
+    dataset_kwargs: dict = field(default_factory=dict)
+    name: str = "sweep"
+
+    # ------------------------------------------------------------------ #
+    # Construction / validation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, source: str = "<spec>") -> "SweepSpec":
+        """Validate a parsed spec document into a :class:`SweepSpec`."""
+        if not isinstance(data, Mapping):
+            raise SpecError(f"{source}: a spec must be a mapping, got {type(data).__name__}")
+        _check_keys(data, SPEC_KEYS, where="spec", source=source)
+
+        def _section(key: str) -> dict:
+            section = data.get(key) or {}
+            if not isinstance(section, Mapping):
+                raise SpecError(
+                    f"{source}: {key!r} must be a mapping, "
+                    f"got {type(section).__name__}"
+                )
+            return dict(section)
+
+        settings_data = _section("settings")
+        grid = _section("grid")
+        _check_keys(grid, GRID_KEYS, where="grid", source=source)
+        for axis, values in grid.items():
+            if axis in settings_data:
+                raise SpecError(
+                    f"{source}: grid axis {axis!r} also appears under 'settings'; "
+                    "specify each axis once"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SpecError(f"{source}: grid axis {axis!r} must be a non-empty list")
+            settings_data[axis] = list(values)
+
+        try:
+            settings = ExperimentSettings.from_dict(settings_data, source=source)
+        except (TypeError, ValueError, KeyError) as exc:
+            raise SpecError(f"{source}: invalid settings: {exc}") from exc
+
+        overrides = _section("config_overrides")
+        config_fields = tuple(f.name for f in dataclasses.fields(MechanismConfig))
+        _check_keys(overrides, config_fields, where="config_overrides", source=source)
+
+        dataset_kwargs = _section("dataset_kwargs")
+        name = data.get("name") or "sweep"
+        if not isinstance(name, str):
+            raise SpecError(f"{source}: 'name' must be a string")
+        return cls(
+            settings=settings,
+            config_overrides=overrides,
+            dataset_kwargs=dataset_kwargs,
+            name=name,
+        )
+
+    def to_dict(self) -> dict:
+        """The JSON-safe document form; ``from_dict`` round-trips it."""
+        return {
+            "name": self.name,
+            "settings": self.settings.to_dict(),
+            "config_overrides": dict(self.config_overrides),
+            "dataset_kwargs": dict(self.dataset_kwargs),
+        }
+
+    #: Settings fields excluded from the fingerprint: pure execution knobs
+    #: (every backend/worker count yields identical records for a fixed
+    #: seed), plus the free-form label.  Resuming a killed sweep on a
+    #: different backend — or another machine — must therefore work.
+    _EXECUTION_ONLY: tuple[str, ...] = ("backend", "max_workers", "party_backend")
+
+    def fingerprint(self) -> str:
+        """A stable digest of the grid identity — the resume-compatibility token.
+
+        Two specs with the same fingerprint enumerate the same grid with
+        the same seeds, so a run store written under one can be resumed
+        under the other.  Execution-only knobs (``backend``,
+        ``max_workers``, ``party_backend``) and the spec ``name`` are
+        excluded: they never change what a cell computes.
+        """
+        doc = self.to_dict()
+        doc.pop("name", None)
+        for field_name in self._EXECUTION_ONLY:
+            doc["settings"].pop(field_name, None)
+        canonical = json.dumps(doc, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# File I/O
+# --------------------------------------------------------------------------- #
+def _parse_text(text: str, *, source: str, fmt: str | None = None) -> Any:
+    """Parse YAML or JSON text, auto-detecting when ``fmt`` is None."""
+    stripped = text.lstrip()
+    if fmt == "json" or (fmt is None and stripped.startswith("{")):
+        # A '{' under an explicit yaml fmt is fine — YAML flow style — so
+        # the sniff only applies to extension-less/unknown sources.
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"{source}: invalid JSON: {exc}") from exc
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - PyYAML is in the image
+        raise SpecError(
+            f"{source}: parsing YAML requires PyYAML, which is not installed; "
+            "write the spec as JSON instead"
+        ) from exc
+    try:
+        return yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        raise SpecError(f"{source}: invalid YAML: {exc}") from exc
+
+
+def load_spec(path: str | Path) -> SweepSpec:
+    """Load and validate a sweep spec from a YAML or JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file {path} does not exist")
+    suffix = path.suffix.lower()
+    fmt = {".json": "json", ".yaml": "yaml", ".yml": "yaml"}.get(suffix)
+    data = _parse_text(path.read_text(encoding="utf-8"), source=str(path), fmt=fmt)
+    return SweepSpec.from_dict(data, source=str(path))
+
+
+def save_spec(spec: SweepSpec, path: str | Path) -> Path:
+    """Write the resolved spec document (always JSON, always loadable)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True), encoding="utf-8")
+    return path

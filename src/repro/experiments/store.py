@@ -1,0 +1,214 @@
+"""The resumable run store: completed sweep cells as append-only JSON lines.
+
+Long sweeps die — machines reboot, jobs get preempted, grids get killed at
+80%.  A :class:`SweepCellStore` makes the grid restartable at cell
+granularity: every finished cell is appended (and flushed) as one JSON line
+the moment it completes, and a resumed sweep skips every cell whose key is
+already on disk.  Because each cell's record is a pure function of its
+:func:`~repro.experiments.runner.cell_seed`-fixed spec, the merged result of
+*any* interleaving of partial runs is bit-identical to one uninterrupted
+run (``tests/test_experiments_store.py`` pins this down).
+
+File layout — line 1 is a header, every further line one completed cell::
+
+    {"kind": "repro-sweep-cells", "version": 1, "fingerprint": "ab12..."}
+    {"key": ["rdb", "taps", 4.0, 10, 0, 2525], "record": {...}}
+
+The key is ``(dataset, mechanism, epsilon, k, repetition, cell_seed)`` —
+the full cell identity (the seed alone is shared by cells that differ only
+in dataset/ε/k).  The ``fingerprint`` ties the store to the sweep spec that
+produced it; resuming under a different spec raises :class:`StoreError`
+instead of silently mixing grids.  A partial trailing line (the footprint
+of a mid-write kill) is truncated away on resume — that one cell is simply
+recomputed, and subsequent appends start cleanly on their own line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import SweepCell
+
+#: Header sentinel of a cell-store file.
+STORE_KIND = "repro-sweep-cells"
+STORE_VERSION = 1
+
+#: Type of a cell key: (dataset, mechanism, epsilon, k, repetition, seed).
+CellKey = tuple
+
+
+class StoreError(RuntimeError):
+    """A cell store cannot be (re)opened as requested."""
+
+
+def cell_key(cell: SweepCell) -> CellKey:
+    """The identity of one sweep cell, JSON-round-trip safe."""
+    return (
+        str(cell.dataset),
+        str(cell.mechanism),
+        float(cell.epsilon),
+        int(cell.k),
+        int(cell.repetition),
+        int(cell.seed),
+    )
+
+
+def _key_from_json(raw) -> CellKey:
+    dataset, mechanism, epsilon, k, repetition, seed = raw
+    return (str(dataset), str(mechanism), float(epsilon), int(k), int(repetition), int(seed))
+
+
+class SweepCellStore:
+    """Append-only store of completed sweep-cell records.
+
+    Parameters
+    ----------
+    path:
+        The JSON-lines file.  Parent directories are created.
+    fingerprint:
+        Spec fingerprint stamped into the header (see
+        :meth:`~repro.experiments.spec.SweepSpec.fingerprint`).  ``None``
+        skips the compatibility check on resume.
+    resume:
+        ``True`` loads the existing cells (if any) and appends to the file;
+        ``False`` refuses to open a file that already holds cells — pass
+        ``overwrite=True`` to truncate it instead.
+    overwrite:
+        With ``resume=False``, truncate an existing non-empty store.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fingerprint: str | None = None,
+        resume: bool = False,
+        overwrite: bool = False,
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._records: dict[CellKey, dict] = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        if exists and resume:
+            keep_bytes = self._load_existing()
+            # Truncate away a partial/corrupt tail *before* appending, so
+            # the next record starts on its own line.  Without this, the
+            # first append after a mid-write kill would glue onto the
+            # fragment and corrupt the store for every later resume.
+            if keep_bytes < self.path.stat().st_size:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(keep_bytes)
+            self._handle = self.path.open("a", encoding="utf-8", newline="\n")
+        else:
+            if exists and not overwrite:
+                raise StoreError(
+                    f"run store {self.path} already exists; resume it "
+                    "(resume=True / --resume) or overwrite it "
+                    "(overwrite=True / --force)"
+                )
+            self._handle = self.path.open("w", encoding="utf-8", newline="\n")
+            self._write_line(
+                {
+                    "kind": STORE_KIND,
+                    "version": STORE_VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def _load_existing(self) -> int:
+        """Parse the store; return the byte length of its valid prefix.
+
+        Only newline-terminated lines count — an unterminated tail (the
+        fragment of a mid-write kill), or a final complete line that does
+        not parse, is excluded from the returned length so the caller can
+        truncate it away; its cell is simply recomputed.  Corruption
+        anywhere *before* the final line raises.
+
+        Reads bytes and splits on ``\\n`` only (the store is written with
+        ``newline="\\n"`` on every platform), so the returned length is an
+        exact on-disk byte offset — universal-newline translation would
+        silently shift it and make the truncation cut into valid records.
+        """
+        text = self.path.read_bytes().decode("utf-8")
+        complete = text[: text.rfind("\n") + 1]
+        lines = complete.split("\n")[:-1] if complete else []
+        if not lines:
+            raise StoreError(
+                f"{self.path}: unreadable store header (incomplete write)"
+            )
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{self.path}: unreadable store header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("kind") != STORE_KIND:
+            raise StoreError(
+                f"{self.path} is not a sweep cell store (missing "
+                f"{STORE_KIND!r} header)"
+            )
+        stored = header.get("fingerprint")
+        if self.fingerprint is not None and stored is not None and stored != self.fingerprint:
+            raise StoreError(
+                f"{self.path} was written for a different sweep spec "
+                f"(store fingerprint {stored}, spec fingerprint "
+                f"{self.fingerprint}); refusing to mix grids — use a fresh "
+                "output directory or rerun with the original spec"
+            )
+        keep_chars = len(lines[0]) + 1
+        for lineno, line in enumerate(lines[1:], start=2):
+            if line.strip():
+                try:
+                    entry = json.loads(line)
+                    key = _key_from_json(entry["key"])
+                    record = dict(entry["record"])
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    if lineno == len(lines):
+                        break  # mid-write kill: recompute that one cell
+                    raise StoreError(f"{self.path}:{lineno}: corrupt cell entry")
+                self._records[key] = record
+            keep_chars += len(line) + 1
+        return len(complete[:keep_chars].encode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append(self, cell: SweepCell, record: dict) -> None:
+        """Persist one completed cell (flushed immediately — kill-safe)."""
+        key = cell_key(cell)
+        self._records[key] = dict(record)
+        self._write_line({"key": list(key), "record": dict(record)})
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __contains__(self, cell: SweepCell) -> bool:
+        return cell_key(cell) in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, cell: SweepCell) -> dict:
+        """The stored record of ``cell`` (KeyError if not yet computed)."""
+        return dict(self._records[cell_key(cell)])
+
+    def close(self) -> None:
+        """Flush and close the underlying file handle."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SweepCellStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepCellStore(path={str(self.path)!r}, cells={len(self)})"

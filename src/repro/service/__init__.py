@@ -17,7 +17,10 @@ server memory is ``O(domain_size)``:
   ``MechanismConfig(execution_mode="service")`` into end-to-end streamed
   TAP/TAPS runs;
 * :mod:`repro.service.streaming` — sliding-window re-discovery for
-  continual heavy-hitter tracking.
+  continual heavy-hitter tracking;
+* :mod:`repro.service.harness` — :func:`serve_dataset`, the programmatic
+  serve harness behind ``repro serve`` (server + per-party client pools +
+  per-round wire-bit reports in one call).
 
 Determinism contract: for a fixed seed on the serial backend, a service run
 is bit-identical to the in-memory run with the same report batching
@@ -25,6 +28,7 @@ is bit-identical to the in-memory run with the same report batching
 """
 
 from repro.service.clients import DEFAULT_BATCH_SIZE, ClientPool, iter_perturbed_batches
+from repro.service.harness import RoundReport, ServeReport, serve_dataset
 from repro.service.protocol import (
     REPORT_CODECS,
     ReportBatch,
@@ -56,6 +60,8 @@ __all__ = [
     "REPORT_CODECS",
     "ReportBatch",
     "RoundBroadcast",
+    "RoundReport",
+    "ServeReport",
     "ServiceError",
     "ServiceRound",
     "ServiceRoundRunner",
@@ -71,5 +77,6 @@ __all__ = [
     "make_shard",
     "register_report_codec",
     "run_in_service_mode",
+    "serve_dataset",
     "wire_bits",
 ]

@@ -79,6 +79,30 @@ class AggregationServer:
     n_decode_shards:
         Candidate ranges per OLH decode (see
         :class:`~repro.service.shards.OLHDecodeShard`).
+
+    Examples
+    --------
+    Stream one round by hand — open, ingest bounded wire batches, finalise
+    (``iter_perturbed_batches`` is what :class:`~repro.service.clients.ClientPool`
+    uses under the hood):
+
+    >>> import numpy as np
+    >>> from repro.ldp.registry import make_oracle
+    >>> from repro.service.clients import iter_perturbed_batches
+    >>> from repro.trie.candidate_domain import CandidateDomain
+    >>> server = AggregationServer()
+    >>> domain = CandidateDomain.full_domain(2)
+    >>> oracle = make_oracle("krr", 4.0)
+    >>> rid = server.open_round(party="demo", level=2, oracle=oracle, domain=domain)
+    >>> values = np.array([0, 1, 1, 3])
+    >>> for batch in iter_perturbed_batches(oracle, values, domain.size, 0,
+    ...                                     batch_size=2, party="demo", level=2):
+    ...     _ = server.ingest_batch(rid, batch)
+    >>> estimate = server.finalize_round(rid)
+    >>> int(estimate.n_users), estimate.oracle_name
+    (4, 'krr')
+    >>> server.upload_bits() > 0 and server.broadcast_bits() > 0
+    True
     """
 
     def __init__(

@@ -59,3 +59,25 @@ def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None
         else:
             names = expected.__name__
         raise TypeError(f"{name} must be of type {names}, got {type(value).__name__}")
+
+
+def check_known_keys(
+    mapping: "Any",
+    allowed: "Any",
+    *,
+    where: str,
+    source: str,
+    error: type = ValueError,
+) -> None:
+    """Raise ``error`` naming any key of ``mapping`` not in ``allowed``.
+
+    The shared validator behind every spec/config ``from_dict``: operator
+    input gets one uniform "unknown X key(s) [...]; allowed: [...]" message
+    that always names the offending keys and the source document.
+    """
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        raise error(
+            f"{source}: unknown {where} key(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )

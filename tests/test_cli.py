@@ -1,0 +1,257 @@
+"""End-to-end tests of the ``repro`` CLI (run / sweep / serve / bench).
+
+Everything goes through ``main(argv)`` — the same entry point the console
+script installs — asserting both the exit statuses and the CLI ↔ API
+equivalence guarantees (a CLI invocation is bit-identical to the direct
+API calls for a fixed seed, modulo wall-clock keys).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.registry import load_dataset
+from repro.experiments.runner import (
+    ExperimentSettings,
+    build_mechanism,
+    make_config,
+    run_sweep,
+)
+from repro.experiments.serialization import load_sweep, summarize_result
+
+SPEC_DICT = {
+    "name": "cli-test",
+    "settings": {"scale": "tiny", "repetitions": 2, "seed": 2025, "granularity": 6},
+    "grid": {
+        "datasets": ["rdb"],
+        "mechanisms": ["fedpem", "taps"],
+        "epsilons": [4.0],
+        "ks": [5],
+    },
+}
+
+
+def write_spec(tmp_path, data=None):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(data or SPEC_DICT))
+    return path
+
+
+def strip_runtime(records):
+    return [{k: v for k, v in r.items() if k != "runtime_seconds"} for r in records]
+
+
+def spec_settings() -> ExperimentSettings:
+    return ExperimentSettings(
+        scale="tiny",
+        repetitions=2,
+        seed=2025,
+        granularity=6,
+        datasets=("rdb",),
+        mechanisms=("fedpem", "taps"),
+        epsilons=(4.0,),
+        ks=(5,),
+    )
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command_exits_via_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestRun:
+    def test_json_output_and_api_equivalence(self, capsys):
+        assert main(["run", "taps", "--smoke", "--rng", "0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mechanism"] == "taps"
+        assert 0.0 <= payload["metrics"]["f1"] <= 1.0
+        # --smoke applies the full canonical preset, k and ε included.
+        assert payload["config"]["k"] == 5 and payload["config"]["epsilon"] == 4.0
+
+        # The CLI run must be bit-identical to the equivalent API calls.
+        settings = ExperimentSettings(
+            scale="tiny", repetitions=1, granularity=6, oracle="krr", seed=2025
+        )
+        dataset = load_dataset("rdb", scale="tiny", seed=2025)
+        config = make_config(settings, dataset, k=5, epsilon=4.0)
+        result = build_mechanism("taps", config).run(dataset, rng=0)
+        expected = summarize_result(result)
+        actual = payload["summary"]
+        for key in ("runtime_seconds",):
+            expected.pop(key), actual.pop(key)
+        assert actual == expected
+
+    def test_explicit_flags_beat_the_smoke_preset(self, capsys):
+        assert main(["run", "taps", "--smoke", "-k", "7", "--rng", "0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["k"] == 7
+
+    def test_explicit_scale_beats_the_smoke_preset(self, capsys):
+        assert main(["run", "taps", "--smoke", "--scale", "small", "--rng", "0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scale"] == "small"
+        assert payload["config"]["k"] == 5  # the rest of the preset still applies
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        assert main(["run", "gtf", "--smoke", "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert json.loads(out.read_text())["mechanism"] == "gtf"
+
+
+class TestSweep:
+    def test_spec_run_matches_api_and_resume_is_bit_identical(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(spec), "-o", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "4 cells (0 reused, 4 computed)" in err
+        assert (out / "spec.json").exists() and (out / "cells.jsonl").exists()
+
+        uninterrupted = load_sweep(out / "sweep.json")
+        api = run_sweep(spec_settings())
+        assert strip_runtime(uninterrupted.records) == strip_runtime(api.records)
+
+        # Simulate a kill at 50%: drop the last two completed cells plus a
+        # partial line mid-write, then rerun with --resume.
+        store_path = out / "cells.jsonl"
+        lines = store_path.read_text().splitlines()
+        store_path.write_text("\n".join(lines[:3]) + '\n{"key": ["rdb", "ta')
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "--resume"]) == 0
+        assert "4 cells (2 reused, 2 computed)" in capsys.readouterr().err
+
+        resumed = load_sweep(out / "sweep.json")
+        assert strip_runtime(resumed.records) == strip_runtime(uninterrupted.records)
+        # The two reused cells kept their original wall-clock values —
+        # proof they were not recomputed.
+        assert [r["runtime_seconds"] for r in resumed.records[:2]] == [
+            r["runtime_seconds"] for r in uninterrupted.records[:2]
+        ]
+
+    def test_existing_store_without_resume_fails(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q"]) == 0
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q"]) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_resume_under_a_different_spec_fails(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q"]) == 0
+        original_spec_json = (out / "spec.json").read_text()
+        changed = dict(SPEC_DICT, grid={**SPEC_DICT["grid"], "epsilons": [3.0]})
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(changed))
+        assert main(["sweep", "--spec", str(other), "-o", str(out), "--resume", "-q"]) == 2
+        assert "different sweep spec" in capsys.readouterr().err
+        # A refused invocation must not rewrite the provenance record.
+        assert (out / "spec.json").read_text() == original_spec_json
+
+    def test_resume_survives_backend_and_worker_changes(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q"]) == 0
+        first = load_sweep(out / "sweep.json")
+        # Execution knobs are not part of the grid identity: resuming the
+        # same spec on another backend/worker count must reuse every cell.
+        assert main([
+            "sweep", "--spec", str(spec), "-o", str(out), "--resume",
+            "--backend", "thread", "--workers", "2",
+        ]) == 0
+        assert "(4 reused, 0 computed)" in capsys.readouterr().err
+        resumed = load_sweep(out / "sweep.json")
+        assert strip_runtime(resumed.records) == strip_runtime(first.records)
+
+    def test_force_overwrites(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q"]) == 0
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q", "--force"]) == 0
+
+    def test_bad_spec_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"settings": {"not_a_knob": 1}}))
+        assert main(["sweep", "--spec", str(bad), "-o", str(tmp_path / "o")]) == 2
+        assert "not_a_knob" in capsys.readouterr().err
+
+
+class TestServe:
+    ARGS = ["serve", "--smoke", "--level", "4", "--batch-size", "256",
+            "--rounds", "2", "--rng", "3"]
+
+    def test_prints_accounting_and_is_deterministic(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        assert main(self.ARGS + ["-o", str(out_a)]) == 0
+        rendered = capsys.readouterr().out
+        assert "upload (kB)" in rendered and "round" in rendered
+
+        out_b = tmp_path / "b.json"
+        assert main(self.ARGS + ["-o", str(out_b)]) == 0
+        capsys.readouterr()
+        report_a = json.loads(out_a.read_text())
+        report_b = json.loads(out_b.read_text())
+        assert report_a == report_b
+        assert report_a["upload_bits"] > 0 and report_a["broadcast_bits"] > 0
+        # Two parties (RDB) × two rounds.
+        assert len(report_a["rounds"]) == 4
+
+
+class TestBench:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "figure7" in out
+
+    def test_compute_persist_and_rerender(self, tmp_path, capsys):
+        assert main(["bench", "table8", "--smoke", "-o", str(tmp_path)]) == 0
+        computed = capsys.readouterr().out
+        assert "Table 8" in computed
+        artifact = tmp_path / "table8.json"
+        payload = json.loads(artifact.read_text())
+        assert payload["target"] == "table8" and payload["records"]
+
+        # Re-render from the persisted records: no recomputation, same data.
+        assert main(["bench", "table8", "--from", str(artifact)]) == 0
+        rerendered = capsys.readouterr().out
+        assert "Table 8" in rerendered
+        for record in payload["records"]:
+            assert f"{record['f1']:.4f}" in rerendered
+
+    def test_pivot_rerenders_sweep_output(self, tmp_path, capsys):
+        spec = write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q"]) == 0
+        assert main([
+            "bench", "pivot", "--from", str(out / "sweep.json"),
+            "--rows", "mechanism", "--cols", "epsilon", "--value", "f1",
+        ]) == 0
+        assert "fedpem" in capsys.readouterr().out
+
+    def test_missing_records_file(self, capsys):
+        assert main(["bench", "table8", "--from", "/nonexistent.json"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_rerender_with_missing_pivot_keys_is_a_clean_error(self, tmp_path, capsys):
+        # table3's recipe needs step_size, which plain sweep records lack —
+        # that must surface as a friendly CLIError, not a KeyError traceback.
+        spec = write_spec(tmp_path)
+        out = tmp_path / "out"
+        assert main(["sweep", "--spec", str(spec), "-o", str(out), "-q"]) == 0
+        assert main(["bench", "table3", "--from", str(out / "sweep.json")]) == 2
+        assert "step_size" in capsys.readouterr().err
+
+    def test_figure_rerender(self, tmp_path, capsys):
+        assert main(["bench", "figure7", "--smoke", "-o", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "figure7", "--from", str(tmp_path / "figure7.json")]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "eps=4" in out

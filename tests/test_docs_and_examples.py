@@ -1,0 +1,91 @@
+"""Docs can't rot: doctests on the public API, executable docs, live links.
+
+Three enforcement layers:
+
+* **Doctests** — the runnable examples in the public-API docstrings
+  (package quickstart, ``MechanismConfig``, ``run_sweep``,
+  ``AggregationServer``, the serve harness) are executed as written.
+* **Markdown code** — every ```` ```python ```` block in README.md and
+  ``docs/*.md`` is executed as written, unless the preceding line opts out
+  with ``<!-- docs-exec: skip ... -->`` (reserved for blocks that run at
+  benchmark scale).
+* **Links** — every relative markdown link in README.md and ``docs/*.md``
+  must point at a file that exists.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+#: The public-API modules whose docstring examples must stay runnable.
+DOCTEST_MODULES = [
+    "repro",
+    "repro.core.config",
+    "repro.experiments.runner",
+    "repro.service.harness",
+    "repro.service.server",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_public_api_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.attempted > 0, f"{module_name} lost its docstring examples"
+    assert results.failed == 0
+
+
+def iter_python_blocks(path: Path):
+    """(start_line, source) of each executable ```python block in a file."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    index = 0
+    while index < len(lines):
+        if lines[index].strip().startswith("```python"):
+            skipped = index > 0 and "docs-exec: skip" in lines[index - 1]
+            start = index + 1
+            block: list[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].strip().startswith("```"):
+                block.append(lines[index])
+                index += 1
+            if not skipped:
+                yield start, "\n".join(block)
+        index += 1
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_markdown_python_blocks_execute(doc):
+    blocks = list(iter_python_blocks(doc))
+    assert blocks, f"{doc.name} has no executable python blocks"
+    for start, source in blocks:
+        namespace: dict = {"__name__": "__docs__"}
+        try:
+            exec(compile(source, f"{doc.name}:{start}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - the assert is the point
+            pytest.fail(f"{doc.name} block at line {start} failed: {exc!r}")
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_markdown_links_resolve(doc):
+    broken = []
+    for target in LINK_RE.findall(doc.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name} has broken relative links: {broken}"

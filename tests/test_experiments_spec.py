@@ -1,0 +1,163 @@
+"""Declarative sweep specs: parsing, validation, round-trip, fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings
+from repro.experiments.spec import (
+    SpecError,
+    SweepSpec,
+    load_spec,
+    save_spec,
+)
+
+SPEC_DICT = {
+    "name": "unit-spec",
+    "settings": {"scale": "tiny", "repetitions": 2, "seed": 7, "granularity": 5},
+    "grid": {
+        "datasets": ["rdb"],
+        "mechanisms": ["fedpem", "taps"],
+        "epsilons": [2.0, 4.0],
+        "ks": [5],
+    },
+    "config_overrides": {"oracle": "krr"},
+    "dataset_kwargs": {},
+}
+
+
+class TestFromDict:
+    def test_grid_axes_land_on_settings(self):
+        spec = SweepSpec.from_dict(SPEC_DICT)
+        assert spec.settings.datasets == ("rdb",)
+        assert spec.settings.mechanisms == ("fedpem", "taps")
+        assert spec.settings.epsilons == (2.0, 4.0)
+        assert spec.settings.ks == (5,)
+        assert spec.settings.repetitions == 2
+        assert spec.name == "unit-spec"
+
+    def test_axes_may_live_under_settings_directly(self):
+        spec = SweepSpec.from_dict(
+            {"settings": {"scale": "tiny", "mechanisms": ["taps"]}}
+        )
+        assert spec.settings.mechanisms == ("taps",)
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(SpecError, match="typo_key"):
+            SweepSpec.from_dict({"typo_key": 1})
+
+    def test_unknown_settings_key(self):
+        with pytest.raises(SpecError, match="not_a_knob"):
+            SweepSpec.from_dict({"settings": {"not_a_knob": 1}})
+
+    def test_unknown_config_override(self):
+        with pytest.raises(SpecError, match="not_a_config_field"):
+            SweepSpec.from_dict({"config_overrides": {"not_a_config_field": 1}})
+
+    def test_axis_in_both_grid_and_settings(self):
+        with pytest.raises(SpecError, match="once"):
+            SweepSpec.from_dict(
+                {"settings": {"ks": [5]}, "grid": {"ks": [5]}}
+            )
+
+    def test_empty_grid_axis(self):
+        with pytest.raises(SpecError, match="non-empty"):
+            SweepSpec.from_dict({"grid": {"datasets": []}})
+
+    def test_invalid_settings_value_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="backend"):
+            SweepSpec.from_dict({"settings": {"backend": "quantum"}})
+
+    def test_non_mapping_document(self):
+        with pytest.raises(SpecError, match="mapping"):
+            SweepSpec.from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize("section", ["settings", "grid", "config_overrides", "dataset_kwargs"])
+    def test_non_mapping_section(self, section):
+        with pytest.raises(SpecError, match=f"'{section}' must be a mapping"):
+            SweepSpec.from_dict({section: "small"})
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        spec = SweepSpec.from_dict(SPEC_DICT)
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_settings_round_trip_is_exact(self):
+        settings = ExperimentSettings(
+            scale="tiny", repetitions=2, epsilons=(1.0, 4.0), backend="thread"
+        )
+        assert ExperimentSettings.from_dict(settings.to_dict()) == settings
+
+    def test_settings_reject_unknown_keys(self):
+        with pytest.raises(ValueError, match="bogus"):
+            ExperimentSettings.from_dict({"bogus": 1})
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = SweepSpec.from_dict(SPEC_DICT)
+        b = SweepSpec.from_dict(json.loads(json.dumps(SPEC_DICT)))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_with_the_grid(self):
+        a = SweepSpec.from_dict(SPEC_DICT)
+        changed = dict(SPEC_DICT, grid={**SPEC_DICT["grid"], "ks": [10]})
+        assert a.fingerprint() != SweepSpec.from_dict(changed).fingerprint()
+
+    def test_ignores_execution_knobs_and_name(self):
+        # Backends never change what a cell computes, so they must not
+        # invalidate a resume; nor should relabelling the spec.
+        a = SweepSpec.from_dict(SPEC_DICT)
+        changed = dict(
+            SPEC_DICT,
+            name="renamed",
+            settings={
+                **SPEC_DICT["settings"],
+                "backend": "thread",
+                "max_workers": 4,
+                "party_backend": "thread",
+            },
+        )
+        assert a.fingerprint() == SweepSpec.from_dict(changed).fingerprint()
+
+
+class TestFiles:
+    def test_yaml_load(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text(
+            "name: yaml-spec\n"
+            "settings:\n  scale: tiny\n  repetitions: 1\n"
+            "grid:\n  datasets: [rdb]\n  mechanisms: [taps]\n"
+            "  epsilons: [4.0]\n  ks: [5]\n"
+        )
+        spec = load_spec(path)
+        assert spec.name == "yaml-spec"
+        assert spec.settings.mechanisms == ("taps",)
+
+    def test_yaml_flow_style_load(self, tmp_path):
+        # YAML is a JSON superset; a .yaml file in flow style must go
+        # through the YAML parser, not the '{' JSON sniff.
+        path = tmp_path / "flow.yaml"
+        path.write_text(
+            "{settings: {scale: tiny}, grid: {datasets: [rdb], "
+            "mechanisms: [taps], epsilons: [4.0], ks: [5]}}\n"
+        )
+        assert load_spec(path).settings.mechanisms == ("taps",)
+
+    def test_json_load_and_save_round_trip(self, tmp_path):
+        spec = SweepSpec.from_dict(SPEC_DICT)
+        path = save_spec(spec, tmp_path / "spec.json")
+        assert load_spec(path) == spec
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="does not exist"):
+            load_spec(tmp_path / "nope.yaml")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError, match="invalid JSON"):
+            load_spec(path)
