@@ -48,6 +48,7 @@ from repro.ldp import (
 )
 from repro.metrics import average_local_recall, f1_score, ncr_score
 from repro.federation import Party
+from repro.scenarios import Scenario, ScenarioSpec, run_scenario
 from repro.service import (
     AggregationServer,
     ClientPool,
@@ -86,7 +87,10 @@ __all__ = [
     "Party",
     "AggregationServer",
     "ClientPool",
+    "Scenario",
+    "ScenarioSpec",
     "SlidingWindowDiscovery",
     "run_in_service_mode",
+    "run_scenario",
     "__version__",
 ]

@@ -1,12 +1,20 @@
 """``repro serve`` — stand up the aggregation service for streamed rounds.
 
-Wraps :func:`repro.service.harness.serve_dataset`: an
-:class:`~repro.service.server.AggregationServer` plus one
-:class:`~repro.service.clients.ClientPool` per dataset party, streaming
-``--rounds`` full frequency-oracle rounds over the length-``--level``
-prefix domain.  Prints the per-round wire-bit accounting table (exact
-encoded bytes, not analytic estimates) and optionally the same data as
-JSON.
+Two modes:
+
+* **raw rounds** (default): wraps
+  :func:`repro.service.harness.serve_dataset` — an
+  :class:`~repro.service.server.AggregationServer` plus one
+  :class:`~repro.service.clients.ClientPool` per dataset party, streaming
+  ``--rounds`` full frequency-oracle rounds over the length-``--level``
+  prefix domain, printing exact per-round wire-bit accounting;
+* **scenario lab** (``--scenario SPEC``): builds the declarative scenario
+  (drift / bursts / churn / skew shift / poisoned reports — see
+  ``docs/scenarios.md``), drives it through sliding-window discovery, and
+  prints per-snapshot robustness metrics against the scenario's moving
+  ground truth.  ``--store FILE`` persists one JSON line per snapshot
+  (byte-identical across same-seed runs); ``repro bench pivot --from
+  FILE`` re-renders the records.
 """
 
 from __future__ import annotations
@@ -52,15 +60,136 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
                         help="top prefixes to report per round (default: 10)")
     parser.add_argument("--rng", type=int, default=0,
                         help="seed for report perturbation (default: 0)")
+    scenario = parser.add_argument_group("scenario lab")
+    scenario.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="run a scenario-lab robustness pass from a scenario spec "
+             "(YAML/JSON; standalone, or a sweep spec with a scenario: block) "
+             "instead of raw rounds",
+    )
+    scenario.add_argument(
+        "--granularity", type=int, default=4,
+        help="trie levels of each discovery pass (scenario mode; default: 4)",
+    )
+    scenario.add_argument(
+        "--window", type=int, default=None,
+        help="override the spec's window_batches (scenario mode)",
+    )
+    scenario.add_argument(
+        "--stride", type=int, default=None,
+        help="override the spec's stride (scenario mode)",
+    )
+    scenario.add_argument(
+        "--detection-recall", type=float, default=0.5,
+        help="recall bar for drift re-detection (scenario mode; default: 0.5)",
+    )
+    scenario.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="persist per-snapshot records to this JSON-lines store (scenario mode)",
+    )
+    scenario.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --store file",
+    )
     add_backend_arguments(parser)
     add_smoke_argument(parser)
     parser.add_argument("-o", "--output", default=None,
-                        help="also write the accounting report as JSON here")
-    parser.set_defaults(handler=cmd)
+                        help="also write the accounting/robustness report as JSON here")
+    # The parser is the single source of truth for the mode-conflict
+    # checks below: snapshot the defaults so cmd() can tell "explicitly
+    # passed" from "untouched" without a second hardcoded table.
+    parser.set_defaults(
+        handler=cmd,
+        parser_defaults={
+            name: parser.get_default(name)
+            for name in RAW_ONLY_FLAGS + SCENARIO_ONLY_FLAGS
+        },
+    )
     return parser
 
 
+#: Flags that only make sense for raw service rounds / only for scenario
+#: runs.  The other mode rejects them instead of silently ignoring them;
+#: defaults come from the parser itself (see ``add_parser``).
+RAW_ONLY_FLAGS: tuple[str, ...] = (
+    "dataset", "scale", "seed", "level", "rounds", "batch_size",
+    "users_per_round", "top", "smoke",
+)
+SCENARIO_ONLY_FLAGS: tuple[str, ...] = (
+    "granularity", "window", "stride", "detection_recall", "store", "force",
+)
+
+
+def _explicit_flags(args: argparse.Namespace, names: tuple[str, ...]) -> list[str]:
+    """The flags in ``names`` whose values differ from the parser defaults."""
+    return [
+        "--" + name.replace("_", "-")
+        for name in names
+        if getattr(args, name) != args.parser_defaults[name]
+    ]
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.spec import SpecError, load_scenario_spec
+    from repro.experiments.store import ScenarioSnapshotStore, StoreError
+    from repro.scenarios import run_scenario_spec
+
+    conflicting = _explicit_flags(args, RAW_ONLY_FLAGS)
+    if conflicting:
+        raise CLIError(
+            f"{', '.join(conflicting)}: raw-rounds-only flag(s); "
+            "a scenario run is sized by its spec (override the tracker "
+            "cadence with --window/--stride, the run seed with --rng)"
+        )
+    try:
+        spec = load_scenario_spec(args.scenario)
+    except SpecError as exc:
+        raise CLIError(str(exc)) from exc
+    store = None
+    try:
+        if args.store is not None:
+            store = ScenarioSnapshotStore(
+                args.store, fingerprint=spec.fingerprint(), overwrite=args.force
+            )
+        report = run_scenario_spec(
+            spec,
+            epsilon=args.epsilon,
+            oracle=args.oracle,
+            granularity=args.granularity,
+            window_batches=args.window,
+            stride=args.stride,
+            seed=args.rng,
+            store=store,
+            detection_recall=args.detection_recall,
+            backend=args.backend,
+            max_workers=args.workers,
+        )
+    except (StoreError, ValueError) as exc:
+        # A store that never received a record (the run failed before any
+        # pass completed) must not block the corrected rerun with a
+        # spurious "already exists".
+        if store is not None and len(store) == 0:
+            store.close()
+            store.path.unlink(missing_ok=True)
+        raise CLIError(str(exc)) from exc
+    finally:
+        if store is not None:
+            store.close()
+    print(report.render())
+    if args.output is not None:
+        emit_json(report.to_dict(), args.output)
+    return 0
+
+
 def cmd(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        return _cmd_scenario(args)
+    ignored = _explicit_flags(args, SCENARIO_ONLY_FLAGS)
+    if ignored:
+        raise CLIError(
+            f"{', '.join(ignored)}: scenario-only flag(s); "
+            "pass --scenario SPEC to run the scenario lab"
+        )
     scale = resolve_scale(args)
     try:
         dataset = load_dataset(args.dataset, scale=scale, seed=args.seed)

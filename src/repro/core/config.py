@@ -17,7 +17,11 @@ from repro.utils.validation import check_in_range, check_known_keys, check_posit
 #: Valid values of :attr:`MechanismConfig.execution_mode`.
 EXECUTION_MODES: tuple[str, ...] = ("memory", "service")
 
-#: Report batch size service runs fall back to when none is configured.
+#: The one protocol-wide default bound on reports per wire batch.  Every
+#: consumer — :attr:`MechanismConfig.effective_report_batch_size`, the
+#: service ``ClientPool``/``ServiceRoundRunner``, the serve harness, and
+#: the sliding-window tracker — imports this constant directly; there is
+#: deliberately no service-side alias.
 DEFAULT_REPORT_BATCH_SIZE = 65_536
 
 

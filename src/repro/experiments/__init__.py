@@ -28,8 +28,19 @@ from repro.experiments.runner import (
     run_sweep,
     MECHANISM_REGISTRY,
 )
-from repro.experiments.spec import SpecError, SweepSpec, load_spec, save_spec
-from repro.experiments.store import StoreError, SweepCellStore, cell_key
+from repro.experiments.spec import (
+    SpecError,
+    SweepSpec,
+    load_scenario_spec,
+    load_spec,
+    save_spec,
+)
+from repro.experiments.store import (
+    ScenarioSnapshotStore,
+    StoreError,
+    SweepCellStore,
+    cell_key,
+)
 from repro.experiments.figures import figure4, figure5, figure6, figure7
 from repro.experiments.tables import (
     table2,
@@ -53,6 +64,7 @@ from repro.experiments.serialization import (
 __all__ = [
     "ExperimentSettings",
     "SMOKE_PRESET",
+    "ScenarioSnapshotStore",
     "SpecError",
     "StoreError",
     "SweepCell",
@@ -60,6 +72,7 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "cell_key",
+    "load_scenario_spec",
     "load_spec",
     "save_spec",
     "build_mechanism",

@@ -44,6 +44,8 @@ from typing import Any, Mapping
 
 from repro.core.config import MechanismConfig
 from repro.experiments.runner import ExperimentSettings
+from repro.scenarios.effects import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
 from repro.utils.validation import check_known_keys
 
 #: Top-level keys a spec document may contain.
@@ -53,6 +55,7 @@ SPEC_KEYS: tuple[str, ...] = (
     "grid",
     "config_overrides",
     "dataset_kwargs",
+    "scenario",
 )
 
 #: The ``grid:`` section is sugar for these ExperimentSettings fields.
@@ -79,6 +82,8 @@ class SweepSpec:
     settings: ExperimentSettings
     config_overrides: dict = field(default_factory=dict)
     dataset_kwargs: dict = field(default_factory=dict)
+    #: Optional scenario-lab block (``repro serve --scenario`` consumes it).
+    scenario: ScenarioSpec | None = None
     name: str = "sweep"
 
     # ------------------------------------------------------------------ #
@@ -123,6 +128,13 @@ class SweepSpec:
         _check_keys(overrides, config_fields, where="config_overrides", source=source)
 
         dataset_kwargs = _section("dataset_kwargs")
+        scenario_data = data.get("scenario")
+        scenario = None
+        if scenario_data is not None:
+            try:
+                scenario = ScenarioSpec.from_dict(scenario_data, source=source)
+            except ScenarioError as exc:
+                raise SpecError(str(exc)) from exc
         name = data.get("name") or "sweep"
         if not isinstance(name, str):
             raise SpecError(f"{source}: 'name' must be a string")
@@ -130,17 +142,23 @@ class SweepSpec:
             settings=settings,
             config_overrides=overrides,
             dataset_kwargs=dataset_kwargs,
+            scenario=scenario,
             name=name,
         )
 
     def to_dict(self) -> dict:
         """The JSON-safe document form; ``from_dict`` round-trips it."""
-        return {
+        out = {
             "name": self.name,
             "settings": self.settings.to_dict(),
             "config_overrides": dict(self.config_overrides),
             "dataset_kwargs": dict(self.dataset_kwargs),
         }
+        # Omitted (not null) when absent, so pre-scenario stores keep
+        # their fingerprints and stay resumable.
+        if self.scenario is not None:
+            out["scenario"] = self.scenario.to_dict()
+        return out
 
     #: Settings fields excluded from the fingerprint: pure execution knobs
     #: (every backend/worker count yields identical records for a fixed
@@ -200,6 +218,34 @@ def load_spec(path: str | Path) -> SweepSpec:
     fmt = {".json": "json", ".yaml": "yaml", ".yml": "yaml"}.get(suffix)
     data = _parse_text(path.read_text(encoding="utf-8"), source=str(path), fmt=fmt)
     return SweepSpec.from_dict(data, source=str(path))
+
+
+def load_scenario_spec(path: str | Path) -> ScenarioSpec:
+    """Load a scenario description from a YAML or JSON file.
+
+    Accepts either form ``repro serve --scenario`` documents take: a
+    standalone scenario document (top-level ``base:``/``effects:`` keys),
+    or a full sweep spec carrying a ``scenario:`` block.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"scenario spec file {path} does not exist")
+    suffix = path.suffix.lower()
+    fmt = {".json": "json", ".yaml": "yaml", ".yml": "yaml"}.get(suffix)
+    data = _parse_text(path.read_text(encoding="utf-8"), source=str(path), fmt=fmt)
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"{path}: a scenario spec must be a mapping, got {type(data).__name__}"
+        )
+    if "scenario" in data:
+        spec = SweepSpec.from_dict(data, source=str(path))
+        if spec.scenario is None:
+            raise SpecError(f"{path}: the 'scenario' block is empty")
+        return spec.scenario
+    try:
+        return ScenarioSpec.from_dict(data, source=str(path))
+    except ScenarioError as exc:
+        raise SpecError(str(exc)) from exc
 
 
 def save_spec(spec: SweepSpec, path: str | Path) -> Path:

@@ -212,3 +212,115 @@ class SweepCellStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SweepCellStore(path={str(self.path)!r}, cells={len(self)})"
+
+
+#: Header sentinel of a scenario snapshot store.
+SNAPSHOT_STORE_KIND = "repro-scenario-snapshots"
+SNAPSHOT_STORE_VERSION = 1
+
+
+class ScenarioSnapshotStore:
+    """Append-only store of per-snapshot scenario robustness records.
+
+    The scenario-lab sibling of :class:`SweepCellStore`: ``repro serve
+    --scenario --store FILE`` appends (and flushes) one JSON line per
+    discovery snapshot the moment its pass completes, under a header that
+    carries the scenario spec's fingerprint.  Records hold no wall-clock
+    values, so two same-seed runs write byte-identical stores — the
+    scenario lab's reproducibility check is ``cmp run-a.jsonl run-b.jsonl``.
+
+    File layout::
+
+        {"kind": "repro-scenario-snapshots", "version": 1, "fingerprint": "ab12..."}
+        {"record": {"step": 4, "precision": 1.0, "recall": 1.0, ...}}
+
+    ``repro bench pivot --from FILE`` renders these files directly (the
+    loader understands both JSON-lines store kinds).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fingerprint: str | None = None,
+        overwrite: bool = False,
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._records: list[dict] = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not overwrite and self.path.exists() and self.path.stat().st_size > 0:
+            raise StoreError(
+                f"snapshot store {self.path} already exists; pass "
+                "overwrite=True (or --force) to replace it"
+            )
+        self._handle = self.path.open("w", encoding="utf-8", newline="\n")
+        self._write_line(
+            {
+                "kind": SNAPSHOT_STORE_KIND,
+                "version": SNAPSHOT_STORE_VERSION,
+                "fingerprint": fingerprint,
+            }
+        )
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append(self, record: dict) -> None:
+        """Persist one snapshot record (flushed immediately — kill-safe)."""
+        self._records.append(dict(record))
+        self._write_line({"record": dict(record)})
+
+    def records(self) -> list[dict]:
+        """The records appended so far, in snapshot order."""
+        return [dict(r) for r in self._records]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @staticmethod
+    def load(path: str | Path) -> list[dict]:
+        """Read a snapshot store back into its record list.
+
+        A partial trailing line (mid-write kill) is silently dropped, like
+        the cell store's resume path; corruption earlier raises.
+        """
+        path = Path(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise StoreError(f"{path}: empty snapshot store")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{path}: unreadable store header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("kind") != SNAPSHOT_STORE_KIND:
+            raise StoreError(
+                f"{path} is not a scenario snapshot store (missing "
+                f"{SNAPSHOT_STORE_KIND!r} header)"
+            )
+        records = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                records.append(dict(json.loads(line)["record"]))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                if lineno == len(lines):
+                    break  # mid-write kill: drop the fragment
+                raise StoreError(f"{path}:{lineno}: corrupt snapshot entry")
+        return records
+
+    def close(self) -> None:
+        """Flush and close the underlying file handle."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "ScenarioSnapshotStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScenarioSnapshotStore(path={str(self.path)!r}, snapshots={len(self)})"

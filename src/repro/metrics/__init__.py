@@ -7,8 +7,17 @@
 * :func:`average_local_recall` — average per-party recall of the global
   ground truths among locally identified heavy hitters (Table 7's
   statistical-heterogeneity metric).
+
+Robustness metrics for continual tracking over a *moving* truth
+(:mod:`repro.metrics.robustness`, used by the scenario lab):
+
+* :func:`score_series` — time-resolved precision/recall/F1 of an estimate
+  sequence,
+* :func:`detection_latency` — arrival steps from a drift event until the
+  tracker's recall recovers past a threshold.
 """
 
+from repro.metrics.robustness import detection_latency, score_series
 from repro.metrics.scores import (
     f1_score,
     ncr_score,
@@ -16,4 +25,11 @@ from repro.metrics.scores import (
     average_local_recall,
 )
 
-__all__ = ["f1_score", "ncr_score", "precision_recall", "average_local_recall"]
+__all__ = [
+    "f1_score",
+    "ncr_score",
+    "precision_recall",
+    "average_local_recall",
+    "detection_latency",
+    "score_series",
+]

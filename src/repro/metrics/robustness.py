@@ -1,0 +1,81 @@
+"""Robustness metrics for continual tracking over a moving ground truth.
+
+The batch metrics (:mod:`repro.metrics.scores`) grade one estimate against
+one frozen truth.  Continual discovery produces a *sequence* of estimates
+against a truth that moves; these helpers grade the sequence:
+
+* :func:`score_series` — time-resolved precision/recall/F1, one record per
+  snapshot, each scored against the truth *at that snapshot's step*;
+* :func:`detection_latency` — how many arrival steps after a drift event
+  the tracker's recall first recovers past a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.metrics.scores import f1_score, precision_recall
+
+
+def score_series(
+    estimates: Iterable[tuple[int, Sequence[Hashable]]],
+    truth_by_step: dict[int, Sequence[Hashable]],
+) -> list[dict]:
+    """Time-resolved scores of an estimate sequence vs a moving truth.
+
+    Parameters
+    ----------
+    estimates:
+        ``(step, estimated_heavy_hitters)`` pairs, e.g. snapshot steps.
+    truth_by_step:
+        Step → true top-k at that step (a scenario's moving ground truth).
+
+    Returns
+    -------
+    One ``{"step", "precision", "recall", "f1"}`` record per estimate,
+    in input order.  A step with no recorded truth raises ``KeyError`` —
+    silently scoring against a stale truth would fake robustness.
+    """
+    records = []
+    for step, estimated in estimates:
+        truth = truth_by_step[step]
+        precision, recall = precision_recall(estimated, truth)
+        records.append(
+            {
+                "step": int(step),
+                "precision": precision,
+                "recall": recall,
+                "f1": f1_score(estimated, truth),
+            }
+        )
+    return records
+
+
+def detection_latency(
+    event_step: int,
+    scored_steps: Iterable[tuple[int, float]],
+    *,
+    threshold: float = 0.5,
+) -> int | None:
+    """Arrival steps from a drift event until tracking recovers.
+
+    Parameters
+    ----------
+    event_step:
+        The step at which the ground truth changed.
+    scored_steps:
+        ``(step, score)`` pairs in increasing step order — typically each
+        snapshot's recall against the truth at its own step.
+    threshold:
+        Recovery bar: the first step at or after ``event_step`` whose
+        score reaches it counts as detection.
+
+    Returns
+    -------
+    ``step - event_step`` of the detecting snapshot, or ``None`` if the
+    tracker never recovered within the scored sequence.
+    """
+    for step, score in scored_steps:
+        if step >= event_step and score >= threshold:
+            return int(step - event_step)
+    return None

@@ -1,0 +1,60 @@
+"""Scenario lab: declarative time-varying workloads + a robustness harness.
+
+The paper evaluates frequency-oracle mechanisms over frozen populations.
+This subsystem turns the streaming service into a testbed for the
+deployment conditions that abstraction hides:
+
+* :mod:`repro.scenarios.effects` — composable time-varying effects
+  (:class:`DriftSchedule`, :class:`BurstArrivals`, :class:`PopulationChurn`,
+  :class:`SkewShift`, :class:`PoisonedReports`);
+* :mod:`repro.scenarios.scenario` — :class:`Scenario`, a base workload
+  (:class:`BaseWorkload`) composed with effects into an arrival stream
+  whose exact moving ground truth is known at every step;
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the validated
+  ``scenario:`` document schema (embeddable in sweep specs, consumed by
+  ``repro serve --scenario``);
+* :mod:`repro.scenarios.harness` — :func:`run_scenario`, which drives a
+  scenario through :class:`~repro.service.streaming.SlidingWindowDiscovery`
+  and scores every snapshot against the moving truth (time-resolved
+  precision/recall/F1, drift-detection latency, exact wire bits).
+
+Determinism contract: a scenario's arrival stream is a function of the run
+seed alone (one child seed per step, fanned out before sampling), the item
+domain is a function of the spec's ``base.seed``, and harness records hold
+no wall-clock values — so same-seed runs are bit-identical end to end,
+persisted stores included.  The catalog with one runnable example per
+effect lives in ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.effects import (
+    EFFECT_KINDS,
+    BurstArrivals,
+    DriftSchedule,
+    PoisonedReports,
+    PopulationChurn,
+    ScenarioError,
+    SkewShift,
+    effect_from_dict,
+)
+from repro.scenarios.harness import ScenarioReport, run_scenario, run_scenario_spec
+from repro.scenarios.scenario import ArrivalBatch, BaseWorkload, Scenario
+from repro.scenarios.spec import SCENARIO_KEYS, ScenarioSpec
+
+__all__ = [
+    "ArrivalBatch",
+    "BaseWorkload",
+    "BurstArrivals",
+    "DriftSchedule",
+    "EFFECT_KINDS",
+    "PoisonedReports",
+    "PopulationChurn",
+    "SCENARIO_KEYS",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "SkewShift",
+    "effect_from_dict",
+    "run_scenario",
+    "run_scenario_spec",
+]

@@ -1,0 +1,332 @@
+"""Time-varying workload effects composable into a :class:`~repro.scenarios.scenario.Scenario`.
+
+The batch mechanisms evaluate frequency oracles over frozen populations;
+deployments face populations that *move*.  Each effect below is one
+deployment condition the paper abstracts away, expressed as a pure,
+deterministic transformation of the scenario's generating process:
+
+* :class:`DriftSchedule` — the heavy-hitter set swaps (abruptly, along a
+  gradual ramp, or cyclically);
+* :class:`BurstArrivals` — arrival batches are non-uniform in size;
+* :class:`PopulationChurn` — users enter and leave a persistent population
+  between windows, so the observable stream lags the generating law;
+* :class:`SkewShift` — per-party Zipf exponents drift over time;
+* :class:`PoisonedReports` — a coalition of clients submits adversarial
+  supports to promote attacker-chosen items.
+
+Effects never touch an RNG themselves: they reshape either the exact
+per-step frequency vector (drift, skew) or the sampling recipe (burst,
+churn, poison), and all sampling randomness is drawn from the scenario's
+per-step child seeds (see :meth:`Scenario.iter_batches`).  Steps are
+1-based throughout, matching ``WindowSnapshot.step``.
+
+Every effect round-trips through ``to_dict``/``from_dict`` with the same
+unknown-key validation as the sweep specs, so a ``scenario:`` block in a
+spec document fails loudly with the offending key named.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping
+
+from repro.utils.validation import (
+    check_in_range,
+    check_known_keys,
+    check_positive,
+    check_probability,
+)
+
+
+class ScenarioError(ValueError):
+    """A scenario description is malformed; the message names the problem."""
+
+
+def _from_mapping(cls, data: Mapping[str, Any], *, source: str):
+    """Shared ``from_dict``: unknown-key check, list→tuple, clear errors."""
+    if not isinstance(data, Mapping):
+        raise ScenarioError(
+            f"{source}: a {cls.kind!r} effect must be a mapping, "
+            f"got {type(data).__name__}"
+        )
+    payload = {k: v for k, v in data.items() if k != "kind"}
+    allowed = tuple(f.name for f in dataclasses.fields(cls))
+    check_known_keys(
+        payload, allowed, where=f"{cls.kind} effect", source=source, error=ScenarioError
+    )
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    }
+    try:
+        return cls(**kwargs)
+    except ScenarioError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"{source}: invalid {cls.kind!r} effect: {exc}") from exc
+
+
+def _to_dict(effect) -> dict:
+    """JSON-safe document form of an effect (tuples become lists)."""
+    out: dict[str, Any] = {"kind": effect.kind}
+    for f in dataclasses.fields(effect):
+        value = getattr(effect, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+@dataclass(frozen=True)
+class DriftSchedule:
+    """Swap the heavy-hitter set over time.
+
+    The scenario holds one popularity law over ranks and two rank→item
+    assignments: the base assignment and a copy rotated by ``rotation``
+    positions (so under full drift the hottest ranks land on previously
+    cold items).  At step ``t`` the frequency vector is the convex blend
+    ``(1-w(t))·base + w(t)·rotated``:
+
+    * ``abrupt`` — ``w`` jumps 0→1 at ``start``;
+    * ``gradual`` — ``w`` ramps linearly over ``duration`` steps from
+      ``start``;
+    * ``cyclic`` — ``w`` follows a triangle wave of period ``period``
+      from ``start`` (old and new regimes alternate forever).
+
+    ``rotation=None`` rotates by the scenario's ``k``, displacing the
+    entire true top-k.
+    """
+
+    kind: ClassVar[str] = "drift"
+    mode: str = "abrupt"
+    start: int = 1
+    duration: int = 4
+    period: int = 8
+    rotation: int | None = None
+
+    MODES: ClassVar[tuple[str, ...]] = ("abrupt", "gradual", "cyclic")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ScenarioError(
+                f"unknown drift mode {self.mode!r}; available: {sorted(self.MODES)}"
+            )
+        check_positive("start", self.start)
+        check_positive("duration", self.duration)
+        if self.period < 2:
+            raise ValueError(f"period must be >= 2, got {self.period}")
+        if self.rotation is not None:
+            check_positive("rotation", self.rotation)
+
+    def weight(self, step: int) -> float:
+        """Blend weight of the rotated assignment at 1-based ``step``."""
+        if step < self.start:
+            return 0.0
+        if self.mode == "abrupt":
+            return 1.0
+        if self.mode == "gradual":
+            return min(1.0, (step - self.start + 1) / self.duration)
+        phase = (step - self.start) % self.period
+        half = self.period / 2.0
+        return phase / half if phase <= half else (self.period - phase) / half
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "DriftSchedule":
+        return _from_mapping(cls, data, source=source)
+
+
+@dataclass(frozen=True)
+class BurstArrivals:
+    """Non-uniform batch sizes: every ``period``-th step is a burst.
+
+    From ``start`` on, steps where ``(step - start) % period == 0`` carry
+    ``round(magnitude × batch_size)`` arrivals instead of ``batch_size``.
+    A ``magnitude`` below 1 models droughts.
+    """
+
+    kind: ClassVar[str] = "burst"
+    period: int = 4
+    magnitude: float = 4.0
+    start: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+        check_positive("magnitude", self.magnitude)
+        check_positive("start", self.start)
+
+    def batch_size(self, step: int, base: int) -> int:
+        """Arrivals at 1-based ``step`` given the scenario's base size."""
+        if step >= self.start and (step - self.start) % self.period == 0:
+            return max(1, int(round(base * self.magnitude)))
+        return int(base)
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "BurstArrivals":
+        return _from_mapping(cls, data, source=source)
+
+
+@dataclass(frozen=True)
+class PopulationChurn:
+    """Users enter and leave a persistent population between steps.
+
+    The scenario keeps a population of ``population_size`` users (default:
+    twice the base batch size).  It is drawn from the step-1 distribution;
+    every later step replaces a ``rate`` fraction — chosen uniformly —
+    with fresh users drawn from the *current* distribution, and each
+    arrival batch samples the population uniformly.  The observable stream
+    therefore lags the generating law: after a drift event the window
+    keeps seeing departed users' items until churn washes them out.
+    """
+
+    kind: ClassVar[str] = "churn"
+    rate: float = 0.25
+    population_size: int | None = None
+
+    def __post_init__(self) -> None:
+        check_probability("rate", self.rate)
+        if self.rate == 0.0:
+            raise ValueError("rate must be > 0 (a zero-churn population never moves)")
+        if self.population_size is not None:
+            check_positive("population_size", self.population_size)
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "PopulationChurn":
+        return _from_mapping(cls, data, source=source)
+
+
+@dataclass(frozen=True)
+class SkewShift:
+    """Per-party Zipf-exponent heterogeneity that drifts over time.
+
+    The population becomes a mixture of ``len(exponents)`` parties; party
+    ``j`` holds a ``shares[j]`` fraction of each batch (equal shares by
+    default) and draws from a Zipf law over the scenario's base item
+    ordering with exponent ``exponents[j] + drift_per_step · (step - 1)``
+    (floored at 0.05 so the law stays well-defined).  Positive drift
+    steepens every party — mass concentrates on the head; negative drift
+    flattens them toward uniform.  Replaces the base popularity law; the
+    moving ground truth is the pooled mixture.
+    """
+
+    kind: ClassVar[str] = "skew"
+    exponents: tuple[float, ...] = (1.1, 1.7)
+    drift_per_step: float = 0.0
+    shares: tuple[float, ...] | None = None
+
+    MIN_EXPONENT: ClassVar[float] = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.exponents:
+            raise ValueError("exponents must name at least one party")
+        for value in self.exponents:
+            check_positive("exponent", value)
+        if self.shares is not None:
+            if len(self.shares) != len(self.exponents):
+                raise ValueError(
+                    f"shares ({len(self.shares)}) must align with "
+                    f"exponents ({len(self.exponents)})"
+                )
+            for value in self.shares:
+                check_positive("share", value)
+
+    @property
+    def n_parties(self) -> int:
+        return len(self.exponents)
+
+    def normalized_shares(self) -> tuple[float, ...]:
+        """Party mixture weights, summing to one."""
+        shares = self.shares or tuple(1.0 for _ in self.exponents)
+        total = float(sum(shares))
+        return tuple(s / total for s in shares)
+
+    def exponent(self, party: int, step: int) -> float:
+        """Party ``party``'s Zipf exponent at 1-based ``step``."""
+        return max(
+            self.MIN_EXPONENT,
+            self.exponents[party] + self.drift_per_step * (step - 1),
+        )
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "SkewShift":
+        return _from_mapping(cls, data, source=source)
+
+
+@dataclass(frozen=True)
+class PoisonedReports:
+    """A coalition of clients submits adversarial supports.
+
+    From ``start`` on, the last ``round(fraction × batch)`` arrivals of
+    every batch are attacker-controlled: their items are replaced by the
+    ``items`` targets, cycled.  The default targets are the scenario's
+    coldest items *that never enter the moving top-k at any step* — the
+    classic promotion attack — so ground truth stays honest and the
+    per-snapshot precision directly measures how far the attack pushes
+    fabricated items into the discovered set.  Explicit ``items`` are the
+    operator's choice and may deliberately overlap the truth.
+    """
+
+    kind: ClassVar[str] = "poison"
+    fraction: float = 0.05
+    start: int = 1
+    items: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        check_in_range("fraction", self.fraction, 0.0, 1.0)
+        if self.fraction == 0.0:
+            raise ValueError("fraction must be > 0 (an empty coalition poisons nothing)")
+        check_positive("start", self.start)
+        if self.items is not None:
+            if not self.items:
+                raise ValueError("items must be a non-empty list of target item ids")
+            for item in self.items:
+                if int(item) < 0:
+                    raise ValueError(f"target item ids must be >= 0, got {item}")
+
+    def n_poisoned(self, step: int, batch: int) -> int:
+        """Adversarial reports inside a size-``batch`` step-``step`` batch."""
+        if step < self.start:
+            return 0
+        return min(int(batch), int(round(self.fraction * batch)))
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "PoisonedReports":
+        return _from_mapping(cls, data, source=source)
+
+
+#: Effect kind → class, the dispatch table for ``effects:`` spec entries.
+EFFECT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (DriftSchedule, BurstArrivals, PopulationChurn, SkewShift, PoisonedReports)
+}
+
+
+def effect_from_dict(data: Mapping, *, source: str = "<scenario>"):
+    """Build one effect from its document form, dispatching on ``kind``."""
+    if not isinstance(data, Mapping):
+        raise ScenarioError(
+            f"{source}: each effect must be a mapping with a 'kind' key, "
+            f"got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    if kind not in EFFECT_KINDS:
+        raise ScenarioError(
+            f"{source}: unknown effect kind {kind!r}; "
+            f"available: {sorted(EFFECT_KINDS)}"
+        )
+    return EFFECT_KINDS[kind].from_dict(data, source=source)

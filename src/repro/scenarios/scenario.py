@@ -1,0 +1,343 @@
+"""The :class:`Scenario` abstraction: a base workload + time-varying effects.
+
+A scenario is a *generating process with a known moving ground truth*: at
+every 1-based step it has an exact item-frequency vector (a pure function
+of the step index and the scenario parameters — no sampling involved), so
+the true top-k is known at every point in time even while it drifts.
+:meth:`Scenario.iter_batches` samples arrival batches from that process,
+stamping each with the step's exact truth; the robustness harness
+(:mod:`repro.scenarios.harness`) scores discovery snapshots against it.
+
+Determinism contract (the repo-wide seed-spawning contract): the batch
+stream is a function of the run seed alone.  ``iter_batches`` fans one
+child seed per step out of the run generator *before* sampling anything,
+so step ``t``'s batch never depends on how earlier batches were consumed;
+the base workload's item scatter uses the spec-level ``base.seed``, never
+the run seed, so the item domain and the moving truth are part of the
+scenario's *identity* (and of its spec fingerprint), not of any one run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.datasets.distributions import scatter_item_ids, zipf_frequencies
+from repro.scenarios.effects import (
+    BurstArrivals,
+    DriftSchedule,
+    PoisonedReports,
+    PopulationChurn,
+    ScenarioError,
+    SkewShift,
+)
+from repro.utils.rng import RandomState, as_generator, spawn_seeds
+from repro.utils.validation import check_known_keys, check_positive
+
+#: Base workload kinds understood by :class:`BaseWorkload`.
+BASE_KINDS: tuple[str, ...] = ("zipf", "dataset")
+
+
+@dataclass(frozen=True)
+class BaseWorkload:
+    """The frozen-population starting point a scenario perturbs.
+
+    ``kind="zipf"`` scatters ``n_items`` item ids across the ``2**n_bits``
+    code space (seeded by ``seed``, so the domain is part of the scenario
+    identity) under a Zipf(``exponent``) popularity law.  ``kind="dataset"``
+    pools a registry dataset (``load_dataset(dataset, scale=scale,
+    seed=seed)``) and uses its empirical global frequencies — the paper's
+    evaluation populations become scenario bases directly.
+    """
+
+    kind: str = "zipf"
+    n_items: int = 512
+    n_bits: int = 12
+    exponent: float = 1.1
+    #: Zipf head-flattening shift (see ``zipf_frequencies``): real large
+    #: vocabularies have several comparably-hot head items, not one
+    #: dominant one, which is what makes a *set* of k heavy hitters an
+    #: interesting moving target.
+    shift: float = 0.0
+    seed: int = 0
+    dataset: str | None = None
+    scale: str = "tiny"
+
+    def __post_init__(self) -> None:
+        if self.kind not in BASE_KINDS:
+            raise ScenarioError(
+                f"unknown base kind {self.kind!r}; available: {sorted(BASE_KINDS)}"
+            )
+        if self.kind == "zipf":
+            check_positive("n_items", self.n_items)
+            check_positive("n_bits", self.n_bits)
+            check_positive("exponent", self.exponent)
+            check_positive("shift", self.shift, strict=False)
+            if self.n_items > (1 << self.n_bits):
+                raise ScenarioError(
+                    f"cannot place {self.n_items} items into a "
+                    f"{self.n_bits}-bit domain"
+                )
+        elif not self.dataset:
+            raise ScenarioError("base kind 'dataset' requires a 'dataset' name")
+
+    def resolve(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """``(item_ids, rank_frequencies, n_bits)`` — ids ordered hot→cold."""
+        if self.kind == "zipf":
+            gen = np.random.default_rng(self.seed)
+            item_ids = scatter_item_ids(self.n_items, self.n_bits, gen)
+            freqs = zipf_frequencies(self.n_items, self.exponent, shift=self.shift)
+            return item_ids, freqs, self.n_bits
+        from repro.datasets.registry import load_dataset
+
+        try:
+            dataset = load_dataset(self.dataset, scale=self.scale, seed=self.seed)
+        except KeyError as exc:
+            raise ScenarioError(str(exc.args[0]) if exc.args else str(exc)) from exc
+        counts = dataset.global_counts()
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        item_ids = np.array([item for item, _ in ranked], dtype=np.int64)
+        totals = np.array([count for _, count in ranked], dtype=np.float64)
+        return item_ids, totals / totals.sum(), dataset.n_bits
+
+    def to_dict(self) -> dict:
+        """JSON-safe document form; :meth:`from_dict` round-trips it."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, source: str = "<scenario>") -> "BaseWorkload":
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"{source}: 'base' must be a mapping, got {type(data).__name__}"
+            )
+        allowed = tuple(f.name for f in dataclasses.fields(cls))
+        check_known_keys(data, allowed, where="base", source=source, error=ScenarioError)
+        try:
+            return cls(**dict(data))
+        except ScenarioError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"{source}: invalid base: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ArrivalBatch:
+    """One step of a scenario's arrival stream.
+
+    ``step`` is 1-based and equals the :class:`~repro.service.streaming.
+    WindowSnapshot` step a tracker fed this stream reports, so scenario
+    truth and discovery snapshots align by construction.
+    """
+
+    #: 1-based arrival step.
+    step: int
+    #: Private items of the users arriving this step (poison included).
+    items: np.ndarray = field(compare=False)
+    #: Exact top-k of the step's honest generating distribution.
+    true_top_k: tuple[int, ...]
+    #: How many trailing entries of ``items`` are adversarial.
+    n_poisoned: int = 0
+    #: Whether the true top-k *set* changed relative to the previous step.
+    truth_changed: bool = False
+
+
+class Scenario:
+    """A base workload composed with time-varying effects.
+
+    Parameters
+    ----------
+    base:
+        The :class:`BaseWorkload` supplying item ids and the popularity law.
+    effects:
+        At most one effect per kind (drift/burst/churn/skew/poison).
+    n_steps:
+        Length of the arrival stream.
+    batch_size:
+        Arrivals per step before any :class:`~repro.scenarios.effects.
+        BurstArrivals` scaling.
+    k:
+        Size of the moving ground-truth top-k (also the default drift
+        rotation).
+    """
+
+    def __init__(
+        self,
+        *,
+        base: BaseWorkload,
+        effects: Sequence = (),
+        n_steps: int = 16,
+        batch_size: int = 1000,
+        k: int = 5,
+    ):
+        check_positive("n_steps", n_steps)
+        check_positive("batch_size", batch_size)
+        check_positive("k", k)
+        self.base = base
+        self.effects = tuple(effects)
+        by_kind: dict[str, Any] = {}
+        for effect in self.effects:
+            kind = getattr(effect, "kind", None)
+            if kind is None:
+                raise ScenarioError(
+                    f"effects must be scenario effect instances, got {effect!r}"
+                )
+            if kind in by_kind:
+                raise ScenarioError(f"duplicate {kind!r} effect; compose one per kind")
+            by_kind[kind] = effect
+        self._by_kind = by_kind
+        self.n_steps = int(n_steps)
+        self.batch_size = int(batch_size)
+        self.k = int(k)
+
+        self.item_ids, self._rank_freqs, self.n_bits = base.resolve()
+        self.n_items = int(self.item_ids.size)
+        if self.k > self.n_items:
+            raise ScenarioError(
+                f"k ({self.k}) cannot exceed the base item count ({self.n_items})"
+            )
+        drift: DriftSchedule | None = by_kind.get("drift")
+        rotation = self.k if drift is None or drift.rotation is None else drift.rotation
+        self._rotation = int(rotation) % self.n_items
+        poison: PoisonedReports | None = by_kind.get("poison")
+        self._poison_targets: np.ndarray | None = None
+        if poison is not None:
+            if poison.items is not None:
+                limit = 1 << self.n_bits
+                bad = [int(i) for i in poison.items if int(i) >= limit]
+                if bad:
+                    raise ScenarioError(
+                        f"poison target items {bad} exceed the {self.n_bits}-bit domain"
+                    )
+                self._poison_targets = np.asarray(poison.items, dtype=np.int64)
+            else:
+                # Default targets: the coldest items that never enter the
+                # moving truth at any step, so precision cleanly measures
+                # the attack (explicit `items` are the operator's choice
+                # and may overlap the truth deliberately).
+                ever_true = set()
+                for step in range(1, self.n_steps + 1):
+                    ever_true.update(self.true_top_k(step))
+                cold = [
+                    int(item)
+                    for item in self.item_ids[::-1]
+                    if int(item) not in ever_true
+                ][: self.k]
+                if not cold:
+                    raise ScenarioError(
+                        "every item enters the moving top-k at some step; "
+                        "pass explicit poison target items"
+                    )
+                self._poison_targets = np.asarray(cold, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # The exact generating process (no sampling)
+    # ------------------------------------------------------------------ #
+    def _blend(self, law: np.ndarray, step: int) -> np.ndarray:
+        drift: DriftSchedule | None = self._by_kind.get("drift")
+        if drift is None or self._rotation == 0:
+            return law
+        weight = drift.weight(step)
+        if weight <= 0.0:
+            return law
+        rotated = np.roll(law, self._rotation)
+        return (1.0 - weight) * law + weight * rotated
+
+    def frequencies(self, step: int) -> np.ndarray:
+        """Exact honest item frequencies at 1-based ``step``.
+
+        ``frequencies(step)[p]`` is the probability of ``item_ids[p]``;
+        positions are the base popularity order (0 = hottest at step 1).
+        """
+        if not 1 <= step <= self.n_steps:
+            raise ValueError(f"step must lie in [1, {self.n_steps}], got {step}")
+        skew: SkewShift | None = self._by_kind.get("skew")
+        if skew is None:
+            return self._blend(self._rank_freqs, step)
+        pooled = np.zeros(self.n_items, dtype=np.float64)
+        for party, share in enumerate(skew.normalized_shares()):
+            law = zipf_frequencies(self.n_items, skew.exponent(party, step))
+            pooled += share * self._blend(law, step)
+        return pooled
+
+    def true_top_k(self, step: int) -> tuple[int, ...]:
+        """The exact moving ground truth at ``step`` (ties broken by id)."""
+        freqs = self.frequencies(step)
+        order = np.lexsort((self.item_ids, -freqs))
+        return tuple(int(self.item_ids[p]) for p in order[: self.k])
+
+    def drift_steps(self) -> list[int]:
+        """Steps whose true top-k *set* differs from the previous step's."""
+        events: list[int] = []
+        previous = set(self.true_top_k(1))
+        for step in range(2, self.n_steps + 1):
+            current = set(self.true_top_k(step))
+            if current != previous:
+                events.append(step)
+            previous = current
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def iter_batches(self, rng: RandomState = None) -> Iterator[ArrivalBatch]:
+        """Sample the arrival stream: one :class:`ArrivalBatch` per step.
+
+        One child seed per step is fanned out of ``rng`` up front
+        (:func:`~repro.utils.rng.spawn_seeds`), so a replay with the same
+        seed is bit-identical batch for batch.
+        """
+        gen = as_generator(rng)
+        seeds = spawn_seeds(gen, self.n_steps)
+        burst: BurstArrivals | None = self._by_kind.get("burst")
+        churn: PopulationChurn | None = self._by_kind.get("churn")
+        poison: PoisonedReports | None = self._by_kind.get("poison")
+        population: np.ndarray | None = None
+        previous_truth: tuple[int, ...] | None = None
+        for step in range(1, self.n_steps + 1):
+            step_gen = np.random.default_rng(seeds[step - 1])
+            freqs = self.frequencies(step)
+            probs = freqs / freqs.sum()
+            size = self.batch_size if burst is None else burst.batch_size(step, self.batch_size)
+            if churn is None:
+                positions = step_gen.choice(self.n_items, size=size, p=probs)
+            else:
+                pop_size = churn.population_size or 2 * self.batch_size
+                if population is None:
+                    population = step_gen.choice(self.n_items, size=pop_size, p=probs)
+                else:
+                    n_replace = int(round(churn.rate * pop_size))
+                    if n_replace:
+                        slots = step_gen.choice(pop_size, size=n_replace, replace=False)
+                        population[slots] = step_gen.choice(
+                            self.n_items, size=n_replace, p=probs
+                        )
+                positions = population[step_gen.integers(0, pop_size, size=size)]
+            items = self.item_ids[positions].astype(np.int64)
+            n_poisoned = 0
+            if poison is not None:
+                n_poisoned = poison.n_poisoned(step, size)
+                if n_poisoned:
+                    items[size - n_poisoned :] = np.resize(
+                        self._poison_targets, n_poisoned
+                    )
+            truth = self.true_top_k(step)
+            changed = previous_truth is not None and set(truth) != set(previous_truth)
+            previous_truth = truth
+            yield ArrivalBatch(
+                step=step,
+                items=items,
+                true_top_k=truth,
+                n_poisoned=int(n_poisoned),
+                truth_changed=changed,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = sorted(self._by_kind) or ["none"]
+        return (
+            f"Scenario(base={self.base.kind!r}, n_items={self.n_items}, "
+            f"n_steps={self.n_steps}, batch_size={self.batch_size}, "
+            f"k={self.k}, effects={'+'.join(kinds)})"
+        )

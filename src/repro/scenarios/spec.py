@@ -1,0 +1,146 @@
+"""Declarative scenario specifications — the ``scenario:`` document schema.
+
+A scenario spec is the operator-facing description of one scenario-lab
+run: the base workload, the composed effects, the stream shape, and the
+tracker cadence (window/stride) the robustness harness should use.  It
+validates exactly like the sweep specs — unknown keys raise with the
+offending key and source named — and round-trips through
+``to_dict``/``from_dict`` so a spec document is bit-identical to the
+programmatic :class:`~repro.scenarios.scenario.Scenario` it builds.
+
+Document layout (YAML shown; JSON is isomorphic)::
+
+    name: drift-attack
+    base: {kind: zipf, n_items: 256, n_bits: 10, exponent: 1.3, seed: 7}
+    n_steps: 12
+    batch_size: 1200
+    k: 5
+    window_batches: 3
+    stride: 2
+    effects:
+      - {kind: drift, mode: gradual, start: 6, duration: 4}
+      - {kind: poison, fraction: 0.05}
+
+The same document embeds under a sweep spec's ``scenario:`` key
+(:class:`repro.experiments.spec.SweepSpec`), and
+:func:`repro.experiments.spec.load_scenario_spec` loads either form from
+disk for ``repro serve --scenario``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.scenarios.effects import ScenarioError, effect_from_dict
+from repro.scenarios.scenario import BaseWorkload, Scenario
+from repro.utils.validation import check_known_keys, check_positive
+
+#: Top-level keys a scenario document may contain.
+SCENARIO_KEYS: tuple[str, ...] = (
+    "name",
+    "base",
+    "effects",
+    "n_steps",
+    "batch_size",
+    "k",
+    "window_batches",
+    "stride",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One validated scenario description (workload + tracker cadence)."""
+
+    base: BaseWorkload = field(default_factory=BaseWorkload)
+    effects: tuple = ()
+    n_steps: int = 16
+    batch_size: int = 1000
+    k: int = 5
+    window_batches: int = 4
+    stride: int = 1
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        check_positive("n_steps", self.n_steps)
+        check_positive("batch_size", self.batch_size)
+        check_positive("k", self.k)
+        check_positive("window_batches", self.window_batches)
+        check_positive("stride", self.stride)
+        if self.window_batches > self.n_steps:
+            raise ScenarioError(
+                f"window_batches ({self.window_batches}) exceeds n_steps "
+                f"({self.n_steps}); the window would never fill"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction / validation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, source: str = "<scenario>") -> "ScenarioSpec":
+        """Validate a parsed scenario document into a :class:`ScenarioSpec`."""
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"{source}: a scenario must be a mapping, got {type(data).__name__}"
+            )
+        check_known_keys(data, SCENARIO_KEYS, where="scenario", source=source, error=ScenarioError)
+        base = BaseWorkload.from_dict(data.get("base") or {}, source=source)
+        effects_data = data.get("effects") or []
+        if not isinstance(effects_data, (list, tuple)):
+            raise ScenarioError(
+                f"{source}: 'effects' must be a list of effect mappings, "
+                f"got {type(effects_data).__name__}"
+            )
+        effects = tuple(effect_from_dict(entry, source=source) for entry in effects_data)
+        name = data.get("name") or "scenario"
+        if not isinstance(name, str):
+            raise ScenarioError(f"{source}: 'name' must be a string")
+        kwargs = {
+            key: data[key]
+            for key in ("n_steps", "batch_size", "k", "window_batches", "stride")
+            if key in data
+        }
+        try:
+            return cls(base=base, effects=effects, name=name, **kwargs)
+        except ScenarioError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"{source}: invalid scenario: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        """The JSON-safe document form; ``from_dict`` round-trips it."""
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "effects": [effect.to_dict() for effect in self.effects],
+            "n_steps": self.n_steps,
+            "batch_size": self.batch_size,
+            "k": self.k,
+            "window_batches": self.window_batches,
+            "stride": self.stride,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable digest of the scenario identity (stamped into stores).
+
+        Everything in the document is identity — the base seed fixes the
+        item domain, the effects fix the moving truth — so unlike sweep
+        fingerprints nothing is excluded except the free-form ``name``.
+        """
+        doc = self.to_dict()
+        doc.pop("name", None)
+        canonical = json.dumps(doc, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def build(self) -> Scenario:
+        """Materialise the workload (resolves the base; may load a dataset)."""
+        return Scenario(
+            base=self.base,
+            effects=self.effects,
+            n_steps=self.n_steps,
+            batch_size=self.batch_size,
+            k=self.k,
+        )

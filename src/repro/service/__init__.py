@@ -27,7 +27,7 @@ is bit-identical to the in-memory run with the same report batching
 (``tests/test_service_equivalence.py``).
 """
 
-from repro.service.clients import DEFAULT_BATCH_SIZE, ClientPool, iter_perturbed_batches
+from repro.service.clients import ClientPool, iter_perturbed_batches
 from repro.service.harness import RoundReport, ServeReport, serve_dataset
 from repro.service.protocol import (
     REPORT_CODECS,
@@ -54,7 +54,6 @@ from repro.service.streaming import SlidingWindowDiscovery, WindowSnapshot
 __all__ = [
     "AggregationServer",
     "ClientPool",
-    "DEFAULT_BATCH_SIZE",
     "LevelShard",
     "OLHDecodeShard",
     "REPORT_CODECS",

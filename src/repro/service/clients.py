@@ -16,7 +16,7 @@ in-memory computation.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -27,10 +27,6 @@ from repro.service.protocol import ReportBatch
 from repro.trie.candidate_domain import CandidateDomain
 from repro.utils.rng import RandomState, as_generator
 from repro.utils.validation import check_positive
-
-#: Default bound on the number of reports per emitted batch — the one
-#: protocol default, shared with ``MechanismConfig.effective_report_batch_size``.
-DEFAULT_BATCH_SIZE = DEFAULT_REPORT_BATCH_SIZE
 
 
 def iter_perturbed_batches(
@@ -50,7 +46,7 @@ def iter_perturbed_batches(
     round's domain, and batches come out in user order, each perturbed with
     the shared generator.
     """
-    batch_size = DEFAULT_BATCH_SIZE if batch_size is None else int(batch_size)
+    batch_size = DEFAULT_REPORT_BATCH_SIZE if batch_size is None else int(batch_size)
     check_positive("batch_size", batch_size)
     gen = as_generator(rng)
     values = np.asarray(values, dtype=np.int64)
@@ -93,7 +89,7 @@ class ClientPool:
         items: np.ndarray,
         *,
         name: str = "clients",
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: int = DEFAULT_REPORT_BATCH_SIZE,
     ):
         check_positive("batch_size", batch_size)
         self.items = np.asarray(items, dtype=np.int64)
@@ -106,13 +102,13 @@ class ClientPool:
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_party(cls, party: Party, *, batch_size: int = DEFAULT_BATCH_SIZE) -> "ClientPool":
+    def from_party(cls, party: Party, *, batch_size: int = DEFAULT_REPORT_BATCH_SIZE) -> "ClientPool":
         """Wrap one party's user population."""
         return cls(party.items, name=party.name, batch_size=batch_size)
 
     @classmethod
     def from_dataset(
-        cls, dataset, *, party: str | None = None, batch_size: int = DEFAULT_BATCH_SIZE
+        cls, dataset, *, party: str | None = None, batch_size: int = DEFAULT_REPORT_BATCH_SIZE
     ) -> "ClientPool":
         """Wrap a registry dataset — one party, or the pooled population."""
         if party is not None:
@@ -125,6 +121,32 @@ class ClientPool:
             )
         items = np.concatenate([p.items for p in dataset.parties])
         return cls(items, name=dataset.name, batch_size=batch_size)
+
+    @classmethod
+    def from_arrivals(
+        cls,
+        arrivals: Iterable,
+        *,
+        name: str = "arrivals",
+        batch_size: int = DEFAULT_REPORT_BATCH_SIZE,
+    ) -> "ClientPool":
+        """Pool the users of an arrival-batch iterator.
+
+        The arrival-iterator seam shared with
+        :meth:`repro.service.streaming.SlidingWindowDiscovery.track`: each
+        element is either a plain 1-D item array or anything with an
+        ``items`` attribute (e.g. a scenario's
+        :class:`~repro.scenarios.scenario.ArrivalBatch`).  The iterator is
+        drained eagerly — use this to serve a finite arrival history, not
+        an endless stream.
+        """
+        items = [
+            np.asarray(getattr(batch, "items", batch), dtype=np.int64)
+            for batch in arrivals
+        ]
+        if not items:
+            raise ValueError("a client pool needs at least one arrival batch")
+        return cls(np.concatenate(items), name=name, batch_size=batch_size)
 
     # ------------------------------------------------------------------ #
     # Introspection

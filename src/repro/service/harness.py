@@ -21,9 +21,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.config import DEFAULT_REPORT_BATCH_SIZE
 from repro.datasets.base import FederatedDataset
 from repro.ldp.registry import make_oracle
-from repro.service.clients import DEFAULT_BATCH_SIZE, ClientPool
+from repro.service.clients import ClientPool
 from repro.service.server import AggregationServer
 from repro.trie.candidate_domain import CandidateDomain
 from repro.utils.rng import RandomState, as_generator, spawn_seeds
@@ -127,7 +128,7 @@ def serve_dataset(
     oracle: str = "krr",
     level: int = 6,
     rounds: int = 1,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: int = DEFAULT_REPORT_BATCH_SIZE,
     users_per_round: int | None = None,
     top: int = 10,
     seed: RandomState = None,

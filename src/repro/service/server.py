@@ -24,11 +24,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.config import DEFAULT_REPORT_BATCH_SIZE
 from repro.core.estimation import RoundRunner
 from repro.engine import ExecutionBackend, get_backend
 from repro.federation.messages import Message, MessageDirection
 from repro.ldp.base import EstimationResult, FrequencyOracle
-from repro.service.clients import DEFAULT_BATCH_SIZE, iter_perturbed_batches
+from repro.service.clients import iter_perturbed_batches
 from repro.service.protocol import (
     ReportBatch,
     RoundBroadcast,
@@ -374,7 +375,7 @@ class ServiceRoundRunner(RoundRunner):
 
     server: AggregationServer = field(default_factory=AggregationServer)
     party: str = "party"
-    batch_size: int = DEFAULT_BATCH_SIZE
+    batch_size: int = DEFAULT_REPORT_BATCH_SIZE
 
     def run_round(
         self,

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.core.config import MechanismConfig
+from repro.core.config import DEFAULT_REPORT_BATCH_SIZE, MechanismConfig
 from repro.core.estimation import PartyEstimator
+from repro.engine import ExecutionBackend, get_backend
 from repro.federation.party import Party
-from repro.service.clients import DEFAULT_BATCH_SIZE
 from repro.service.server import AggregationServer, ServiceRoundRunner
 from repro.utils.rng import RandomState, as_generator, spawn_seeds
 from repro.utils.validation import check_positive
@@ -90,6 +91,7 @@ class SlidingWindowDiscovery:
         self._window: deque[np.ndarray] = deque(maxlen=self.window_batches)
         self._step = 0
         self.snapshots: list[WindowSnapshot] = []
+        self._decode_engine: ExecutionBackend | None = None
 
     # ------------------------------------------------------------------ #
     # Stream interface
@@ -109,6 +111,22 @@ class SlidingWindowDiscovery:
         self.snapshots.append(snapshot)
         return snapshot
 
+    def track(self, arrivals: Iterable) -> Iterator[WindowSnapshot]:
+        """Consume an arrival iterator, yielding a snapshot per pass.
+
+        The arrival-iterator seam: ``arrivals`` yields either plain 1-D
+        item arrays or anything with an ``items`` attribute — in
+        particular a scenario's
+        :class:`~repro.scenarios.scenario.ArrivalBatch` stream
+        (:meth:`repro.scenarios.scenario.Scenario.iter_batches`).  Lazy:
+        snapshots come out as the stream is consumed, so an unbounded
+        stream works.
+        """
+        for batch in arrivals:
+            snapshot = self.push(np.asarray(getattr(batch, "items", batch)))
+            if snapshot is not None:
+                yield snapshot
+
     @property
     def window_users(self) -> int:
         """Users currently inside the window."""
@@ -118,18 +136,53 @@ class SlidingWindowDiscovery:
         """The most recent snapshot, if any pass has run."""
         return self.snapshots[-1] if self.snapshots else None
 
+    def close(self) -> None:
+        """Release the decode engine, if any pass resolved one.
+
+        Only needed for parallel backends with the OLH oracle (the sole
+        combination that materialises a worker pool); a no-op otherwise.
+        """
+        if self._decode_engine is not None:
+            self._decode_engine.shutdown()
+            self._decode_engine = None
+
+    def __enter__(self) -> "SlidingWindowDiscovery":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Discovery pass
     # ------------------------------------------------------------------ #
+    def _decode_backend(self) -> ExecutionBackend | None:
+        """The config's execution backend, resolved once for all passes.
+
+        OLH decoding fans out over candidate ranges; sharing one engine
+        across the tracker's lifetime avoids a pool spawn per snapshot on
+        the streaming hot path.  A pure execution knob: every backend
+        yields bit-identical snapshots.  Oracles other than OLH never
+        touch the engine, so none is resolved for them.
+        """
+        if self.config.backend == "serial" or self.oracle.name != "olh":
+            return None
+        if self._decode_engine is None:
+            self._decode_engine = get_backend(
+                self.config.backend, self.config.max_workers
+            )
+        return self._decode_engine
+
     def _discover(self) -> WindowSnapshot:
         items = np.concatenate(list(self._window))
         party = Party(name="window", items=items)
-        server = AggregationServer()
+        # A caller-owned engine instance (or None): the per-pass server
+        # never owns a pool, so no per-pass shutdown is needed.
+        server = AggregationServer(decode_backend=self._decode_backend())
         runner = ServiceRoundRunner(
             server=server,
             party="window",
             batch_size=self.config.effective_report_batch_size
-            or DEFAULT_BATCH_SIZE,
+            or DEFAULT_REPORT_BATCH_SIZE,
         )
         pass_rng = np.random.default_rng(spawn_seeds(self._rng, 1)[0])
         estimator = PartyEstimator(

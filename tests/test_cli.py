@@ -205,6 +205,138 @@ class TestServe:
         assert len(report_a["rounds"]) == 4
 
 
+SCENARIO_DOC = {
+    "name": "cli-lab",
+    "base": {"kind": "zipf", "n_items": 64, "n_bits": 8, "exponent": 2.5,
+             "shift": 4.0, "seed": 5},
+    "n_steps": 8,
+    "batch_size": 400,
+    "k": 3,
+    "window_batches": 2,
+    "stride": 2,
+    "effects": [
+        {"kind": "drift", "mode": "abrupt", "start": 5},
+        {"kind": "poison", "fraction": 0.1},
+    ],
+}
+
+
+class TestServeScenario:
+    def write_scenario(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(SCENARIO_DOC))
+        return path
+
+    def args(self, spec, **paths):
+        argv = ["serve", "--scenario", str(spec), "--epsilon", "6",
+                "--granularity", "3", "--rng", "3"]
+        for flag, value in paths.items():
+            argv += [f"--{flag}", str(value)]
+        return argv
+
+    def test_persists_snapshot_records(self, tmp_path, capsys):
+        spec = self.write_scenario(tmp_path)
+        store = tmp_path / "snapshots.jsonl"
+        out = tmp_path / "report.json"
+        assert main(self.args(spec, store=store, output=out)) == 0
+        rendered = capsys.readouterr().out
+        assert "precision" in rendered and "drift @ step 5" in rendered
+
+        from repro.experiments.store import ScenarioSnapshotStore
+
+        records = ScenarioSnapshotStore.load(store)
+        assert [r["step"] for r in records] == [2, 4, 6, 8]
+        for record in records:
+            assert {"precision", "recall", "f1", "upload_bits"} <= set(record)
+        report = json.loads(out.read_text())
+        assert report["records"] == records
+        assert [e["event_step"] for e in report["events"]] == [5]
+
+    def test_same_seed_runs_are_byte_identical(self, tmp_path, capsys):
+        """The acceptance invariant: two same-seed CLI runs persist
+        byte-identical stores (records hold no wall-clock values)."""
+        spec = self.write_scenario(tmp_path)
+        store_a, store_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(self.args(spec, store=store_a)) == 0
+        assert main(self.args(spec, store=store_b)) == 0
+        capsys.readouterr()
+        assert store_a.read_bytes() == store_b.read_bytes()
+
+    def test_existing_store_needs_force(self, tmp_path, capsys):
+        spec = self.write_scenario(tmp_path)
+        store = tmp_path / "snapshots.jsonl"
+        assert main(self.args(spec, store=store)) == 0
+        assert main(self.args(spec, store=store)) == 2
+        assert "--force" in capsys.readouterr().err
+        assert main(self.args(spec, store=store) + ["--force"]) == 0
+
+    def test_bench_pivot_renders_a_snapshot_store(self, tmp_path, capsys):
+        spec = self.write_scenario(tmp_path)
+        store = tmp_path / "snapshots.jsonl"
+        assert main(self.args(spec, store=store)) == 0
+        capsys.readouterr()
+        assert main(["bench", "pivot", "--from", str(store),
+                     "--rows", "step", "--cols", "n_poisoned",
+                     "--value", "f1"]) == 0
+        assert "step" in capsys.readouterr().out
+
+    def test_window_and_stride_flags_override_the_spec(self, tmp_path, capsys):
+        spec = self.write_scenario(tmp_path)
+        out = tmp_path / "report.json"
+        assert main(self.args(spec, output=out, window=4, stride=4)) == 0
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        assert [r["step"] for r in report["records"]] == [4, 8]
+
+    def test_bad_spec_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"base": {"kind": "uniform"}}))
+        assert main(["serve", "--scenario", str(path)]) == 2
+        assert "uniform" in capsys.readouterr().err
+
+    def test_raw_round_flags_are_rejected_in_scenario_mode(self, tmp_path, capsys):
+        # Flags the scenario run would silently ignore must fail loudly.
+        spec = self.write_scenario(tmp_path)
+        assert main(self.args(spec) + ["--smoke"]) == 2
+        assert "--smoke" in capsys.readouterr().err
+        assert main(self.args(spec) + ["--batch-size", "128"]) == 2
+        assert "--batch-size" in capsys.readouterr().err
+
+    def test_oversized_window_override_is_a_usage_error(self, tmp_path, capsys):
+        spec = self.write_scenario(tmp_path)
+        assert main(self.args(spec, window=20)) == 2
+        assert "never fill" in capsys.readouterr().err
+
+    def test_failed_run_does_not_leave_a_blocking_empty_store(self, tmp_path, capsys):
+        # A run that dies before any snapshot must not leave a header-only
+        # store that forces --force on the corrected rerun.
+        spec = self.write_scenario(tmp_path)
+        store = tmp_path / "snapshots.jsonl"
+        assert main(self.args(spec, store=store, window=20)) == 2
+        assert not store.exists()
+        capsys.readouterr()
+        assert main(self.args(spec, store=store)) == 0
+
+    def test_scenario_flags_are_rejected_in_raw_mode(self, tmp_path, capsys):
+        # The mirror image: raw rounds would silently ignore --store etc.
+        store = tmp_path / "snapshots.jsonl"
+        assert main(["serve", "--smoke", "--store", str(store)]) == 2
+        err = capsys.readouterr().err
+        assert "--store" in err and "--scenario" in err
+        assert not store.exists()
+        assert main(["serve", "--smoke", "--window", "3"]) == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_shipped_example_spec_loads(self):
+        from pathlib import Path
+
+        from repro.experiments.spec import load_scenario_spec
+
+        spec_path = Path(__file__).parent.parent / "examples/specs/drift_attack.yaml"
+        spec = load_scenario_spec(spec_path)
+        assert spec.name == "drift-attack" and spec.build().drift_steps()
+
+
 class TestBench:
     def test_list(self, capsys):
         assert main(["bench", "--list"]) == 0

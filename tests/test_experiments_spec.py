@@ -10,9 +10,11 @@ from repro.experiments.runner import ExperimentSettings
 from repro.experiments.spec import (
     SpecError,
     SweepSpec,
+    load_scenario_spec,
     load_spec,
     save_spec,
 )
+from repro.scenarios import ScenarioSpec
 
 SPEC_DICT = {
     "name": "unit-spec",
@@ -122,6 +124,95 @@ class TestFingerprint:
             },
         )
         assert a.fingerprint() == SweepSpec.from_dict(changed).fingerprint()
+
+
+SCENARIO_BLOCK = {
+    "name": "unit-lab",
+    "base": {"kind": "zipf", "n_items": 64, "n_bits": 8, "exponent": 2.0, "seed": 1},
+    "n_steps": 6,
+    "batch_size": 200,
+    "k": 3,
+    "window_batches": 2,
+    "stride": 2,
+    "effects": [
+        {"kind": "drift", "mode": "abrupt", "start": 4},
+        {"kind": "poison", "fraction": 0.1},
+    ],
+}
+
+
+class TestScenarioBlock:
+    def test_round_trip_is_exact(self):
+        spec = SweepSpec.from_dict({**SPEC_DICT, "scenario": SCENARIO_BLOCK})
+        assert isinstance(spec.scenario, ScenarioSpec)
+        assert spec.scenario.k == 3 and len(spec.scenario.effects) == 2
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_absent_block_stays_absent(self):
+        # No "scenario": null in the document form — pre-scenario stores
+        # must keep their fingerprints.
+        spec = SweepSpec.from_dict(SPEC_DICT)
+        assert spec.scenario is None and "scenario" not in spec.to_dict()
+
+    def test_fingerprint_tracks_the_scenario(self):
+        plain = SweepSpec.from_dict(SPEC_DICT)
+        with_scenario = SweepSpec.from_dict({**SPEC_DICT, "scenario": SCENARIO_BLOCK})
+        changed = SweepSpec.from_dict(
+            {**SPEC_DICT, "scenario": {**SCENARIO_BLOCK, "k": 4}}
+        )
+        assert plain.fingerprint() != with_scenario.fingerprint()
+        assert with_scenario.fingerprint() != changed.fingerprint()
+
+    def test_unknown_scenario_key_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="tracker"):
+            SweepSpec.from_dict({"scenario": {"tracker": 1}})
+
+    def test_unknown_effect_kind_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="ddos"):
+            SweepSpec.from_dict({"scenario": {"effects": [{"kind": "ddos"}]}})
+
+    def test_non_mapping_block(self):
+        with pytest.raises(SpecError, match="mapping"):
+            SweepSpec.from_dict({"scenario": "drift"})
+
+
+class TestLoadScenarioSpec:
+    def test_standalone_document(self, tmp_path):
+        path = tmp_path / "lab.json"
+        path.write_text(json.dumps(SCENARIO_BLOCK))
+        spec = load_scenario_spec(path)
+        assert spec == ScenarioSpec.from_dict(SCENARIO_BLOCK)
+
+    def test_embedded_in_a_sweep_spec(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({**SPEC_DICT, "scenario": SCENARIO_BLOCK}))
+        assert load_scenario_spec(path) == ScenarioSpec.from_dict(SCENARIO_BLOCK)
+
+    def test_yaml_document(self, tmp_path):
+        path = tmp_path / "lab.yaml"
+        path.write_text(
+            "name: yaml-lab\n"
+            "base: {kind: zipf, n_items: 64, n_bits: 8, exponent: 2.0, seed: 1}\n"
+            "effects:\n  - {kind: burst, period: 2}\n"
+        )
+        spec = load_scenario_spec(path)
+        assert spec.name == "yaml-lab" and spec.effects[0].period == 2
+
+    def test_empty_scenario_block(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({**SPEC_DICT, "scenario": None}))
+        with pytest.raises(SpecError, match="empty"):
+            load_scenario_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="does not exist"):
+            load_scenario_spec(tmp_path / "nope.yaml")
+
+    def test_invalid_scenario_is_a_spec_error(self, tmp_path):
+        path = tmp_path / "lab.json"
+        path.write_text(json.dumps({"base": {"kind": "uniform"}}))
+        with pytest.raises(SpecError, match="uniform"):
+            load_scenario_spec(path)
 
 
 class TestFiles:
