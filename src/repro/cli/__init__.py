@@ -1,12 +1,15 @@
 """The ``repro`` command line interface — the operator's front door.
 
-Four subcommands drive the library end to end without writing Python:
+Five subcommands drive the library end to end without writing Python:
 
 * ``repro run``   — one mechanism on one dataset, JSON result out;
 * ``repro sweep`` — a declarative YAML/JSON sweep spec driven through the
   resumable run store (``--resume`` continues a killed grid);
 * ``repro serve`` — the online aggregation service standing up for
-  streamed rounds with exact wire-bit accounting;
+  streamed rounds with exact wire-bit accounting, or (``--listen``) the
+  networked TCP gateway serving the wire protocol for real;
+* ``repro loadgen`` — multiprocess client load against a gateway, with
+  throughput and batch-latency percentiles;
 * ``repro bench`` — any paper table/figure, computed fresh or re-rendered
   from persisted results.
 
@@ -20,7 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.cli import bench, run, serve, sweep
+from repro.cli import bench, loadgen, run, serve, sweep
 from repro.cli.common import CLIError
 
 
@@ -37,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
-    for module in (run, sweep, serve, bench):
+    for module in (run, sweep, serve, loadgen, bench):
         module.add_parser(subparsers)
     return parser
 

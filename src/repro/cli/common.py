@@ -29,6 +29,22 @@ def emit_json(payload: Any, output: str | Path | None, *, quiet: bool = False) -
         print(f"wrote {path}", file=sys.stderr)
 
 
+def build_gateway(factory, *, action: str):
+    """Run a gateway-constructing callable, mapping bad config to CLIError.
+
+    Shared by ``serve --listen`` and ``loadgen`` (self-hosting): a spec's
+    ``gateway:`` section can carry values the constructors refuse —
+    including an unknown ``decode_backend`` name, which ``get_backend``
+    reports as ``KeyError`` (the ``--backend`` flags are
+    argparse-validated, so only the spec path is exposed to it).
+    """
+    try:
+        return factory()
+    except (KeyError, TypeError, ValueError) as exc:
+        message = str(exc.args[0]) if exc.args else str(exc)
+        raise CLIError(f"cannot {action}: {message}") from exc
+
+
 def add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     """``--dataset/--scale/--seed``: how every subcommand names its data."""
     parser.add_argument(

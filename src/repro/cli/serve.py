@@ -1,6 +1,6 @@
 """``repro serve`` — stand up the aggregation service for streamed rounds.
 
-Two modes:
+Three modes:
 
 * **raw rounds** (default): wraps
   :func:`repro.service.harness.serve_dataset` — an
@@ -14,7 +14,15 @@ Two modes:
   prints per-snapshot robustness metrics against the scenario's moving
   ground truth.  ``--store FILE`` persists one JSON line per snapshot
   (byte-identical across same-seed runs); ``repro bench pivot --from
-  FILE`` re-renders the records.
+  FILE`` re-renders the records;
+* **network gateway** (``--listen HOST:PORT``): serves the wire protocol
+  over TCP — an asyncio :class:`~repro.net.gateway.AggregationGateway`
+  fronting one aggregation server, with decode fan-out on
+  ``--backend/--workers``, credit-based backpressure and oversize-frame
+  rejection.  Port 0 binds an ephemeral port; ``--ready-file FILE``
+  writes the bound ``host:port`` once listening (the scripting seam
+  ``repro loadgen --connect`` pairs with).  The gateway runs until a
+  client sends a shutdown frame (``repro loadgen --shutdown``) or Ctrl-C.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.cli.common import (
     add_backend_arguments,
     add_dataset_arguments,
     add_smoke_argument,
+    build_gateway,
     emit_json,
     resolve_scale,
 )
@@ -91,6 +100,35 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="overwrite an existing --store file",
     )
+    listen = parser.add_argument_group("network gateway")
+    listen.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the wire protocol over TCP instead of running rounds "
+             "in-process (port 0 binds an ephemeral port)",
+    )
+    listen.add_argument(
+        "--ready-file", default=None, metavar="FILE",
+        help="write the bound host:port to this file once listening "
+             "(gateway mode; for scripts that need the ephemeral port)",
+    )
+    listen.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="loadgen spec whose gateway: section configures this gateway "
+             "(gateway mode; explicit flags win)",
+    )
+    listen.add_argument(
+        "--credits", type=int, default=None,
+        help="per-connection in-flight report-batch budget (gateway mode)",
+    )
+    listen.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="global bound on concurrently decoding batches (gateway mode)",
+    )
+    listen.add_argument(
+        "--max-frame-bytes", type=int, default=None,
+        help="largest accepted frame body; bigger frames are rejected "
+             "unread (gateway mode)",
+    )
     add_backend_arguments(parser)
     add_smoke_argument(parser)
     parser.add_argument("-o", "--output", default=None,
@@ -102,7 +140,8 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
         handler=cmd,
         parser_defaults={
             name: parser.get_default(name)
-            for name in RAW_ONLY_FLAGS + SCENARIO_ONLY_FLAGS
+            for name in RAW_ONLY_FLAGS + SCENARIO_ONLY_FLAGS + LISTEN_ONLY_FLAGS
+            + NOT_LISTEN_FLAGS
         },
     )
     return parser
@@ -118,6 +157,12 @@ RAW_ONLY_FLAGS: tuple[str, ...] = (
 SCENARIO_ONLY_FLAGS: tuple[str, ...] = (
     "granularity", "window", "stride", "detection_recall", "store", "force",
 )
+LISTEN_ONLY_FLAGS: tuple[str, ...] = (
+    "ready_file", "spec", "credits", "max_inflight", "max_frame_bytes",
+)
+#: Flags shared by the raw and scenario modes that a gateway has no use
+#: for (it learns oracle/budget from each broadcast and never perturbs).
+NOT_LISTEN_FLAGS: tuple[str, ...] = ("epsilon", "oracle", "rng")
 
 
 def _explicit_flags(args: argparse.Namespace, names: tuple[str, ...]) -> list[str]:
@@ -181,7 +226,85 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_listen(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.spec import SpecError, load_loadgen_spec
+    from repro.net.client import parse_address
+    from repro.net.gateway import AggregationGateway, run_gateway_forever
+
+    conflicting = _explicit_flags(
+        args, RAW_ONLY_FLAGS + SCENARIO_ONLY_FLAGS + NOT_LISTEN_FLAGS
+    )
+    if args.scenario is not None:
+        conflicting.append("--scenario")
+    if conflicting:
+        raise CLIError(
+            f"{', '.join(conflicting)}: not gateway-mode flag(s); a gateway "
+            "learns oracle, budget and domain from each client's round "
+            "broadcast — there is nothing to preconfigure"
+        )
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    kwargs: dict = {}
+    if args.spec is not None:
+        try:
+            kwargs = load_loadgen_spec(args.spec).gateway_kwargs()
+        except SpecError as exc:
+            raise CLIError(str(exc)) from exc
+    if args.backend is not None:
+        kwargs["decode_backend"] = args.backend
+    if args.workers is not None:
+        kwargs["decode_workers"] = args.workers
+    for flag, keyword in (
+        ("credits", "connection_credits"),
+        ("max_inflight", "max_inflight_batches"),
+        ("max_frame_bytes", "max_frame_bytes"),
+    ):
+        if getattr(args, flag) is not None:
+            kwargs[keyword] = getattr(args, flag)
+    gateway = build_gateway(
+        lambda: AggregationGateway(host=host, port=port, **kwargs),
+        action="configure gateway",
+    )
+
+    def on_ready(address: str) -> None:
+        print(f"gateway listening on {address}", flush=True)
+        if args.ready_file is not None:
+            ready = Path(args.ready_file)
+            ready.parent.mkdir(parents=True, exist_ok=True)
+            ready.write_text(address + "\n", encoding="utf-8")
+
+    try:
+        run_gateway_forever(gateway, on_ready=on_ready)
+    except OSError as exc:
+        if not gateway.listening:  # port in use, permission denied, ...
+            raise CLIError(f"cannot listen on {args.listen}: {exc}") from exc
+        # Bound fine but failed while serving (e.g. an unwritable
+        # --ready-file): do not misreport it as a bind failure.
+        raise CLIError(f"gateway failed while serving: {exc}") from exc
+    stats = gateway.stats()
+    print(
+        f"gateway stopped: {stats['rounds_opened']} rounds, "
+        f"{stats['upload_bits'] / 8e3:.1f} kB uploaded, "
+        f"{stats['connections_total']} connections"
+    )
+    if args.output is not None:
+        emit_json(stats, args.output)
+    return 0
+
+
 def cmd(args: argparse.Namespace) -> int:
+    if args.listen is not None:
+        return _cmd_listen(args)
+    listen_only = _explicit_flags(args, LISTEN_ONLY_FLAGS)
+    if listen_only:
+        raise CLIError(
+            f"{', '.join(listen_only)}: gateway-only flag(s); "
+            "pass --listen HOST:PORT to serve the network gateway"
+        )
     if args.scenario is not None:
         return _cmd_scenario(args)
     ignored = _explicit_flags(args, SCENARIO_ONLY_FLAGS)

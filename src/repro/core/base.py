@@ -97,7 +97,7 @@ class FederatedMechanism(abc.ABC):
         # single batch before anything runs, so party i's randomness is a
         # function of its position alone — never of backend scheduling.
         party_seeds = spawn_seeds(gen, dataset.n_parties)
-        service_mode = config.execution_mode == "service"
+        service_mode = config.execution_mode in ("service", "network")
         estimators = {
             party.name: PartyEstimator(
                 party,
@@ -159,8 +159,22 @@ class FederatedMechanism(abc.ABC):
         self-contained on any backend.  The config's ``backend`` /
         ``max_workers`` double as the server's sharded-decode engine (it
         only materialises for OLH rounds; nested process requests degrade
-        to serial inside engine workers).
+        to serial inside engine workers).  Network mode swaps the local
+        server for a :class:`~repro.net.client.RemoteAggregationServer`
+        speaking to ``config.gateway`` — one connection per party, opened
+        lazily, so party tasks stay self-contained on any backend there
+        too.
         """
+        if config.execution_mode == "network":
+            # Local import: the core layer must not require the network
+            # runtime unless a run actually asks for it.
+            from repro.net.client import RemoteAggregationServer
+
+            return ServiceRoundRunner(
+                server=RemoteAggregationServer(config.gateway),
+                party=party_name,
+                batch_size=config.effective_report_batch_size,
+            )
         if config.execution_mode != "service":
             return None
         return ServiceRoundRunner(

@@ -15,7 +15,7 @@ from repro.utils.validation import check_in_range, check_known_keys, check_posit
 
 
 #: Valid values of :attr:`MechanismConfig.execution_mode`.
-EXECUTION_MODES: tuple[str, ...] = ("memory", "service")
+EXECUTION_MODES: tuple[str, ...] = ("memory", "service", "network")
 
 #: The one protocol-wide default bound on reports per wire batch.  Every
 #: consumer — :attr:`MechanismConfig.effective_report_batch_size`, the
@@ -89,9 +89,16 @@ class MechanismConfig:
         and the transcript records exact wire bytes instead of analytic
         estimates.  For a fixed seed on the serial backend both modes
         produce bit-identical results (given the same
-        ``report_batch_size``).  Service execution requires
-        ``simulation_mode="per_user"`` — there are no individual reports to
-        stream in aggregate mode.
+        ``report_batch_size``).  ``"network"`` goes one step further and
+        serves every round over a live TCP gateway (:mod:`repro.net`)
+        named by :attr:`gateway` — bit-identical to ``"service"`` in turn,
+        because the frames wrap the same canonical bytes.  Both streaming
+        modes require ``simulation_mode="per_user"`` — there are no
+        individual reports to stream in aggregate mode.
+    gateway:
+        ``HOST:PORT`` of the aggregation gateway serving the rounds;
+        required by (and only meaningful for)
+        ``execution_mode="network"``.
     report_batch_size:
         Upper bound on the number of reports perturbed/ingested at a time.
         ``None`` keeps the in-memory path one-shot and lets service runs
@@ -140,6 +147,7 @@ class MechanismConfig:
     report_batch_size: Optional[int] = None
     backend: str = "serial"
     max_workers: Optional[int] = None
+    gateway: Optional[str] = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -171,11 +179,25 @@ class MechanismConfig:
             )
         if self.report_batch_size is not None:
             check_positive("report_batch_size", self.report_batch_size)
-        if self.execution_mode == "service" and self.simulation_mode != "per_user":
+        if (
+            self.execution_mode in ("service", "network")
+            and self.simulation_mode != "per_user"
+        ):
             raise ValueError(
-                "service execution streams individual privatized reports; "
-                'set simulation_mode="per_user" (aggregate sampling has no '
-                "reports to put on the wire)"
+                f"{self.execution_mode} execution streams individual privatized "
+                'reports; set simulation_mode="per_user" (aggregate sampling '
+                "has no reports to put on the wire)"
+            )
+        if self.execution_mode == "network" and not self.gateway:
+            raise ValueError(
+                'execution_mode="network" needs a gateway="HOST:PORT" address '
+                "to serve the rounds"
+            )
+        if self.gateway is not None and self.execution_mode != "network":
+            raise ValueError(
+                f'a gateway address is only meaningful for execution_mode='
+                f'"network" (got execution_mode={self.execution_mode!r}); '
+                "the in-process modes never touch a socket"
             )
         if self.backend.lower() not in available_backends():
             raise ValueError(
@@ -212,7 +234,9 @@ class MechanismConfig:
         """
         if self.report_batch_size is not None:
             return self.report_batch_size
-        return DEFAULT_REPORT_BATCH_SIZE if self.execution_mode == "service" else None
+        if self.execution_mode in ("service", "network"):
+            return DEFAULT_REPORT_BATCH_SIZE
+        return None
 
     def make_oracle(self) -> FrequencyOracle:
         """Instantiate the configured frequency oracle."""

@@ -29,8 +29,10 @@ from repro.experiments.runner import (
     MECHANISM_REGISTRY,
 )
 from repro.experiments.spec import (
+    LoadgenSpec,
     SpecError,
     SweepSpec,
+    load_loadgen_spec,
     load_scenario_spec,
     load_spec,
     save_spec,
@@ -72,6 +74,8 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "cell_key",
+    "LoadgenSpec",
+    "load_loadgen_spec",
     "load_scenario_spec",
     "load_spec",
     "save_spec",

@@ -131,6 +131,16 @@ class ExperimentSettings:
                 f"unknown execution_mode {self.execution_mode!r}; "
                 f"available: {sorted(EXECUTION_MODES)}"
             )
+        if self.execution_mode == "network":
+            # Sweeps have no way to supply (or stand up) a gateway per
+            # cell; reject at validation instead of crashing mid-grid.
+            # Networked runs go through repro.net.run_over_network /
+            # `repro loadgen`.
+            raise ValueError(
+                'sweeps cannot run execution_mode="network" (no gateway to '
+                "connect the cells to); use repro.net.run_over_network or "
+                "the repro loadgen CLI for networked execution"
+            )
 
     def with_updates(self, **changes) -> "ExperimentSettings":
         """Return a copy with the given fields replaced."""
@@ -243,6 +253,16 @@ def make_config(
     if settings.execution_mode == "service":
         # The service streams real reports; aggregate sampling has none.
         mode_kwargs["simulation_mode"] = "per_user"
+    if overrides.get("execution_mode") == "network":
+        # The same guard ExperimentSettings enforces, for the
+        # config_overrides back door (spec `config_overrides:` blocks and
+        # direct run_sweep(config_overrides=...) calls): cells have no
+        # gateway to connect to, so fail before the grid starts.
+        raise ValueError(
+            'sweep cells cannot run execution_mode="network" (no gateway to '
+            "connect them to); use repro.net.run_over_network or the "
+            "repro loadgen CLI for networked execution"
+        )
     config = MechanismConfig(
         k=k,
         epsilon=epsilon,

@@ -70,6 +70,42 @@ def _check_keys(mapping: Mapping, allowed: tuple[str, ...], *, where: str, sourc
     check_known_keys(mapping, allowed, where=where, source=source, error=SpecError)
 
 
+def _mapping_section(
+    data: Mapping,
+    key: str,
+    *,
+    source: str,
+    allowed: tuple[str, ...] | None = None,
+) -> dict:
+    """One optional mapping section of a spec document.
+
+    Only a missing/null section defaults to ``{}``: a falsy non-map
+    (``load: []``, ``settings: false``) is a spec mistake that must not
+    silently drop the operator's configuration.
+    """
+    section = data.get(key)
+    if section is None:
+        return {}
+    if not isinstance(section, Mapping):
+        raise SpecError(
+            f"{source}: {key!r} must be a mapping, got {type(section).__name__}"
+        )
+    section = dict(section)
+    if allowed is not None:
+        _check_keys(section, allowed, where=key, source=source)
+    return section
+
+
+def _spec_name(data: Mapping, *, default: str, source: str) -> str:
+    """The optional free-form ``name:`` (null → default, non-str → error)."""
+    name = data.get("name")
+    if name is None:
+        return default
+    if not isinstance(name, str):
+        raise SpecError(f"{source}: 'name' must be a string")
+    return name
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """One validated sweep specification.
@@ -97,13 +133,7 @@ class SweepSpec:
         _check_keys(data, SPEC_KEYS, where="spec", source=source)
 
         def _section(key: str) -> dict:
-            section = data.get(key) or {}
-            if not isinstance(section, Mapping):
-                raise SpecError(
-                    f"{source}: {key!r} must be a mapping, "
-                    f"got {type(section).__name__}"
-                )
-            return dict(section)
+            return _mapping_section(data, key, source=source)
 
         settings_data = _section("settings")
         grid = _section("grid")
@@ -126,6 +156,16 @@ class SweepSpec:
         overrides = _section("config_overrides")
         config_fields = tuple(f.name for f in dataclasses.fields(MechanismConfig))
         _check_keys(overrides, config_fields, where="config_overrides", source=source)
+        if (
+            overrides.get("execution_mode") == "network"
+            or overrides.get("gateway") is not None
+        ):
+            raise SpecError(
+                f"{source}: config_overrides cannot request networked "
+                'execution (execution_mode="network" / gateway=...) — sweep '
+                "cells have no gateway to connect to (use "
+                "repro.net.run_over_network or the repro loadgen CLI)"
+            )
 
         dataset_kwargs = _section("dataset_kwargs")
         scenario_data = data.get("scenario")
@@ -135,9 +175,7 @@ class SweepSpec:
                 scenario = ScenarioSpec.from_dict(scenario_data, source=source)
             except ScenarioError as exc:
                 raise SpecError(str(exc)) from exc
-        name = data.get("name") or "sweep"
-        if not isinstance(name, str):
-            raise SpecError(f"{source}: 'name' must be a string")
+        name = _spec_name(data, default="sweep", source=source)
         return cls(
             settings=settings,
             config_overrides=overrides,
@@ -209,14 +247,19 @@ def _parse_text(text: str, *, source: str, fmt: str | None = None) -> Any:
         raise SpecError(f"{source}: invalid YAML: {exc}") from exc
 
 
-def load_spec(path: str | Path) -> SweepSpec:
-    """Load and validate a sweep spec from a YAML or JSON file."""
+def _load_document(path: str | Path, *, kind: str) -> tuple[Path, Any]:
+    """Shared loader: existence check, format sniff by suffix, parse."""
     path = Path(path)
     if not path.exists():
-        raise SpecError(f"spec file {path} does not exist")
-    suffix = path.suffix.lower()
-    fmt = {".json": "json", ".yaml": "yaml", ".yml": "yaml"}.get(suffix)
+        raise SpecError(f"{kind} file {path} does not exist")
+    fmt = {".json": "json", ".yaml": "yaml", ".yml": "yaml"}.get(path.suffix.lower())
     data = _parse_text(path.read_text(encoding="utf-8"), source=str(path), fmt=fmt)
+    return path, data
+
+
+def load_spec(path: str | Path) -> SweepSpec:
+    """Load and validate a sweep spec from a YAML or JSON file."""
+    path, data = _load_document(path, kind="spec")
     return SweepSpec.from_dict(data, source=str(path))
 
 
@@ -227,12 +270,7 @@ def load_scenario_spec(path: str | Path) -> ScenarioSpec:
     standalone scenario document (top-level ``base:``/``effects:`` keys),
     or a full sweep spec carrying a ``scenario:`` block.
     """
-    path = Path(path)
-    if not path.exists():
-        raise SpecError(f"scenario spec file {path} does not exist")
-    suffix = path.suffix.lower()
-    fmt = {".json": "json", ".yaml": "yaml", ".yml": "yaml"}.get(suffix)
-    data = _parse_text(path.read_text(encoding="utf-8"), source=str(path), fmt=fmt)
+    path, data = _load_document(path, kind="scenario spec")
     if not isinstance(data, Mapping):
         raise SpecError(
             f"{path}: a scenario spec must be a mapping, got {type(data).__name__}"
@@ -254,3 +292,131 @@ def save_spec(spec: SweepSpec, path: str | Path) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True), encoding="utf-8")
     return path
+
+
+# --------------------------------------------------------------------------- #
+# Load-generation specs (the networked runtime's document schema)
+# --------------------------------------------------------------------------- #
+#: Top-level keys of a loadgen spec document.
+LOADGEN_KEYS: tuple[str, ...] = ("name", "gateway", "workload", "load")
+
+#: ``gateway:`` keys — constructor knobs of
+#: :class:`repro.net.gateway.AggregationGateway`.
+LOADGEN_GATEWAY_KEYS: tuple[str, ...] = (
+    "decode_backend",
+    "decode_workers",
+    "n_decode_shards",
+    "connection_credits",
+    "max_inflight_batches",
+    "max_frame_bytes",
+)
+
+#: ``workload:`` keys — what the simulated clients report.
+LOADGEN_WORKLOAD_KEYS: tuple[str, ...] = (
+    "dataset",
+    "scale",
+    "dataset_seed",
+    "oracle",
+    "epsilon",
+    "level",
+    "rounds",
+    "batch_size",
+    "users_per_round",
+    "scenario",
+)
+
+#: ``load:`` keys — how hard and from where the clients push.
+LOADGEN_LOAD_KEYS: tuple[str, ...] = (
+    "connections",
+    "backend",
+    "max_workers",
+    "seed",
+)
+
+
+@dataclass(frozen=True)
+class LoadgenSpec:
+    """One validated load-generation document: gateway + workload + load.
+
+    The declarative face of the networked runtime: ``repro serve
+    --listen`` reads the ``gateway:`` section, ``repro loadgen`` reads all
+    three.  A ``scenario:`` block inside ``workload:`` replays a scenario
+    lab arrival stream (:class:`~repro.scenarios.spec.ScenarioSpec`)
+    instead of a registry dataset.
+    """
+
+    gateway: dict = field(default_factory=dict)
+    workload: dict = field(default_factory=dict)
+    load: dict = field(default_factory=dict)
+    scenario: ScenarioSpec | None = None
+    name: str = "loadgen"
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, source: str = "<loadgen>"
+    ) -> "LoadgenSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"{source}: a loadgen spec must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys(data, LOADGEN_KEYS, where="loadgen spec", source=source)
+
+        def _section(key: str, allowed: tuple[str, ...]) -> dict:
+            return _mapping_section(data, key, source=source, allowed=allowed)
+
+        gateway = _section("gateway", LOADGEN_GATEWAY_KEYS)
+        workload = _section("workload", LOADGEN_WORKLOAD_KEYS)
+        load = _section("load", LOADGEN_LOAD_KEYS)
+        scenario = None
+        scenario_data = workload.pop("scenario", None)
+        if scenario_data is not None:
+            try:
+                scenario = ScenarioSpec.from_dict(scenario_data, source=source)
+            except ScenarioError as exc:
+                raise SpecError(str(exc)) from exc
+        name = _spec_name(data, default="loadgen", source=source)
+        return cls(
+            gateway=gateway, workload=workload, load=load, scenario=scenario, name=name
+        )
+
+    def to_dict(self) -> dict:
+        """The JSON-safe document form; ``from_dict`` round-trips it."""
+        workload = dict(self.workload)
+        if self.scenario is not None:
+            workload["scenario"] = self.scenario.to_dict()
+        return {
+            "name": self.name,
+            "gateway": dict(self.gateway),
+            "workload": workload,
+            "load": dict(self.load),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable digest of the full document (results provenance token)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------ #
+    # Consumer-side views
+    # ------------------------------------------------------------------ #
+    def gateway_kwargs(self) -> dict:
+        """Constructor keywords for :class:`~repro.net.gateway.AggregationGateway`."""
+        return dict(self.gateway)
+
+    def loadgen_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.net.loadgen.run_loadgen`.
+
+        Spec keys map one-to-one except ``load.backend/max_workers/seed``,
+        which keep their :func:`run_loadgen` parameter names.
+        """
+        kwargs = dict(self.workload)
+        kwargs.update(self.load)
+        if self.scenario is not None:
+            kwargs["scenario"] = self.scenario
+        return kwargs
+
+
+def load_loadgen_spec(path: str | Path) -> LoadgenSpec:
+    """Load and validate a loadgen spec from a YAML or JSON file."""
+    path, data = _load_document(path, kind="loadgen spec")
+    return LoadgenSpec.from_dict(data, source=str(path))

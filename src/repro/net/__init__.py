@@ -1,0 +1,84 @@
+"""Networked aggregation runtime: the service protocol over real sockets.
+
+PR 2's service layer made every report batch and round broadcast travel as
+canonical bytes — but inside one process.  This subsystem puts those same
+bytes on TCP:
+
+* :mod:`repro.net.framing` — typed, length-prefixed frames wrapping the
+  service codecs unchanged, plus the lossless estimate codec and the
+  structured error-frame mapping;
+* :mod:`repro.net.gateway` — :class:`AggregationGateway`, an asyncio TCP
+  front for an :class:`~repro.service.server.AggregationServer`: decode
+  fan-out on the execution engine, credit-based per-connection
+  backpressure, global in-flight bounds, oversize-frame rejection;
+  :func:`start_gateway` hosts it on a daemon thread for synchronous
+  callers;
+* :mod:`repro.net.client` — the synchronous :class:`GatewayConnection`
+  and :class:`RemoteAggregationServer` (a drop-in server proxy with
+  client-side exact wire accounting), plus :func:`run_over_network`;
+* :mod:`repro.net.loadgen` — :func:`run_loadgen`, the multiprocess load
+  generator measuring throughput and batch-latency percentiles.
+
+The headline invariant (``tests/test_net_equivalence.py``): for a fixed
+seed, a discovery run over a live gateway is **bit-identical** — per-round
+estimates and exact wire-bit totals — to
+``MechanismConfig(execution_mode="service")``.  The network layer adds
+transport, never semantics.
+"""
+
+from repro.net.client import (
+    GatewayConnection,
+    RemoteAggregationServer,
+    parse_address,
+    run_over_network,
+)
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_BROADCAST_REQUEST,
+    FRAME_ERROR,
+    FRAME_ESTIMATE,
+    FRAME_REPORT_BATCH,
+    FRAME_ROUND_CONTROL,
+    Frame,
+    FrameError,
+    OversizeFrameError,
+    decode_estimate,
+    encode_estimate,
+    encode_frame,
+    error_to_exception,
+    exception_to_error,
+)
+from repro.net.gateway import (
+    AggregationGateway,
+    GatewayHandle,
+    run_gateway_forever,
+    start_gateway,
+)
+from repro.net.loadgen import LoadgenReport, run_loadgen
+
+__all__ = [
+    "AggregationGateway",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FRAME_BROADCAST_REQUEST",
+    "FRAME_ERROR",
+    "FRAME_ESTIMATE",
+    "FRAME_REPORT_BATCH",
+    "FRAME_ROUND_CONTROL",
+    "Frame",
+    "FrameError",
+    "GatewayConnection",
+    "GatewayHandle",
+    "LoadgenReport",
+    "OversizeFrameError",
+    "RemoteAggregationServer",
+    "decode_estimate",
+    "encode_estimate",
+    "encode_frame",
+    "error_to_exception",
+    "exception_to_error",
+    "parse_address",
+    "run_gateway_forever",
+    "run_loadgen",
+    "run_over_network",
+    "start_gateway",
+]

@@ -1,0 +1,327 @@
+"""Typed, length-prefixed message frames for the networked runtime.
+
+The service codecs (:mod:`repro.service.protocol`) define *what* a report
+batch or round broadcast looks like as bytes; this module defines how those
+bytes travel over a socket.  A frame is::
+
+    u32 LE body length | u8 frame kind | body
+
+and the body of each kind wraps the existing canonical codecs **unchanged**:
+
+* ``FRAME_BROADCAST_REQUEST`` — an encoded :class:`~repro.service.protocol.
+  RoundBroadcast` (the client asks the gateway to open that round);
+* ``FRAME_REPORT_BATCH`` — ``u32 round_id | u32 seq | encoded report
+  batch`` (the ``seq`` is echoed in the ack, which is how the client
+  measures per-batch latency and runs the credit loop);
+* ``FRAME_ROUND_CONTROL`` — a canonical-JSON control message (welcome /
+  round_open / batch_ack / finalize / stats / shutdown);
+* ``FRAME_ERROR`` — a structured ``{code, message}`` document mapping back
+  to the exact exception the in-memory path would have raised
+  (:func:`error_to_exception`);
+* ``FRAME_ESTIMATE`` — ``u32 round_id`` plus a lossless
+  :class:`~repro.ldp.base.EstimationResult` encoding
+  (:func:`encode_estimate`), the finalize response.
+
+Because the payload inside a frame is byte-for-byte what the in-memory
+service accounts, the frame header is pure transport: wire-bit totals of a
+networked run equal the in-memory service run exactly (the bit-identity
+invariant ``tests/test_net_equivalence.py`` pins).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ldp.base import EstimationResult
+from repro.service.protocol import WireFormatError
+from repro.service.server import SERVICE_ERROR_CODES, ServiceError
+
+# --------------------------------------------------------------------------- #
+# Frame kinds
+# --------------------------------------------------------------------------- #
+FRAME_ROUND_CONTROL = 1
+FRAME_REPORT_BATCH = 2
+FRAME_BROADCAST_REQUEST = 3
+FRAME_ERROR = 4
+FRAME_ESTIMATE = 5
+
+FRAME_KINDS: tuple[int, ...] = (
+    FRAME_ROUND_CONTROL,
+    FRAME_REPORT_BATCH,
+    FRAME_BROADCAST_REQUEST,
+    FRAME_ERROR,
+    FRAME_ESTIMATE,
+)
+
+#: Default bound on one frame's body.  Generous for report batches (the
+#: widest in-repo batch, OUE at the default 65 536-report bound over a
+#: 4 097-candidate domain, is ~34 MB short of it) yet small enough that a
+#: garbage length prefix cannot make the gateway buffer gigabytes.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("<IB")
+_ESTIMATE_MAGIC = b"EST1"
+
+
+class FrameError(WireFormatError):
+    """A byte stream violates the framing layer (before any payload codec)."""
+
+
+class OversizeFrameError(FrameError):
+    """A frame declares a body larger than the negotiated bound."""
+
+
+# --------------------------------------------------------------------------- #
+# Frames
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its kind tag and raw body bytes."""
+
+    kind: int
+    body: bytes
+
+
+def encode_frame(kind: int, body: bytes) -> bytes:
+    """Serialise one frame (length prefix + kind tag + body)."""
+    if kind not in FRAME_KINDS:
+        raise FrameError(f"unknown frame kind {kind!r}")
+    if len(body) > 0xFFFFFFFF:  # pragma: no cover - 4 GiB frame
+        raise FrameError(f"frame body of {len(body)} bytes exceeds the u32 prefix")
+    return _HEADER.pack(len(body), kind) + body
+
+
+def check_frame_header(length: int, kind: int, *, max_frame_bytes: int) -> None:
+    """Validate a parsed header before the body is read off the socket.
+
+    Raising :class:`OversizeFrameError` *here* — knowing only the 5 header
+    bytes — is the oversize-rejection contract: the receiver never
+    allocates or reads a body it has already decided to refuse.
+    """
+    if kind not in FRAME_KINDS:
+        raise FrameError(f"unknown frame kind {kind!r}")
+    if length > max_frame_bytes:
+        raise OversizeFrameError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte bound"
+        )
+
+
+def parse_frame_header(header: bytes) -> tuple[int, int]:
+    """``(body_length, kind)`` from the fixed 5-byte frame header."""
+    if len(header) != _HEADER.size:
+        raise FrameError(f"frame header is {len(header)} bytes, expected {_HEADER.size}")
+    length, kind = _HEADER.unpack(header)
+    return int(length), int(kind)
+
+
+FRAME_HEADER_SIZE = _HEADER.size
+
+
+# --------------------------------------------------------------------------- #
+# Report-batch frame bodies
+# --------------------------------------------------------------------------- #
+_BATCH_PREFIX = struct.Struct("<II")
+
+
+def encode_report_frame(round_id: int, seq: int, payload: bytes) -> bytes:
+    """Body of a ``FRAME_REPORT_BATCH``: routing prefix + canonical batch bytes."""
+    return _BATCH_PREFIX.pack(round_id, seq) + payload
+
+
+def decode_report_frame(body: bytes) -> tuple[int, int, bytes]:
+    """``(round_id, seq, payload)`` of a report-batch frame body."""
+    if len(body) < _BATCH_PREFIX.size:
+        raise FrameError(
+            f"report frame body is {len(body)} bytes, needs at least "
+            f"{_BATCH_PREFIX.size}"
+        )
+    round_id, seq = _BATCH_PREFIX.unpack_from(body)
+    return int(round_id), int(seq), body[_BATCH_PREFIX.size :]
+
+
+# --------------------------------------------------------------------------- #
+# Control + error frame bodies (canonical JSON)
+# --------------------------------------------------------------------------- #
+def encode_control(message: dict) -> bytes:
+    """Canonical-JSON body of a ``FRAME_ROUND_CONTROL``."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_control(body: bytes) -> dict:
+    """Parse a control body; anything but a JSON mapping is a frame error."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"control body does not parse: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"control body must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+#: Error codes owned by the transport layer (the service-level codes live
+#: in :data:`repro.service.server.SERVICE_ERROR_CODES`).
+ERROR_WIRE_FORMAT = "wire_format"
+ERROR_FRAME = "frame"
+ERROR_OVERSIZE_FRAME = "oversize_frame"
+ERROR_INTERNAL = "internal"
+
+
+def exception_to_error(exc: BaseException) -> tuple[str, str]:
+    """``(code, message)`` an error frame should carry for ``exc``."""
+    if isinstance(exc, OversizeFrameError):
+        return ERROR_OVERSIZE_FRAME, str(exc)
+    if isinstance(exc, FrameError):
+        return ERROR_FRAME, str(exc)
+    if isinstance(exc, WireFormatError):
+        return ERROR_WIRE_FORMAT, str(exc)
+    if isinstance(exc, ServiceError):
+        return exc.code, str(exc)
+    return ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+
+
+def error_to_exception(code: str, message: str) -> Exception:
+    """The exception an error frame maps back to.
+
+    The satellite contract of the structured error codes: a remote failure
+    re-raises as the *same* exception type (and, for
+    :class:`~repro.service.server.ServiceError`, the same ``code``) the
+    in-memory :class:`~repro.service.server.AggregationServer` raises
+    locally, so callers cannot tell transport from library.
+    """
+    if code == ERROR_OVERSIZE_FRAME:
+        return OversizeFrameError(message)
+    if code == ERROR_FRAME:
+        return FrameError(message)
+    if code == ERROR_WIRE_FORMAT:
+        return WireFormatError(message)
+    if code in SERVICE_ERROR_CODES:
+        return ServiceError(message, code=code)
+    return ServiceError(f"[{code}] {message}")
+
+
+def encode_error(exc: BaseException, *, seq: int | None = None) -> bytes:
+    """Body of a ``FRAME_ERROR`` describing ``exc``."""
+    code, message = exception_to_error(exc)
+    body = {"code": code, "message": message}
+    if seq is not None:
+        body["seq"] = int(seq)
+    return encode_control(body)
+
+
+def decode_error(body: bytes) -> Exception:
+    """Reconstruct the mapped exception from an error-frame body."""
+    message = decode_control(body)
+    try:
+        return error_to_exception(str(message["code"]), str(message["message"]))
+    except KeyError as exc:
+        raise FrameError(f"error frame misses the {exc} key") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Estimate frames (lossless EstimationResult)
+# --------------------------------------------------------------------------- #
+_ESTIMATE_PREFIX = struct.Struct("<I")
+
+
+def encode_estimate(result: EstimationResult) -> bytes:
+    """Serialise an estimation result without losing a single bit.
+
+    Counts travel as raw little-endian ``int64``/``float64`` buffers (JSON
+    would round-trip the floats too, via ``repr``, but raw buffers are a
+    third the size and decode without parsing); the scalar fields and the
+    metadata dict travel as a canonical JSON header.
+    """
+    header = json.dumps(
+        {
+            "n_users": int(result.n_users),
+            "domain_size": int(result.domain_size),
+            "oracle": result.oracle_name,
+            "epsilon": float(result.epsilon),
+            "metadata": dict(result.metadata),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    support = np.ascontiguousarray(result.support_counts, dtype="<i8")
+    counts = np.ascontiguousarray(result.estimated_counts, dtype="<f8")
+    freqs = np.ascontiguousarray(result.estimated_frequencies, dtype="<f8")
+    d = int(result.domain_size)
+    if not (support.shape == counts.shape == freqs.shape == (d,)):
+        raise FrameError(
+            f"estimate arrays must all have shape ({d},), got "
+            f"{support.shape}/{counts.shape}/{freqs.shape}"
+        )
+    return b"".join(
+        (
+            _ESTIMATE_MAGIC,
+            _ESTIMATE_PREFIX.pack(len(header)),
+            header,
+            support.tobytes(),
+            counts.tobytes(),
+            freqs.tobytes(),
+        )
+    )
+
+
+def decode_estimate(data: bytes) -> EstimationResult:
+    """Reconstruct an :class:`~repro.ldp.base.EstimationResult`, losslessly."""
+    if data[:4] != _ESTIMATE_MAGIC:
+        raise FrameError(
+            f"bad estimate magic {data[:4]!r}, expected {_ESTIMATE_MAGIC!r}"
+        )
+    try:
+        (header_len,) = _ESTIMATE_PREFIX.unpack_from(data, 4)
+    except struct.error as exc:
+        raise FrameError(f"estimate header does not parse: {exc}") from exc
+    offset = 4 + _ESTIMATE_PREFIX.size
+    if offset + header_len > len(data):
+        raise FrameError("estimate header overruns the buffer")
+    try:
+        header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+        domain_size = int(header["domain_size"])
+        n_users = int(header["n_users"])
+        oracle_name = header["oracle"]
+        epsilon = float(header["epsilon"])
+        metadata = dict(header.get("metadata") or {})
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise FrameError(f"estimate header is malformed: {exc!r}") from exc
+    offset += header_len
+    expected = offset + domain_size * (8 + 8 + 8)
+    if len(data) != expected:
+        raise FrameError(
+            f"estimate payload is {len(data)} bytes, expected {expected}"
+        )
+    support = np.frombuffer(data, dtype="<i8", count=domain_size, offset=offset)
+    offset += domain_size * 8
+    counts = np.frombuffer(data, dtype="<f8", count=domain_size, offset=offset)
+    offset += domain_size * 8
+    freqs = np.frombuffer(data, dtype="<f8", count=domain_size, offset=offset)
+    return EstimationResult(
+        support_counts=support.astype(np.int64),
+        estimated_counts=counts.astype(np.float64),
+        estimated_frequencies=freqs.astype(np.float64),
+        n_users=n_users,
+        domain_size=domain_size,
+        oracle_name=oracle_name,
+        epsilon=epsilon,
+        metadata=metadata,
+    )
+
+
+def encode_estimate_frame(round_id: int, result: EstimationResult) -> bytes:
+    """Body of a ``FRAME_ESTIMATE``: the round id plus the encoded result."""
+    return _ESTIMATE_PREFIX.pack(round_id) + encode_estimate(result)
+
+
+def decode_estimate_frame(body: bytes) -> tuple[int, EstimationResult]:
+    """``(round_id, result)`` of an estimate frame body."""
+    if len(body) < _ESTIMATE_PREFIX.size:
+        raise FrameError("estimate frame body misses its round id")
+    (round_id,) = _ESTIMATE_PREFIX.unpack_from(body)
+    return int(round_id), decode_estimate(body[_ESTIMATE_PREFIX.size :])

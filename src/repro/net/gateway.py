@@ -1,0 +1,662 @@
+"""The asyncio TCP gateway fronting an :class:`~repro.service.server.AggregationServer`.
+
+One :class:`AggregationGateway` owns one aggregation server and serves the
+frame protocol of :mod:`repro.net.framing` to any number of concurrent
+client connections:
+
+* **round lifecycle** — a broadcast-request frame opens a round (the
+  gateway reconstructs the round's oracle and candidate domain from the
+  decoded broadcast, then re-encodes it for accounting — canonical codecs
+  make the re-encoding byte-identical); a ``finalize`` control message
+  closes it and returns the lossless estimate frame;
+* **decode fan-out** — report-batch frames are decoded on the gateway's
+  execution backend (:mod:`repro.engine`) while the single-threaded event
+  loop keeps reading; the accumulate-and-account step
+  (:meth:`~repro.service.server.AggregationServer.ingest_decoded`) always
+  runs on the loop, so totals never race;
+* **admission control** — frames above ``max_frame_bytes`` are refused on
+  their 5-byte header alone (the body is never read); a global
+  ``max_inflight_batches`` semaphore bounds decode memory — when it is
+  full the gateway simply stops reading sockets, which is TCP
+  backpressure; each connection additionally gets ``connection_credits``
+  in its welcome message and is disconnected if it exceeds them
+  (credit-based backpressure: a batch costs one credit, its ack returns
+  it);
+* **exact accounting** — identical to in-memory mode, because the bytes
+  inside a report/broadcast frame *are* the canonical service encoding
+  the in-memory server accounts.
+
+Synchronous hosts (tests, examples, the load generator, ``repro serve
+--listen`` is async-native) use :func:`start_gateway`, which runs the
+gateway's event loop on a daemon thread and hands back a
+:class:`GatewayHandle` context manager.
+
+**Trust model.**  The gateway is a measurement instrument for trusted
+clients (localhost/lab networks), not an authenticated production
+endpoint: admission control protects the *server's resources* (frame
+sizes, in-flight decode memory, domain allocations tied to broadcast
+size), while rounds deliberately have no connection ownership — any
+connection may stream into or finalize any round.  That is load-bearing:
+a process-backend client pickles its
+:class:`~repro.net.client.RemoteAggregationServer` into workers, which
+reconnect and legitimately finish rounds their parent's connection
+opened.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.engine import ExecutionBackend, get_backend
+from repro.ldp.registry import make_oracle
+from repro.net import framing
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_BROADCAST_REQUEST,
+    FRAME_ERROR,
+    FRAME_ESTIMATE,
+    FRAME_HEADER_SIZE,
+    FRAME_REPORT_BATCH,
+    FRAME_ROUND_CONTROL,
+    Frame,
+    FrameError,
+)
+from repro.service.protocol import (
+    WireFormatError,
+    decode_broadcast,
+    decode_report_batch,
+    wire_bits,
+)
+from repro.service.server import AggregationServer, ServiceError
+from repro.utils.validation import check_positive
+
+#: Protocol revision announced in the welcome message.
+PROTOCOL_VERSION = 1
+
+DEFAULT_CONNECTION_CREDITS = 32
+DEFAULT_MAX_INFLIGHT_BATCHES = 256
+
+
+@dataclass(frozen=True)
+class _WireDomain:
+    """The candidate domain as reconstructed from a round broadcast.
+
+    :meth:`AggregationServer.open_round` only reads ``size`` and
+    ``prefixes``, both of which the broadcast carries verbatim.
+    """
+
+    size: int
+    prefixes: tuple[str, ...]
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Frame | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Oversize and unknown-kind frames raise *before* the body is read.
+    """
+    header = await reader.read(FRAME_HEADER_SIZE)
+    if not header:
+        return None
+    while len(header) < FRAME_HEADER_SIZE:
+        chunk = await reader.read(FRAME_HEADER_SIZE - len(header))
+        if not chunk:
+            raise FrameError("connection closed mid frame header")
+        header += chunk
+    length, kind = framing.parse_frame_header(header)
+    framing.check_frame_header(length, kind, max_frame_bytes=max_frame_bytes)
+    body = await reader.readexactly(length) if length else b""
+    return Frame(kind=kind, body=body)
+
+
+@dataclass
+class _Connection:
+    """Per-connection gateway state: writer, credit ledger, pending ingests."""
+
+    writer: asyncio.StreamWriter
+    credits: int
+    pending: set = field(default_factory=set)
+    n_batches: int = 0
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    async def send(self, kind: int, body: bytes) -> None:
+        async with self.write_lock:
+            self.writer.write(framing.encode_frame(kind, body))
+            await self.writer.drain()
+
+    async def send_control(self, message: dict) -> None:
+        await self.send(FRAME_ROUND_CONTROL, framing.encode_control(message))
+
+    async def send_error(self, exc: BaseException, *, seq: int | None = None) -> None:
+        try:
+            await self.send(FRAME_ERROR, framing.encode_error(exc, seq=seq))
+        except (ConnectionError, RuntimeError):  # peer already gone
+            pass
+
+    async def drain_pending(self) -> None:
+        """Barrier: wait for every in-flight ingest of this connection."""
+        while self.pending:
+            await asyncio.gather(*list(self.pending), return_exceptions=True)
+
+
+class AggregationGateway:
+    """Serves the aggregation wire protocol over TCP, fronting one server.
+
+    Parameters
+    ----------
+    host / port:
+        Listen address; port 0 binds an ephemeral port (read it back from
+        :attr:`address` once started).
+    decode_backend / decode_workers:
+        Execution backend for frame decoding *and* the inner server's
+        sharded OLH decode (``None``: serial).  The gateway owns the
+        resolved engine and shuts it down on :meth:`stop`.
+    n_decode_shards:
+        Candidate ranges per OLH decode (see :mod:`repro.service.shards`).
+    connection_credits:
+        Report batches a connection may have in flight (unacked); the
+        bound is announced in the welcome message and enforced.
+    max_inflight_batches:
+        Global bound on concurrently decoding batches across all
+        connections; beyond it the gateway stops reading sockets.
+    max_frame_bytes:
+        Largest accepted frame body; bigger frames are refused unread and
+        the connection is closed.
+    allow_shutdown:
+        Whether a ``{"op": "shutdown"}`` control message stops the
+        gateway (operator convenience for scripted runs; disable for
+        long-lived servers).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        decode_backend: str | ExecutionBackend | None = None,
+        decode_workers: int | None = None,
+        n_decode_shards: int = 8,
+        connection_credits: int = DEFAULT_CONNECTION_CREDITS,
+        max_inflight_batches: int = DEFAULT_MAX_INFLIGHT_BATCHES,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        allow_shutdown: bool = True,
+    ):
+        check_positive("connection_credits", connection_credits)
+        check_positive("max_inflight_batches", max_inflight_batches)
+        check_positive("max_frame_bytes", max_frame_bytes)
+        self.host = host
+        self.port = int(port)
+        self.connection_credits = int(connection_credits)
+        self.max_inflight_batches = int(max_inflight_batches)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.allow_shutdown = bool(allow_shutdown)
+        self._engine = get_backend(decode_backend, decode_workers)
+        # The engine instance is shared with the server (instance-passed
+        # engines stay caller-owned), so OLH decode shards and frame
+        # decoding draw from one worker pool.
+        self.server = AggregationServer(
+            decode_backend=self._engine, n_decode_shards=n_decode_shards
+        )
+        # All mutations of the inner server run on this one worker — the
+        # serialization the accounting needs — while the event loop stays
+        # free to read frames and send acks even when an accumulate blocks
+        # on the engine (OLH's sharded decode is a full candidate scan).
+        self._accumulator = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-gateway-accumulate"
+        )
+        self._aio_server: asyncio.Server | None = None
+        self._inflight: asyncio.Semaphore | None = None
+        self._stopping = False
+        self._stopped: asyncio.Event | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.n_connections_total = 0
+        self.n_frames_rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def listening(self) -> bool:
+        """Whether the gateway ever bound its port (distinguishes bind
+        failures from serving-time failures for callers' diagnostics)."""
+        return self._aio_server is not None
+
+    @property
+    def address(self) -> str:
+        """``host:port`` actually bound (resolves ephemeral ports)."""
+        if self._aio_server is None:
+            raise RuntimeError("gateway is not listening; call start() first")
+        sock = self._aio_server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return f"{host}:{port}"
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._inflight = asyncio.Semaphore(self.max_inflight_batches)
+        self._stopped = asyncio.Event()
+        self._aio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, tear down live connections, release workers."""
+        self._stopping = True
+        if self._aio_server is not None:
+            self._aio_server.close()
+            await self._aio_server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._accumulator.shutdown(wait=True)
+        self._engine.shutdown()
+        self.server.shutdown()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def request_stop(self) -> None:
+        """Ask the serving loop to wind down (idempotent, loop-thread only)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop` (or a shutdown frame), then stop."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+        if not self._stopping:
+            await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self.n_connections_total += 1
+        state = _Connection(writer=writer, credits=self.connection_credits)
+        try:
+            await state.send_control(
+                {
+                    "op": "welcome",
+                    "protocol": PROTOCOL_VERSION,
+                    "credits": self.connection_credits,
+                    "max_frame_bytes": self.max_frame_bytes,
+                }
+            )
+            while True:
+                try:
+                    frame = await read_frame(
+                        reader, max_frame_bytes=self.max_frame_bytes
+                    )
+                except FrameError as exc:
+                    # Framing is unrecoverable: the stream position is
+                    # untrusted, so report and hang up.
+                    self.n_frames_rejected += 1
+                    await state.send_error(exc)
+                    break
+                if frame is None:
+                    break
+                try:
+                    proceed = await self._dispatch(state, frame)
+                except asyncio.CancelledError:
+                    raise
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    raise
+                except Exception as exc:  # noqa: BLE001 - last-resort net
+                    # No failure may kill the handler silently: whatever
+                    # slipped past the per-frame handlers ships as an
+                    # "internal" error frame before the connection closes.
+                    await state.send_error(exc)
+                    break
+                if not proceed:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished mid-frame; per-connection state dies with it
+        except asyncio.CancelledError:
+            # Gateway-initiated teardown.  Returning (not re-raising) keeps
+            # asyncio.streams' connection_made callback from logging every
+            # cancelled handler as an unretrieved exception.
+            pass
+        finally:
+            # Teardown must never let an exception (including a cancel from
+            # gateway stop) escape the handler task: asyncio.streams would
+            # log each one as an unretrieved connection error.
+            try:
+                await state.drain_pending()
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, state: _Connection, frame: Frame) -> bool:
+        """Route one frame; returns False when the connection must close."""
+        if frame.kind == FRAME_REPORT_BATCH:
+            return await self._on_report_batch(state, frame.body)
+        if frame.kind == FRAME_BROADCAST_REQUEST:
+            await self._on_broadcast_request(state, frame.body)
+            return True
+        if frame.kind == FRAME_ROUND_CONTROL:
+            return await self._on_control(state, frame.body)
+        # Clients never send ERROR/ESTIMATE; treat them as framing abuse.
+        self.n_frames_rejected += 1
+        await state.send_error(FrameError(f"unexpected frame kind {frame.kind}"))
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Round opening
+    # ------------------------------------------------------------------ #
+    async def _on_broadcast_request(self, state: _Connection, body: bytes) -> None:
+        try:
+            broadcast = decode_broadcast(body)
+            n_prefixes = len(broadcast.prefixes)
+            if not n_prefixes <= broadcast.domain_size <= n_prefixes + 1:
+                # The candidate domain is its prefixes plus at most a dummy
+                # slot.  Enforcing that here ties the O(domain_size) shard
+                # allocation to the broadcast's actual frame size — a tiny
+                # frame cannot declare a multi-gigabyte domain.
+                raise WireFormatError(
+                    f"broadcast declares domain_size {broadcast.domain_size} "
+                    f"for {n_prefixes} prefixes (must be n or n+1)"
+                )
+            try:
+                oracle = make_oracle(broadcast.oracle_name, broadcast.epsilon)
+                domain = _WireDomain(
+                    size=broadcast.domain_size, prefixes=broadcast.prefixes
+                )
+                round_id = await asyncio.get_running_loop().run_in_executor(
+                    self._accumulator,
+                    partial(
+                        self.server.open_round,
+                        party=broadcast.party,
+                        level=broadcast.level,
+                        oracle=oracle,
+                        domain=domain,
+                    ),
+                )
+            except (KeyError, ValueError) as exc:
+                # A decodable broadcast can still carry values the library
+                # refuses (unknown oracle, epsilon <= 0, empty domain);
+                # untrusted input must answer with an error frame, never
+                # kill the handler.
+                if isinstance(exc, WireFormatError):
+                    raise
+                message = str(exc.args[0]) if exc.args else str(exc)
+                raise WireFormatError(message) from exc
+        except (WireFormatError, ServiceError) as exc:
+            await state.send_error(exc)
+            return
+        await state.send_control(
+            {
+                "op": "round_open",
+                "round_id": round_id,
+                "broadcast_bits": self.server.rounds[round_id].broadcast_bits,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batch ingestion (pipelined)
+    # ------------------------------------------------------------------ #
+    async def _on_report_batch(self, state: _Connection, body: bytes) -> bool:
+        try:
+            round_id, seq, payload = framing.decode_report_frame(body)
+        except FrameError as exc:
+            await state.send_error(exc)
+            return False
+        try:
+            # Round-state errors precede codec errors (matching the
+            # in-memory server), and a batch for a dead round never costs
+            # the engine a decode.  A racing finalize on the accumulator
+            # thread is re-checked authoritatively inside ingest_decoded.
+            self.server.check_open(round_id)
+        except ServiceError as exc:
+            await state.send_error(exc, seq=seq)
+            return True
+        if len(state.pending) >= state.credits:
+            # The client broke the credit contract announced in the
+            # welcome; a well-behaved client can never trip this because
+            # acks are sent only after the pending entry is released.
+            self.n_frames_rejected += 1
+            await state.send_error(
+                ServiceError(
+                    f"connection exceeded its {state.credits} report-batch "
+                    "credits",
+                    code="admission_rejected",
+                ),
+                seq=seq,
+            )
+            return False
+        assert self._inflight is not None
+        await self._inflight.acquire()  # global cap: stop reading when full
+        future = self._engine.submit(decode_report_batch, payload)
+        task = asyncio.get_running_loop().create_task(
+            self._ingest(state, round_id, seq, wire_bits(payload), future)
+        )
+        state.pending.add(task)
+        task.add_done_callback(state.pending.discard)
+        return True
+
+    async def _ingest(self, state, round_id, seq, payload_bits, future) -> None:
+        try:
+            try:
+                batch = await asyncio.wrap_future(future)
+                n = await asyncio.get_running_loop().run_in_executor(
+                    self._accumulator,
+                    partial(
+                        self.server.ingest_decoded,
+                        round_id,
+                        batch,
+                        payload_bits=payload_bits,
+                    ),
+                )
+            finally:
+                self._inflight.release()
+        except asyncio.CancelledError:  # pragma: no cover - teardown
+            raise
+        except Exception as exc:  # noqa: BLE001 - every failure crosses the wire
+            # WireFormatError/ServiceError keep their structured code; any
+            # other failure ships as "internal" instead of killing the loop.
+            await state.send_error(exc, seq=seq)
+            return
+        state.n_batches += 1
+        # Release the credit BEFORE the ack crosses the wire: once the
+        # client reads the ack it may immediately send another batch, and
+        # the admission check must never see the acked task still pending
+        # (the ack write can suspend on a full transport buffer).
+        task = asyncio.current_task()
+        if task is not None:
+            state.pending.discard(task)
+        try:
+            await state.send_control(
+                {"op": "batch_ack", "round_id": round_id, "seq": seq, "n": n}
+            )
+        except (ConnectionError, RuntimeError):  # pragma: no cover - peer gone
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Control messages
+    # ------------------------------------------------------------------ #
+    async def _on_control(self, state: _Connection, body: bytes) -> bool:
+        try:
+            message = framing.decode_control(body)
+            op = message.get("op")
+            if op == "finalize":
+                # Barrier: a finalize must observe every batch the client
+                # pipelined before it (client drains its acks first, so
+                # pending here is already empty in the well-behaved case).
+                await state.drain_pending()
+                round_id = int(message["round_id"])
+                estimate = await asyncio.get_running_loop().run_in_executor(
+                    self._accumulator, self.server.finalize_round, round_id
+                )
+                await state.send(
+                    FRAME_ESTIMATE,
+                    framing.encode_estimate_frame(round_id, estimate),
+                )
+                return True
+            if op == "stats":
+                await state.drain_pending()
+                # Through the accumulator like every other server access:
+                # other connections' open_round/ingest calls mutate the
+                # rounds dict on that thread, and dicts must not change
+                # size under the stats scan.
+                stats = await asyncio.get_running_loop().run_in_executor(
+                    self._accumulator, self.stats
+                )
+                await state.send_control({"op": "stats", **stats})
+                return True
+            if op == "shutdown":
+                if not self.allow_shutdown:
+                    raise ServiceError(
+                        "this gateway does not accept remote shutdown",
+                        code="admission_rejected",
+                    )
+                await state.drain_pending()
+                await state.send_control({"op": "bye"})
+                self.request_stop()
+                return False
+            raise FrameError(f"unknown control op {op!r}")
+        except FrameError as exc:
+            # Framing abuse leaves the stream position untrusted: hang up.
+            await state.send_error(exc)
+            return False
+        except ServiceError as exc:
+            # Service-level failures (e.g. finalizing an unknown round)
+            # leave the stream intact; the client decides what to do.
+            await state.send_error(exc)
+            return True
+        except (KeyError, TypeError, ValueError) as exc:
+            await state.send_error(FrameError(f"malformed control message: {exc!r}"))
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Wire-bit accounting and admission counters, JSON-safe."""
+        open_rounds = sum(1 for r in self.server.rounds.values() if r.is_open)
+        return {
+            "upload_bits": self.server.upload_bits(),
+            "broadcast_bits": self.server.broadcast_bits(),
+            "rounds_opened": len(self.server.rounds),
+            "open_rounds": open_rounds,
+            "connections_total": self.n_connections_total,
+            "connections_live": len(self._connections),
+            "frames_rejected": self.n_frames_rejected,
+            "credits_per_connection": self.connection_credits,
+            "max_inflight_batches": self.max_inflight_batches,
+            "max_frame_bytes": self.max_frame_bytes,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Synchronous hosting
+# --------------------------------------------------------------------------- #
+class GatewayHandle:
+    """A gateway running on a background thread, for synchronous callers.
+
+    Examples
+    --------
+    >>> from repro.net import start_gateway
+    >>> with start_gateway() as handle:
+    ...     host_port = handle.address
+    >>> ":" in host_port
+    True
+    """
+
+    def __init__(self, gateway: AggregationGateway):
+        self.gateway = gateway
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.address: str = ""
+
+    def start(self) -> "GatewayHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            try:
+                await self.gateway.start()
+                self.address = self.gateway.address
+            except BaseException as exc:  # noqa: BLE001 - reported to starter
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.gateway.serve_until_stopped()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def close(self) -> None:
+        """Stop the gateway and join its thread (safe to call twice)."""
+        loop, thread = self._loop, self._thread
+        if thread is None or not thread.is_alive():
+            return
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self.gateway.request_stop)
+            except RuntimeError:  # loop already closed under us
+                pass
+        thread.join(timeout=30.0)
+
+    def __enter__(self) -> "GatewayHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def start_gateway(**kwargs) -> GatewayHandle:
+    """Run an :class:`AggregationGateway` on a daemon thread.
+
+    Keyword arguments go to the gateway constructor; the returned
+    :class:`GatewayHandle` exposes the bound ``address`` and closes the
+    gateway on ``close()`` / context-manager exit.
+    """
+    return GatewayHandle(AggregationGateway(**kwargs)).start()
+
+
+def run_gateway_forever(gateway: AggregationGateway, *, on_ready=None) -> None:
+    """Foreground-serve a gateway (what ``repro serve --listen`` calls).
+
+    ``on_ready(address)`` fires once the port is bound.  Returns after a
+    remote shutdown frame; Ctrl-C stops gracefully.
+    """
+
+    async def main() -> None:
+        await gateway.start()
+        if on_ready is not None:
+            on_ready(gateway.address)
+        await gateway.serve_until_stopped()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass

@@ -1,0 +1,349 @@
+"""Multiprocess load generation against a live aggregation gateway.
+
+:func:`run_loadgen` drives ``connections`` independent client pools — each
+on its own :class:`~repro.net.client.GatewayConnection`, fanned out over an
+execution backend (:mod:`repro.engine`; ``"process"`` gives true
+multi-core clients, the realistic load shape) — through full
+frequency-oracle rounds against a gateway, and aggregates:
+
+* **throughput** — end-to-end reports/second across all pools (perturb +
+  encode + socket + gateway decode + shard accumulate);
+* **latency** — send→ack round trip of every report batch, summarised as
+  p50/p95/p99/mean/max;
+* **exact wire accounting** — upload/broadcast bits as counted by the
+  clients, plus the gateway's own totals for cross-checking.
+
+Workloads come from the same seams the rest of the repo uses: a registry
+dataset (every party becomes a :class:`~repro.service.clients.ClientPool`,
+assigned round-robin to connections) or a declarative scenario spec
+(:class:`~repro.scenarios.spec.ScenarioSpec`), whose arrival stream each
+connection replays through :meth:`ClientPool.from_arrivals` with its own
+spawned seed.  Report randomness follows the repo-wide contract: one seed
+per (connection, round), fanned out before anything streams.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DEFAULT_REPORT_BATCH_SIZE
+from repro.engine import get_backend
+from repro.ldp.registry import make_oracle
+from repro.net.client import GatewayConnection
+from repro.service.clients import ClientPool
+from repro.service.protocol import RoundBroadcast, encode_report_batch, wire_bits
+from repro.trie.candidate_domain import CandidateDomain
+from repro.utils.rng import RandomState, as_generator, spawn_seeds
+from repro.utils.tables import TextTable
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class _PoolTask:
+    """Everything one load-generating connection needs (picklable)."""
+
+    address: str
+    name: str
+    items: np.ndarray
+    n_bits: int
+    oracle: str
+    epsilon: float
+    level: int
+    rounds: int
+    batch_size: int
+    users_per_round: int | None
+    top: int
+    timeout: float
+
+
+def _drive_pool(task: _PoolTask, seed: int) -> dict:
+    """Stream every round of one pool; module-level so process backends pickle it."""
+    domain = CandidateDomain.full_domain(task.level)
+    pool = ClientPool(task.items, name=task.name, batch_size=task.batch_size)
+    round_seeds = spawn_seeds(np.random.default_rng(seed), task.rounds)
+    n_reports = n_batches = upload_bits = broadcast_bits = 0
+    top_prefixes: list[list] = []
+    connection = GatewayConnection(task.address, timeout=task.timeout)
+    try:
+        for round_seed in round_seeds:
+            round_gen = np.random.default_rng(round_seed)
+            oracle = make_oracle(task.oracle, task.epsilon)
+            round_id, bits = connection.open_round(
+                RoundBroadcast(
+                    party=task.name,
+                    level=task.level,
+                    oracle_name=oracle.name,
+                    epsilon=oracle.epsilon,
+                    domain_size=domain.size,
+                    prefixes=tuple(domain.prefixes),
+                )
+            )
+            broadcast_bits += bits
+            user_indices = (
+                pool.draw_users(task.users_per_round, round_gen)
+                if task.users_per_round is not None
+                else None
+            )
+            for batch in pool.iter_report_batches(
+                oracle, domain, task.n_bits, round_gen, user_indices=user_indices
+            ):
+                payload = encode_report_batch(batch)
+                connection.send_batch(round_id, payload)
+                n_reports += batch.n_users
+                n_batches += 1
+                upload_bits += wire_bits(payload)
+            estimate = connection.finalize(round_id)
+            counts = estimate.estimated_counts[: domain.n_candidates]
+            order = np.argsort(counts)[::-1][: task.top]
+            top_prefixes = [
+                [domain.prefixes[i], float(counts[i])] for i in order
+            ]
+        latencies = list(connection.latencies)
+    finally:
+        connection.close()
+    return {
+        "pool": task.name,
+        "n_users": pool.n_users,
+        "n_reports": n_reports,
+        "n_batches": n_batches,
+        "upload_bits": upload_bits,
+        "broadcast_bits": broadcast_bits,
+        "latencies": latencies,
+        "top_prefixes": top_prefixes,
+    }
+
+
+def _latency_summary(latencies_s: list[float]) -> dict:
+    """p50/p95/p99/mean/max of batch latencies, in milliseconds."""
+    if not latencies_s:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    ms = np.asarray(latencies_s, dtype=np.float64) * 1e3
+    p50, p95, p99 = np.percentile(ms, [50.0, 95.0, 99.0])
+    return {
+        "count": int(ms.size),
+        "p50": round(float(p50), 3),
+        "p95": round(float(p95), 3),
+        "p99": round(float(p99), 3),
+        "mean": round(float(ms.mean()), 3),
+        "max": round(float(ms.max()), 3),
+    }
+
+
+@dataclass
+class LoadgenReport:
+    """Everything one :func:`run_loadgen` run measured."""
+
+    address: str
+    workload: str
+    oracle: str
+    epsilon: float
+    level: int
+    connections: int
+    rounds: int
+    batch_size: int
+    backend: str
+    elapsed_seconds: float
+    n_reports: int
+    n_batches: int
+    reports_per_sec: float
+    upload_bits: int
+    broadcast_bits: int
+    latency_ms: dict
+    per_connection: list[dict] = field(default_factory=list)
+    gateway: dict | None = None
+
+    def to_dict(self) -> dict:
+        out = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        # Raw per-batch latencies are working data, not report payload.
+        out["per_connection"] = [
+            {k: v for k, v in entry.items() if k != "latencies"}
+            for entry in self.per_connection
+        ]
+        return out
+
+    def render(self) -> str:
+        """A per-connection table plus the headline throughput, printable."""
+        table = TextTable(
+            [
+                "pool",
+                "reports",
+                "batches",
+                "upload (kB)",
+                "p50 (ms)",
+                "p99 (ms)",
+                "top prefixes",
+            ]
+        )
+        for entry in self.per_connection:
+            summary = _latency_summary(entry.get("latencies", []))
+            top = " ".join(p for p, _ in entry["top_prefixes"][:3])
+            table.add_row(
+                [
+                    entry["pool"],
+                    entry["n_reports"],
+                    entry["n_batches"],
+                    entry["upload_bits"] / 8e3,
+                    summary["p50"],
+                    summary["p99"],
+                    top,
+                ]
+            )
+        title = (
+            f"loadgen: {self.workload} -> {self.address} "
+            f"oracle={self.oracle} eps={self.epsilon:g} level={self.level} "
+            f"connections={self.connections} rounds={self.rounds} | "
+            f"{self.reports_per_sec:,.0f} reports/s, "
+            f"p99 {self.latency_ms['p99']:.1f} ms"
+        )
+        return table.render(title=title)
+
+
+def run_loadgen(
+    address: str,
+    *,
+    dataset=None,
+    scale: str = "small",
+    dataset_seed: int = 2025,
+    scenario=None,
+    connections: int = 2,
+    rounds: int = 1,
+    oracle: str = "krr",
+    epsilon: float = 4.0,
+    level: int = 6,
+    batch_size: int = DEFAULT_REPORT_BATCH_SIZE,
+    users_per_round: int | None = None,
+    top: int = 10,
+    backend: str | None = "thread",
+    max_workers: int | None = None,
+    seed: RandomState = 0,
+    timeout: float = 120.0,
+    include_gateway_stats: bool = True,
+) -> LoadgenReport:
+    """Drive simulated client pools against a gateway; measure everything.
+
+    Parameters
+    ----------
+    address:
+        ``HOST:PORT`` of a listening gateway.
+    dataset / scale / dataset_seed:
+        Registry dataset (name or a loaded
+        :class:`~repro.datasets.base.FederatedDataset`) whose parties
+        become client pools, assigned round-robin to connections.
+        Ignored when ``scenario`` is given; defaults to ``"rdb"``.
+    scenario:
+        A :class:`~repro.scenarios.spec.ScenarioSpec`: every connection
+        replays the scenario's arrival stream (own spawned seed) through
+        :meth:`ClientPool.from_arrivals`.
+    connections:
+        Concurrent client pools, each on its own TCP connection.
+    rounds:
+        Full frequency-oracle rounds each pool streams.
+    level:
+        Prefix length of the round domain, capped at the workload's
+        ``n_bits``.
+    users_per_round:
+        Reports sampled per round (default: every pool user reports once).
+    backend / max_workers:
+        Engine backend the pools run on (``"process"`` for true
+        multi-core load generation; ``"serial"`` is the deterministic
+        debug mode).
+    seed:
+        Run seed; one child seed per (connection, round) is fanned out
+        before anything streams.
+    """
+    check_positive("connections", connections)
+    check_positive("rounds", rounds)
+    check_positive("level", level)
+    if users_per_round is not None:
+        check_positive("users_per_round", users_per_round)
+    gen = as_generator(seed)
+
+    if scenario is not None:
+        built = scenario.build()
+        n_bits = built.n_bits
+        level = min(int(level), n_bits)
+        replay_seeds = spawn_seeds(gen, connections)
+        pools = [
+            (
+                f"{getattr(scenario, 'name', 'scenario')}#{index}",
+                ClientPool.from_arrivals(
+                    built.iter_batches(replay_seeds[index]),
+                    name=f"scenario#{index}",
+                    batch_size=batch_size,
+                ).items,
+            )
+            for index in range(connections)
+        ]
+        workload = f"scenario:{getattr(scenario, 'name', 'scenario')}"
+    else:
+        if dataset is None:
+            dataset = "rdb"
+        if isinstance(dataset, str):
+            from repro.datasets.registry import load_dataset
+
+            dataset = load_dataset(dataset, scale=scale, seed=dataset_seed)
+        n_bits = dataset.n_bits
+        level = min(int(level), n_bits)
+        parties = dataset.parties
+        pools = [
+            (
+                f"{parties[index % len(parties)].name}#{index}",
+                parties[index % len(parties)].items,
+            )
+            for index in range(connections)
+        ]
+        workload = f"dataset:{dataset.name}"
+
+    tasks = [
+        _PoolTask(
+            address=str(address),
+            name=name,
+            items=np.asarray(items, dtype=np.int64),
+            n_bits=int(n_bits),
+            oracle=oracle,
+            epsilon=float(epsilon),
+            level=int(level),
+            rounds=int(rounds),
+            batch_size=int(batch_size),
+            users_per_round=users_per_round,
+            top=int(top),
+            timeout=float(timeout),
+        )
+        for name, items in pools
+    ]
+
+    engine = get_backend(backend, max_workers)
+    start = time.perf_counter()
+    with engine:
+        results = engine.map_seeded(_drive_pool, tasks, rng=gen)
+    elapsed = time.perf_counter() - start
+
+    n_reports = sum(r["n_reports"] for r in results)
+    all_latencies = [lat for r in results for lat in r["latencies"]]
+    gateway_stats = None
+    if include_gateway_stats:
+        with GatewayConnection(str(address), timeout=timeout) as probe:
+            gateway_stats = probe.stats()
+    return LoadgenReport(
+        address=str(address),
+        workload=workload,
+        oracle=oracle,
+        epsilon=float(epsilon),
+        level=int(level),
+        connections=int(connections),
+        rounds=int(rounds),
+        batch_size=int(batch_size),
+        backend=engine.name,
+        elapsed_seconds=round(elapsed, 4),
+        n_reports=n_reports,
+        n_batches=sum(r["n_batches"] for r in results),
+        reports_per_sec=round(n_reports / max(elapsed, 1e-9), 1),
+        upload_bits=sum(r["upload_bits"] for r in results),
+        broadcast_bits=sum(r["broadcast_bits"] for r in results),
+        latency_ms=_latency_summary(all_latencies),
+        per_connection=results,
+        gateway=gateway_stats,
+    )

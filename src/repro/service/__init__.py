@@ -42,6 +42,7 @@ from repro.service.protocol import (
     wire_bits,
 )
 from repro.service.server import (
+    SERVICE_ERROR_CODES,
     AggregationServer,
     ServiceError,
     ServiceRound,
@@ -52,6 +53,7 @@ from repro.service.shards import LevelShard, OLHDecodeShard, ShardError, make_sh
 from repro.service.streaming import SlidingWindowDiscovery, WindowSnapshot
 
 __all__ = [
+    "SERVICE_ERROR_CODES",
     "AggregationServer",
     "ClientPool",
     "LevelShard",

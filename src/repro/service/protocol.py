@@ -100,6 +100,13 @@ def _pack_str(text: str) -> bytes:
 def _unpack_str(buffer: bytes, offset: int) -> tuple[str, int]:
     (length,) = struct.unpack_from("<H", buffer, offset)
     offset += 2
+    if offset + length > len(buffer):
+        # Without this check a truncated buffer would yield a silently
+        # shortened string instead of failing — bytes off a socket must
+        # never mis-decode.
+        raise WireFormatError(
+            f"string of {length} bytes overruns the {len(buffer)}-byte buffer"
+        )
     return buffer[offset : offset + length].decode("utf-8"), offset + length
 
 
@@ -292,14 +299,36 @@ def decode_broadcast(data: bytes) -> RoundBroadcast:
         body = json.loads(data[4:].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireFormatError(f"broadcast body does not parse: {exc}") from exc
-    return RoundBroadcast(
-        party=body["party"],
-        level=int(body["level"]),
-        oracle_name=body["oracle"],
-        epsilon=float(body["epsilon"]),
-        domain_size=int(body["domain_size"]),
-        prefixes=tuple(body["prefixes"]),
-    )
+    # The body came off a wire: any malformed shape (non-mapping, missing
+    # keys, wrong value types) must surface as WireFormatError, never as a
+    # raw KeyError/TypeError a server loop would treat as an internal bug.
+    try:
+        if not isinstance(body["prefixes"], list):
+            # tuple() would happily split a JSON *string* into characters —
+            # a silent mis-decode, the one failure mode worse than an error.
+            raise WireFormatError(
+                f"broadcast prefixes must be a list, "
+                f"got {type(body['prefixes']).__name__}"
+            )
+        broadcast = RoundBroadcast(
+            party=body["party"],
+            level=int(body["level"]),
+            oracle_name=body["oracle"],
+            epsilon=float(body["epsilon"]),
+            domain_size=int(body["domain_size"]),
+            prefixes=tuple(body["prefixes"]),
+        )
+    except WireFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"broadcast body is malformed: {exc!r}") from exc
+    if not isinstance(broadcast.party, str) or not isinstance(
+        broadcast.oracle_name, str
+    ):
+        raise WireFormatError("broadcast party/oracle must be strings")
+    if not all(isinstance(p, str) for p in broadcast.prefixes):
+        raise WireFormatError("broadcast prefixes must be strings")
+    return broadcast
 
 
 def wire_bits(payload: bytes) -> int:

@@ -41,8 +41,43 @@ from repro.service.protocol import (
 from repro.service.shards import LevelShard, make_shard
 
 
+#: Structured error codes a :class:`ServiceError` can carry.  The network
+#: runtime (:mod:`repro.net`) ships them inside error frames, so a remote
+#: client re-raises the *same* exception the in-memory path would have
+#: raised; :data:`~repro.net.framing.ERROR_WIRE_FORMAT` covers codec
+#: failures (:class:`~repro.service.protocol.WireFormatError`).
+SERVICE_ERROR_CODES: tuple[str, ...] = (
+    "protocol",          # generic protocol violation (the default)
+    "unknown_round",     # round id was never opened on this server
+    "round_closed",      # round has already been finalised
+    "party_mismatch",    # batch came from a different party than the round's
+    "level_mismatch",    # batch was produced for a different trie level
+    "oracle_mismatch",   # batch was perturbed with a different oracle
+    "epsilon_mismatch",  # batch reports a different privacy budget
+    "domain_mismatch",   # batch was encoded over a different domain size
+    "bad_mode",          # the execution mode has no per-user reports
+    "admission_rejected",  # the gateway's admission control refused the request
+    "internal",          # unexpected server-side failure (bug, not protocol)
+)
+
+
 class ServiceError(RuntimeError):
-    """A request violates the aggregation-service protocol."""
+    """A request violates the aggregation-service protocol.
+
+    ``code`` is a stable, machine-readable identifier from
+    :data:`SERVICE_ERROR_CODES`: local callers can branch on it, and the
+    network gateway puts it on the wire in an error frame so remote and
+    in-memory failures are indistinguishable to the caller.
+    """
+
+    def __init__(self, message: str, *, code: str = "protocol"):
+        super().__init__(message)
+        if code not in SERVICE_ERROR_CODES:
+            raise ValueError(
+                f"unknown service error code {code!r}; "
+                f"available: {sorted(SERVICE_ERROR_CODES)}"
+            )
+        self.code = code
 
 
 @dataclass
@@ -215,30 +250,60 @@ class AggregationServer:
         try:
             round_ = self.rounds[round_id]
         except KeyError:
-            raise ServiceError(f"unknown round {round_id}") from None
+            raise ServiceError(
+                f"unknown round {round_id}", code="unknown_round"
+            ) from None
         if require_open and not round_.is_open:
-            raise ServiceError(f"round {round_id} is already finalised")
+            raise ServiceError(
+                f"round {round_id} is already finalised", code="round_closed"
+            )
         return round_
 
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
+    def check_open(self, round_id: int) -> None:
+        """Raise the structured error unless ``round_id`` is an open round.
+
+        The cheap admission probe the network gateway runs before spending
+        a decode on a batch; round-state errors thereby keep their
+        precedence over codec errors in every execution mode.
+        """
+        self._round(round_id)
+
     def ingest(self, round_id: int, payload: bytes) -> int:
         """Decode one wire batch into the round's shard; returns its size."""
+        # Round-state errors take precedence over codec errors (and save
+        # the decode work): a corrupt payload for a closed round reports
+        # the closed round, as it always has.
+        self.check_open(round_id)
+        return self.ingest_decoded(
+            round_id, decode_report_batch(payload), payload_bits=wire_bits(payload)
+        )
+
+    def ingest_decoded(
+        self, round_id: int, batch: ReportBatch, *, payload_bits: int
+    ) -> int:
+        """Fold an already-decoded batch into a round, accounted at ``payload_bits``.
+
+        The decode/accumulate seam the network gateway uses: frame decoding
+        fans out to engine workers, while the accumulate-and-account step
+        stays on one thread.  ``payload_bits`` must be the exact wire size
+        of the batch's canonical encoding, which keeps the accounting
+        identical to :meth:`ingest`.
+        """
         round_ = self._round(round_id)
-        batch = decode_report_batch(payload)
         self._validate_batch(round_, batch)
         n = round_.shard.ingest(batch.reports)
-        bits = wire_bits(payload)
         round_.n_batches += 1
-        round_.upload_bits += bits
-        self._upload_bits += bits
+        round_.upload_bits += payload_bits
+        self._upload_bits += payload_bits
         self._messages.append(
             Message(
                 direction=MessageDirection.PARTY_TO_SERVER,
                 party=batch.party,
                 kind="report_batch",
-                payload_bits=bits,
+                payload_bits=payload_bits,
                 level=round_.level,
             )
         )
@@ -276,27 +341,32 @@ class AggregationServer:
         if batch.party != round_.party:
             raise ServiceError(
                 f"round {round_.round_id} belongs to party {round_.party!r}, "
-                f"batch came from {batch.party!r}"
+                f"batch came from {batch.party!r}",
+                code="party_mismatch",
             )
         if batch.level != round_.level:
             raise ServiceError(
                 f"round {round_.round_id} runs level {round_.level}, "
-                f"batch was produced for level {batch.level}"
+                f"batch was produced for level {batch.level}",
+                code="level_mismatch",
             )
         if batch.oracle_name != round_.oracle.name:
             raise ServiceError(
                 f"round {round_.round_id} runs oracle {round_.oracle.name!r}, "
-                f"batch was perturbed with {batch.oracle_name!r}"
+                f"batch was perturbed with {batch.oracle_name!r}",
+                code="oracle_mismatch",
             )
         if batch.epsilon != round_.oracle.epsilon:
             raise ServiceError(
                 f"round {round_.round_id} uses epsilon {round_.oracle.epsilon}, "
-                f"batch reports epsilon {batch.epsilon}"
+                f"batch reports epsilon {batch.epsilon}",
+                code="epsilon_mismatch",
             )
         if batch.domain_size != round_.domain_size:
             raise ServiceError(
                 f"round {round_.round_id} has domain size {round_.domain_size}, "
-                f"batch was encoded over {batch.domain_size}"
+                f"batch was encoded over {batch.domain_size}",
+                code="domain_mismatch",
             )
 
     # ------------------------------------------------------------------ #
@@ -389,7 +459,8 @@ class ServiceRoundRunner(RoundRunner):
         if mode != "per_user":
             raise ServiceError(
                 "service execution streams individual privatized reports; "
-                f"simulation mode {mode!r} has none (use per_user)"
+                f"simulation mode {mode!r} has none (use per_user)",
+                code="bad_mode",
             )
         round_id = self.server.open_round(
             party=self.party, level=domain.prefix_length, oracle=oracle, domain=domain
@@ -415,6 +486,9 @@ def run_in_service_mode(mechanism, dataset, rng=None):
     reports) and runs it on ``dataset``.
     """
     config = mechanism.config.with_updates(
-        execution_mode="service", simulation_mode="per_user"
+        # gateway=None: a network-mode config must convert too (the
+        # bit-identity docs pitch comparing both paths on one mechanism),
+        # and a gateway address is invalid outside network mode.
+        execution_mode="service", simulation_mode="per_user", gateway=None
     )
     return type(mechanism)(config).run(dataset, rng)

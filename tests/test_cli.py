@@ -387,3 +387,160 @@ class TestBench:
         assert main(["bench", "figure7", "--from", str(tmp_path / "figure7.json")]) == 0
         out = capsys.readouterr().out
         assert "Figure 7" in out and "eps=4" in out
+
+
+class TestLoadgen:
+    def test_smoke_self_hosts_a_gateway(self, tmp_path, capsys):
+        out = tmp_path / "loadgen.json"
+        assert main(["loadgen", "--smoke", "--level", "4", "--batch-size",
+                     "256", "--rng", "0", "-o", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "reports/s" in rendered and "p99" in rendered
+        payload = json.loads(out.read_text())
+        assert payload["workload"] == "dataset:rdb"
+        assert payload["n_reports"] > 0
+        assert set(payload["latency_ms"]) == {"count", "p50", "p95", "p99",
+                                              "mean", "max"}
+        assert payload["gateway"]["upload_bits"] > 0
+
+    def test_spec_drives_the_run_and_flags_win(self, tmp_path, capsys):
+        spec = tmp_path / "loadgen.json"
+        spec.write_text(json.dumps({
+            "name": "cli-net",
+            "gateway": {"connection_credits": 4},
+            "workload": {"dataset": "rdb", "scale": "tiny", "level": 4,
+                         "batch_size": 128, "rounds": 2},
+            "load": {"connections": 3, "backend": "serial", "seed": 5},
+        }))
+        out = tmp_path / "report.json"
+        # --connections 1 must beat the spec's 3, and --rounds 1 must beat
+        # the spec's 2 even though 1 is also the built-in default; the
+        # rest comes from the spec.
+        assert main(["loadgen", "--spec", str(spec), "--connections", "1",
+                     "--rounds", "1", "-o", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["connections"] == 1
+        assert payload["rounds"] == 1 and payload["batch_size"] == 128
+        assert payload["backend"] == "serial"
+
+    def test_scenario_replay(self, tmp_path, capsys):
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(json.dumps(SCENARIO_DOC))
+        out = tmp_path / "report.json"
+        assert main(["loadgen", "--scenario", str(scenario), "--connections",
+                     "2", "--level", "5", "--rng", "1", "-o", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["workload"] == "scenario:cli-lab"
+        # 8 steps x 400 arrivals per replayed stream, per connection.
+        assert payload["n_reports"] == 2 * 8 * 400
+
+    def test_refused_shutdown_keeps_the_measurement(self, tmp_path, capsys):
+        from repro.net import start_gateway
+
+        out = tmp_path / "report.json"
+        with start_gateway(allow_shutdown=False) as handle:
+            assert main(["loadgen", "--connect", handle.address, "--scale",
+                         "tiny", "--level", "4", "--rng", "0", "--shutdown",
+                         "-o", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "did not shut down" in captured.err
+        # The completed measurement survives the refusal.
+        assert json.loads(out.read_text())["n_reports"] > 0
+
+    def test_bad_connect_address_is_a_cli_error(self, capsys):
+        assert main(["loadgen", "--connect", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_unreachable_gateway_is_a_cli_error(self, capsys):
+        assert main(["loadgen", "--connect", "127.0.0.1:1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeListen:
+    def test_gateway_only_flags_require_listen(self, capsys):
+        assert main(["serve", "--credits", "4"]) == 2
+        assert "--listen" in capsys.readouterr().err
+
+    def test_listen_rejects_round_flags(self, capsys):
+        assert main(["serve", "--listen", "127.0.0.1:0", "--rounds", "3"]) == 2
+        err = capsys.readouterr().err
+        assert "--rounds" in err
+
+    def test_listen_rejects_perturbation_flags(self, capsys):
+        # A gateway never perturbs: a seed would be silently meaningless.
+        assert main(["serve", "--listen", "127.0.0.1:0", "--rng", "7"]) == 2
+        assert "--rng" in capsys.readouterr().err
+
+    def test_listen_rejects_bad_address(self, capsys):
+        assert main(["serve", "--listen", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_and_loadgen_pair_over_a_real_socket(self, tmp_path, capsys):
+        """The scripted CI flow: serve --listen + loadgen --connect --shutdown."""
+        import threading
+        import time
+
+        ready = tmp_path / "gw.addr"
+        stats_out = tmp_path / "gateway.json"
+        serve_status: list[int] = []
+
+        def serve():
+            serve_status.append(main([
+                "serve", "--listen", "127.0.0.1:0", "--ready-file", str(ready),
+                "--credits", "4", "-o", str(stats_out),
+            ]))
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        deadline = time.time() + 30
+        # Non-empty, not merely existing: write_text creates the file
+        # before its content lands.
+        while time.time() < deadline:
+            if ready.exists() and ready.read_text().strip():
+                break
+            time.sleep(0.05)
+        address = ready.read_text().strip()
+        out = tmp_path / "loadgen.json"
+        assert main(["loadgen", "--connect", address, "--scale", "tiny",
+                     "--level", "4", "--rng", "2", "--shutdown",
+                     "-o", str(out)]) == 0
+        thread.join(timeout=30)
+        assert serve_status == [0]
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        stats = json.loads(stats_out.read_text())
+        # The gateway accounted exactly the bits the clients sent.
+        assert stats["upload_bits"] == report["upload_bits"]
+        assert stats["broadcast_bits"] == report["broadcast_bits"]
+        assert report["gateway"]["credits_per_connection"] == 4
+
+
+class TestGatewaySpecErrors:
+    def spec_with_bogus_backend(self, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"gateway": {"decode_backend": "quantum"}}))
+        return spec
+
+    def test_listen_reports_unknown_decode_backend_cleanly(self, tmp_path, capsys):
+        spec = self.spec_with_bogus_backend(tmp_path)
+        assert main(["serve", "--listen", "127.0.0.1:0", "--spec", str(spec)]) == 2
+        err = capsys.readouterr().err
+        assert "quantum" in err and "Traceback" not in err
+
+    def test_loadgen_reports_unknown_decode_backend_cleanly(self, tmp_path, capsys):
+        spec = self.spec_with_bogus_backend(tmp_path)
+        assert main(["loadgen", "--spec", str(spec)]) == 2
+        err = capsys.readouterr().err
+        assert "quantum" in err and "Traceback" not in err
+
+
+class TestLoadgenScenarioConflicts:
+    def test_scenario_rejects_explicit_dataset_flags(self, tmp_path, capsys):
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(json.dumps(SCENARIO_DOC))
+        assert main(["loadgen", "--scenario", str(scenario), "--dataset",
+                     "rdb", "--scale", "large"]) == 2
+        err = capsys.readouterr().err
+        assert "--dataset" in err and "--scale" in err

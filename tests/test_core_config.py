@@ -105,3 +105,19 @@ class TestTransforms:
     def test_extension_strategy_enum(self):
         assert ExtensionStrategy("adaptive") is ExtensionStrategy.ADAPTIVE
         assert ExtensionStrategy("fixed") is ExtensionStrategy.FIXED
+
+
+class TestGatewayField:
+    def test_gateway_requires_network_mode(self):
+        import pytest
+
+        from repro.core.config import MechanismConfig
+
+        with pytest.raises(ValueError, match="only meaningful"):
+            MechanismConfig(execution_mode="service", gateway="10.0.0.5:9000",
+                            simulation_mode="per_user")
+        with pytest.raises(ValueError, match="only meaningful"):
+            MechanismConfig(gateway="10.0.0.5:9000")
+        config = MechanismConfig(execution_mode="network", gateway="127.0.0.1:1",
+                                 simulation_mode="per_user")
+        assert MechanismConfig.from_dict(config.to_dict()) == config

@@ -8,8 +8,10 @@ import pytest
 
 from repro.experiments.runner import ExperimentSettings
 from repro.experiments.spec import (
+    LoadgenSpec,
     SpecError,
     SweepSpec,
+    load_loadgen_spec,
     load_scenario_spec,
     load_spec,
     save_spec,
@@ -252,3 +254,107 @@ class TestFiles:
         path.write_text("{not json")
         with pytest.raises(SpecError, match="invalid JSON"):
             load_spec(path)
+
+
+LOADGEN_DICT = {
+    "name": "net-lab",
+    "gateway": {"decode_backend": "thread", "connection_credits": 8},
+    "workload": {
+        "dataset": "rdb",
+        "scale": "tiny",
+        "oracle": "olh",
+        "epsilon": 2.0,
+        "level": 5,
+        "rounds": 2,
+        "batch_size": 512,
+    },
+    "load": {"connections": 3, "backend": "serial", "seed": 7},
+}
+
+
+class TestLoadgenSpec:
+    def test_from_dict_and_round_trip(self):
+        spec = LoadgenSpec.from_dict(LOADGEN_DICT)
+        assert spec.name == "net-lab"
+        assert LoadgenSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_name_the_offender(self):
+        bad = {**LOADGEN_DICT, "gateway": {"decode_backend": "thread", "typo": 1}}
+        with pytest.raises(SpecError, match="typo"):
+            LoadgenSpec.from_dict(bad, source="bad.yaml")
+        with pytest.raises(SpecError, match="wurkload"):
+            LoadgenSpec.from_dict({"wurkload": {}}, source="bad.yaml")
+
+    @pytest.mark.parametrize("bad_section", [[], False, ""])
+    def test_falsy_non_mapping_sections_are_rejected(self, bad_section):
+        # `load: []` must not silently drop the operator's configuration.
+        with pytest.raises(SpecError, match="mapping"):
+            LoadgenSpec.from_dict({**LOADGEN_DICT, "load": bad_section})
+        with pytest.raises(SpecError, match="mapping"):
+            SweepSpec.from_dict({"settings": bad_section})
+        # null/missing still default cleanly.
+        assert LoadgenSpec.from_dict({**LOADGEN_DICT, "load": None}).load == {}
+
+    @pytest.mark.parametrize("bad_name", [0, False, ["x"]])
+    def test_non_string_names_are_rejected(self, bad_name):
+        with pytest.raises(SpecError, match="'name' must be a string"):
+            LoadgenSpec.from_dict({**LOADGEN_DICT, "name": bad_name})
+        with pytest.raises(SpecError, match="'name' must be a string"):
+            SweepSpec.from_dict({"name": bad_name})
+        assert LoadgenSpec.from_dict({**LOADGEN_DICT, "name": None}).name == "loadgen"
+
+    def test_consumer_views_map_onto_the_apis(self):
+        spec = LoadgenSpec.from_dict(LOADGEN_DICT)
+        assert spec.gateway_kwargs() == {
+            "decode_backend": "thread",
+            "connection_credits": 8,
+        }
+        kwargs = spec.loadgen_kwargs()
+        assert kwargs["dataset"] == "rdb" and kwargs["oracle"] == "olh"
+        assert kwargs["connections"] == 3 and kwargs["seed"] == 7
+        assert "scenario" not in kwargs
+        # The views feed the real constructors without TypeErrors.
+        from repro.net.gateway import AggregationGateway
+
+        AggregationGateway(**spec.gateway_kwargs())
+
+    def test_scenario_block_replaces_the_dataset(self):
+        doc = {
+            "workload": {
+                "scenario": {
+                    "base": {"kind": "zipf", "n_items": 16, "n_bits": 6, "seed": 1},
+                    "n_steps": 6,
+                    "batch_size": 50,
+                    "k": 2,
+                }
+            }
+        }
+        spec = LoadgenSpec.from_dict(doc)
+        assert isinstance(spec.scenario, ScenarioSpec)
+        assert spec.loadgen_kwargs()["scenario"] is spec.scenario
+        assert LoadgenSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fingerprint_tracks_content(self):
+        spec = LoadgenSpec.from_dict(LOADGEN_DICT)
+        again = LoadgenSpec.from_dict(LOADGEN_DICT)
+        assert spec.fingerprint() == again.fingerprint()
+        other = LoadgenSpec.from_dict(
+            {**LOADGEN_DICT, "load": {"connections": 4}}
+        )
+        assert other.fingerprint() != spec.fingerprint()
+
+    def test_yaml_file_load(self, tmp_path):
+        path = tmp_path / "loadgen.yaml"
+        path.write_text(
+            "name: from-yaml\n"
+            "gateway: {connection_credits: 4}\n"
+            "workload: {dataset: rdb, scale: tiny}\n"
+            "load: {connections: 2}\n"
+        )
+        spec = load_loadgen_spec(path)
+        assert spec.name == "from-yaml"
+        assert spec.load == {"connections": 2}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SpecError, match="does not exist"):
+            load_loadgen_spec(tmp_path / "nope.yaml")

@@ -1,0 +1,158 @@
+"""Unit tests for the frame layer: round trips, bounds, error mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ldp.base import EstimationResult
+from repro.net import framing
+from repro.net.framing import (
+    FRAME_ERROR,
+    FRAME_KINDS,
+    FRAME_REPORT_BATCH,
+    FRAME_ROUND_CONTROL,
+    FrameError,
+    OversizeFrameError,
+)
+from repro.service.protocol import WireFormatError
+from repro.service.server import SERVICE_ERROR_CODES, ServiceError
+
+
+class TestFrameHeader:
+    def test_encode_parse_round_trip(self):
+        for kind in FRAME_KINDS:
+            encoded = framing.encode_frame(kind, b"payload")
+            length, parsed_kind = framing.parse_frame_header(
+                encoded[: framing.FRAME_HEADER_SIZE]
+            )
+            assert (length, parsed_kind) == (7, kind)
+            assert encoded[framing.FRAME_HEADER_SIZE :] == b"payload"
+
+    def test_unknown_kind_rejected_on_encode_and_check(self):
+        with pytest.raises(FrameError, match="kind"):
+            framing.encode_frame(42, b"")
+        with pytest.raises(FrameError, match="kind"):
+            framing.check_frame_header(0, 42, max_frame_bytes=1024)
+
+    def test_oversize_rejected_from_header_alone(self):
+        with pytest.raises(OversizeFrameError, match="exceeds"):
+            framing.check_frame_header(2048, FRAME_ROUND_CONTROL, max_frame_bytes=1024)
+        # At the bound is fine.
+        framing.check_frame_header(1024, FRAME_ROUND_CONTROL, max_frame_bytes=1024)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(FrameError, match="header"):
+            framing.parse_frame_header(b"\x00\x00")
+
+
+class TestBodyCodecs:
+    def test_report_frame_round_trip(self):
+        body = framing.encode_report_frame(7, 123, b"RPB1...")
+        assert framing.decode_report_frame(body) == (7, 123, b"RPB1...")
+
+    def test_report_frame_too_short(self):
+        with pytest.raises(FrameError, match="at least"):
+            framing.decode_report_frame(b"\x01\x02")
+
+    def test_control_round_trip_is_canonical(self):
+        message = {"op": "batch_ack", "seq": 3, "round_id": 1}
+        body = framing.encode_control(message)
+        assert body == framing.encode_control(dict(reversed(message.items())))
+        assert framing.decode_control(body) == message
+
+    def test_control_rejects_non_objects_and_garbage(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            framing.decode_control(b"[1, 2]")
+        with pytest.raises(FrameError, match="parse"):
+            framing.decode_control(b"\xff\xfe not json")
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize("code", SERVICE_ERROR_CODES)
+    def test_service_codes_round_trip(self, code):
+        original = ServiceError("boom", code=code)
+        body = framing.encode_error(original)
+        mapped = framing.decode_error(body)
+        assert isinstance(mapped, ServiceError)
+        assert mapped.code == code
+        assert "boom" in str(mapped)
+
+    def test_wire_format_and_frame_errors_round_trip(self):
+        for exc, expected in (
+            (WireFormatError("bad payload"), WireFormatError),
+            (FrameError("bad frame"), FrameError),
+            (OversizeFrameError("too big"), OversizeFrameError),
+        ):
+            mapped = framing.decode_error(framing.encode_error(exc))
+            assert type(mapped) is expected
+            assert str(exc) in str(mapped)
+
+    def test_unexpected_exceptions_ship_as_internal(self):
+        code, message = framing.exception_to_error(RuntimeError("surprise"))
+        assert code == "internal"
+        mapped = framing.error_to_exception(code, message)
+        assert isinstance(mapped, ServiceError) and mapped.code == "internal"
+
+    def test_unknown_code_still_maps_to_service_error(self):
+        mapped = framing.error_to_exception("from_the_future", "msg")
+        assert isinstance(mapped, ServiceError)
+        assert "from_the_future" in str(mapped)
+
+    def test_error_frame_carries_optional_seq(self):
+        body = framing.encode_error(ServiceError("x"), seq=9)
+        assert framing.decode_control(body)["seq"] == 9
+
+    def test_error_frame_missing_keys(self):
+        with pytest.raises(FrameError, match="key"):
+            framing.decode_error(framing.encode_control({"oops": 1}))
+
+
+def _estimate(domain_size: int = 9) -> EstimationResult:
+    gen = np.random.default_rng(3)
+    counts = gen.normal(size=domain_size)
+    # Deliberately awkward floats: exactness must survive the wire.
+    counts[0] = np.nextafter(1.0, 2.0)
+    counts[1] = -0.0
+    return EstimationResult(
+        support_counts=gen.integers(0, 50, size=domain_size),
+        estimated_counts=counts,
+        estimated_frequencies=counts / 17.0,
+        n_users=17,
+        domain_size=domain_size,
+        oracle_name="krr",
+        epsilon=3.5,
+        metadata={"execution": "service", "n_batches": 2, "upload_bits": 1234},
+    )
+
+
+class TestEstimateCodec:
+    def test_lossless_round_trip(self):
+        original = _estimate()
+        decoded = framing.decode_estimate(framing.encode_estimate(original))
+        np.testing.assert_array_equal(decoded.support_counts, original.support_counts)
+        assert decoded.estimated_counts.tobytes() == original.estimated_counts.tobytes()
+        assert (
+            decoded.estimated_frequencies.tobytes()
+            == original.estimated_frequencies.tobytes()
+        )
+        assert decoded.n_users == original.n_users
+        assert decoded.domain_size == original.domain_size
+        assert decoded.oracle_name == original.oracle_name
+        assert decoded.epsilon == original.epsilon
+        assert decoded.metadata == original.metadata
+
+    def test_estimate_frame_round_trip(self):
+        body = framing.encode_estimate_frame(11, _estimate())
+        round_id, decoded = framing.decode_estimate_frame(body)
+        assert round_id == 11 and decoded.n_users == 17
+
+    def test_truncations_raise_frame_errors(self):
+        data = framing.encode_estimate(_estimate())
+        for cut in (0, 2, 4, 7, 20, len(data) - 1):
+            with pytest.raises(FrameError):
+                framing.decode_estimate(data[:cut])
+
+    def test_bad_magic(self):
+        with pytest.raises(FrameError, match="magic"):
+            framing.decode_estimate(b"NOPE" + b"\x00" * 32)

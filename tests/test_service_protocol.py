@@ -142,3 +142,135 @@ class TestErrors:
                     oracle, np.array([7]), 4, rng=0, batch_size=8
                 )
             )
+
+
+# --------------------------------------------------------------------------- #
+# Fuzz/property coverage — the safety floor for accepting bytes off a socket:
+# any truncated or corrupted buffer must raise WireFormatError (or decode to
+# a well-formed value), never hang, crash with another exception type, or
+# silently mis-decode.
+# --------------------------------------------------------------------------- #
+def _random_batch(oracle_name: str, gen: np.random.Generator) -> ReportBatch:
+    oracle = make_oracle(oracle_name, epsilon=float(gen.uniform(0.5, 6.0)))
+    domain_size = int(gen.integers(2, 300))
+    n = int(gen.integers(0, 64))
+    values = gen.integers(0, domain_size, size=n)
+    party = "".join(gen.choice(list("abcxyz-_0"), size=int(gen.integers(1, 12))))
+    batches = list(
+        iter_perturbed_batches(
+            oracle, values, domain_size, int(gen.integers(0, 2**31)),
+            batch_size=max(n, 1), party=party, level=int(gen.integers(0, 40)),
+        )
+    )
+    if batches:
+        return batches[0]
+    return ReportBatch(
+        party=party, level=0, oracle_name=oracle.name, epsilon=oracle.epsilon,
+        domain_size=domain_size,
+        value_domain=oracle.report_value_domain(domain_size),
+        n_users=0, reports=oracle.perturb(values, domain_size, gen),
+    )
+
+
+class TestFuzzedRoundTrips:
+    @pytest.mark.parametrize("oracle_name", available_oracles())
+    def test_random_batches_round_trip_exactly(self, oracle_name):
+        gen = np.random.default_rng(2025)
+        for _ in range(25):
+            batch = _random_batch(oracle_name, gen)
+            encoded = encode_report_batch(batch)
+            assert encoded == encode_report_batch(batch)  # canonical
+            decoded = decode_report_batch(encoded)
+            assert decoded.party == batch.party
+            assert decoded.epsilon == batch.epsilon
+            assert decoded.value_domain == batch.value_domain
+            assert _reports_equal(decoded.reports, batch.reports)
+
+    @pytest.mark.parametrize("oracle_name", available_oracles())
+    def test_every_truncation_raises_wire_format_error(self, oracle_name):
+        gen = np.random.default_rng(7)
+        payload = encode_report_batch(_random_batch(oracle_name, gen))
+        for cut in range(len(payload)):
+            with pytest.raises(WireFormatError):
+                decode_report_batch(payload[:cut])
+
+    @pytest.mark.parametrize("oracle_name", available_oracles())
+    def test_corrupted_batches_never_crash_or_mis_decode(self, oracle_name):
+        gen = np.random.default_rng(11)
+        payload = bytearray(encode_report_batch(_random_batch(oracle_name, gen)))
+        for _ in range(300):
+            corrupted = bytearray(payload)
+            for _ in range(int(gen.integers(1, 4))):
+                corrupted[int(gen.integers(0, len(corrupted)))] = int(
+                    gen.integers(0, 256)
+                )
+            try:
+                decoded = decode_report_batch(bytes(corrupted))
+            except WireFormatError:
+                continue  # the contract: this is the only acceptable failure
+            # A flip in the report payload (not the header) can still be a
+            # valid batch — but then it must be fully well-formed.
+            assert decoded.n_users >= 0
+            assert decoded.oracle_name.lower() in available_oracles()
+
+    def test_truncated_broadcasts_raise_wire_format_error(self):
+        broadcast = RoundBroadcast(
+            party="beta", level=3, oracle_name="krr", epsilon=4.0,
+            domain_size=5, prefixes=("000", "010", "110", "111"),
+        )
+        payload = encode_broadcast(broadcast)
+        for cut in range(len(payload)):
+            with pytest.raises(WireFormatError):
+                decode_broadcast(payload[:cut])
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"5",                      # JSON but not an object
+            b"[1, 2]",                 # wrong container
+            b"{}",                     # missing every key
+            b'{"party": "p"}',         # missing most keys
+            b'{"party": 3, "level": 1, "oracle": "krr", "epsilon": 1.0,'
+            b' "domain_size": 2, "prefixes": ["0"]}',       # party not a str
+            b'{"party": "p", "level": "x", "oracle": "krr", "epsilon": 1.0,'
+            b' "domain_size": 2, "prefixes": ["0"]}',       # level not an int
+            b'{"party": "p", "level": 1, "oracle": "krr", "epsilon": 1.0,'
+            b' "domain_size": 2, "prefixes": 7}',           # prefixes not a list
+            b'{"party": "p", "level": 1, "oracle": "krr", "epsilon": 1.0,'
+            b' "domain_size": 2, "prefixes": [1, 2]}',      # prefixes not strings
+            b'{"party": "p", "level": 1, "oracle": "krr", "epsilon": 1.0,'
+            b' "domain_size": 2, "prefixes": "0101"}',      # a string would
+            # silently split into per-character prefixes
+        ],
+    )
+    def test_malformed_broadcast_bodies_raise_wire_format_error(self, body):
+        with pytest.raises(WireFormatError):
+            decode_broadcast(b"RBC1" + body)
+
+    def test_corrupted_broadcasts_never_crash(self):
+        gen = np.random.default_rng(13)
+        broadcast = RoundBroadcast(
+            party="gamma", level=2, oracle_name="olh", epsilon=2.5,
+            domain_size=9, prefixes=tuple(f"{i:03b}" for i in range(8)),
+        )
+        payload = bytearray(encode_broadcast(broadcast))
+        for _ in range(300):
+            corrupted = bytearray(payload)
+            corrupted[int(gen.integers(0, len(corrupted)))] = int(gen.integers(0, 256))
+            try:
+                decoded = decode_broadcast(bytes(corrupted))
+            except WireFormatError:
+                continue
+            assert isinstance(decoded.party, str)
+            assert all(isinstance(p, str) for p in decoded.prefixes)
+
+    def test_header_lying_about_n_users_cannot_mis_decode(self):
+        """A tampered user count must length-mismatch, never mis-shape."""
+        batch = _one_batch("krr", n=10, domain_size=20)
+        payload = bytearray(encode_report_batch(batch))
+        # n_users is the fourth u32 of the fixed header tail, right before
+        # the f64 epsilon and the payload.
+        offset = len(payload) - batch.n_users - 8 - 4
+        payload[offset : offset + 4] = (batch.n_users * 2).to_bytes(4, "little")
+        with pytest.raises(WireFormatError, match="bytes"):
+            decode_report_batch(bytes(payload))

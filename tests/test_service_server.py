@@ -198,6 +198,92 @@ class TestProtocolErrors:
             )
 
 
+class TestStructuredErrorCodes:
+    """Every protocol failure carries a stable machine-readable code —
+    what the network runtime ships in its error frames."""
+
+    def _open(self):
+        return TestProtocolErrors._open(TestProtocolErrors())
+
+    def _code_of(self, fn) -> str:
+        with pytest.raises(ServiceError) as excinfo:
+            fn()
+        return excinfo.value.code
+
+    def test_codes_cover_every_raise_site(self):
+        helper = TestProtocolErrors()
+        server, oracle, domain, round_id = self._open()
+        payload = helper._payload(oracle, domain)
+        assert self._code_of(lambda: server.ingest(99, payload)) == "unknown_round"
+        assert self._code_of(
+            lambda: server.ingest(
+                round_id, helper._payload(oracle, domain, party="b")
+            )
+        ) == "party_mismatch"
+        assert self._code_of(
+            lambda: server.ingest(
+                round_id, helper._payload(oracle, domain, level=4)
+            )
+        ) == "level_mismatch"
+        assert self._code_of(
+            lambda: server.ingest(
+                round_id, helper._payload(make_oracle("oue", 2.0), domain)
+            )
+        ) == "oracle_mismatch"
+        assert self._code_of(
+            lambda: server.ingest(
+                round_id, helper._payload(make_oracle("krr", 3.0), domain)
+            )
+        ) == "epsilon_mismatch"
+        assert self._code_of(
+            lambda: server.ingest(round_id, helper._payload(oracle, _domain(4)))
+        ) == "domain_mismatch"
+        server.finalize_round(round_id)
+        assert self._code_of(
+            lambda: server.ingest(round_id, payload)
+        ) == "round_closed"
+
+    def test_default_code_and_validation(self):
+        assert ServiceError("plain").code == "protocol"
+        with pytest.raises(ValueError, match="unknown service error code"):
+            ServiceError("x", code="not_a_code")
+
+    def test_bad_mode_code(self):
+        runner = ServiceRoundRunner(party="a", batch_size=10)
+        with pytest.raises(ServiceError) as excinfo:
+            runner.run_round(
+                make_oracle("krr", 2.0), np.zeros(5, dtype=np.int64),
+                _domain(3), np.random.default_rng(0), mode="aggregate",
+            )
+        assert excinfo.value.code == "bad_mode"
+
+
+class TestIngestDecoded:
+    def test_matches_ingest_accounting_exactly(self):
+        """The gateway's decode/accumulate seam is account-identical."""
+        from repro.service.protocol import decode_report_batch, wire_bits
+
+        helper = TestProtocolErrors()
+        oracle = make_oracle("krr", epsilon=2.0)
+        domain = _domain(3)
+        payload = helper._payload(oracle, domain)
+
+        whole, split = AggregationServer(), AggregationServer()
+        rid_whole = whole.open_round(party="a", level=3, oracle=oracle, domain=domain)
+        rid_split = split.open_round(party="a", level=3, oracle=oracle, domain=domain)
+        assert whole.ingest(rid_whole, payload) == split.ingest_decoded(
+            rid_split, decode_report_batch(payload), payload_bits=wire_bits(payload)
+        )
+        assert whole.upload_bits() == split.upload_bits()
+        assert [
+            (m.kind, m.party, m.payload_bits, m.level) for m in whole.messages
+        ] == [(m.kind, m.party, m.payload_bits, m.level) for m in split.messages]
+        a = whole.finalize_round(rid_whole)
+        b = split.finalize_round(rid_split)
+        assert a.metadata == b.metadata
+        np.testing.assert_array_equal(a.support_counts, b.support_counts)
+
+
 class TestClientPool:
     def test_from_dataset_and_party(self, two_party_dataset):
         pooled = ClientPool.from_dataset(two_party_dataset, batch_size=100)
