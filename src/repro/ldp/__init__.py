@@ -27,6 +27,7 @@ from repro.ldp.base import EstimationResult, FrequencyOracle
 from repro.ldp.krr import KRandomizedResponse
 from repro.ldp.oue import OptimizedUnaryEncoding
 from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.packed import PackedUnaryReports
 from repro.ldp.budget import PrivacyAccountant, ReportRecord
 from repro.ldp.registry import available_oracles, make_oracle
 
@@ -36,6 +37,7 @@ __all__ = [
     "KRandomizedResponse",
     "OptimizedUnaryEncoding",
     "OptimizedLocalHashing",
+    "PackedUnaryReports",
     "PrivacyAccountant",
     "ReportRecord",
     "available_oracles",

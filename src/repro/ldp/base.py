@@ -109,8 +109,13 @@ class FrequencyOracle(abc.ABC):
 
         Array-shaped reports (k-RR indices, OUE/SUE bit matrices) count
         their leading axis; oracles with structured reports (OLH's
-        ``(seeds, buckets)`` pair) override.
+        ``(seeds, buckets)`` pair) override.  Report containers that
+        carry an ``n_users`` attribute (packed unary batches) answer from
+        it directly, without materialising anything.
         """
+        n_users = getattr(reports, "n_users", None)
+        if n_users is not None:
+            return int(n_users)
         return int(np.asarray(reports).shape[0])
 
     def report_value_domain(self, domain_size: int) -> int:
@@ -137,6 +142,23 @@ class FrequencyOracle(abc.ABC):
                 f"accumulator has shape {counts.shape}, expected ({domain_size},)"
             )
         return counts + self.support_counts(reports, domain_size)
+
+    def accumulate_packed(
+        self, counts: np.ndarray, packed, domain_size: int
+    ) -> np.ndarray:
+        """Add a packed-bit unary batch's support counts into an accumulator.
+
+        Optional protocol method of the columnar hot path
+        (:mod:`repro.service`): ``packed`` is a
+        :class:`~repro.ldp.packed.PackedUnaryReports` aliasing the wire
+        payload.  The base implementation is the bit-identical fallback —
+        unpack to the dense matrix, then :meth:`accumulate` — so any
+        oracle whose report representation is the ``(n, d)`` bit matrix
+        works unchanged; the unary oracles override it with the packed
+        popcount kernel that never materialises the matrix
+        (:func:`repro.ldp.packed.packed_column_counts`).
+        """
+        return self.accumulate(counts, packed.unpack(), domain_size)
 
     def merge_counts(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Combine two support-count accumulators over the same domain.

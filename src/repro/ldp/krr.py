@@ -48,7 +48,11 @@ class KRandomizedResponse(FrequencyOracle):
 
     def support_counts(self, reports: np.ndarray, domain_size: int) -> np.ndarray:
         """A k-RR report supports exactly the value it names."""
-        reports = np.asarray(reports, dtype=np.int64)
+        reports = np.asarray(reports)
+        if not np.issubdtype(reports.dtype, np.integer):
+            # Only copy on dtype mismatch: wire decodes arrive as the
+            # smallest unsigned dtype and bincount takes them as-is.
+            reports = reports.astype(np.int64)
         return np.bincount(reports, minlength=domain_size).astype(np.int64)
 
     def sample_support_counts(

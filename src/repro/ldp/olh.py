@@ -24,9 +24,21 @@ _MIX_2 = np.uint64(0x94D049BB133111EB)
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 
 #: Cap on the number of (candidate, report) hash evaluations held in memory
-#: at once while decoding: the scratch block stays under ~3 × 32 MiB no
-#: matter how large the candidate domain or the report batch grows.
-_DECODE_BLOCK_ELEMENTS = 1 << 22
+#: at once while decoding: one (candidate-chunk × report-chunk) block of
+#: uint64 scratch stays around 2 MiB — cache-resident — no matter how large
+#: the candidate domain or the report batch grows.
+_DECODE_BLOCK_ELEMENTS = 1 << 18
+
+#: Reports per inner decode block; the candidate chunk is derived from it
+#: so the block never exceeds :data:`_DECODE_BLOCK_ELEMENTS` elements.
+_DECODE_REPORT_BLOCK = 1 << 14
+
+
+def _mix(x: np.ndarray) -> np.ndarray:
+    """The splitmix64-style avalanche shared by every hash evaluation."""
+    x = (x ^ (x >> np.uint64(30))) * _MIX_1
+    x = (x ^ (x >> np.uint64(27))) * _MIX_2
+    return x ^ (x >> np.uint64(31))
 
 
 def _universal_hash(seeds: np.ndarray, values: np.ndarray, n_buckets: int) -> np.ndarray:
@@ -39,10 +51,7 @@ def _universal_hash(seeds: np.ndarray, values: np.ndarray, n_buckets: int) -> np
     x = (np.asarray(seeds, dtype=np.uint64) + _GOLDEN) ^ (
         np.asarray(values, dtype=np.uint64) * _GOLDEN
     )
-    x = (x ^ (x >> np.uint64(30))) * _MIX_1
-    x = (x ^ (x >> np.uint64(27))) * _MIX_2
-    x = x ^ (x >> np.uint64(31))
-    return (x % np.uint64(n_buckets)).astype(np.int64)
+    return (_mix(x) % np.uint64(n_buckets)).astype(np.int64)
 
 
 class OptimizedLocalHashing(FrequencyOracle):
@@ -99,25 +108,39 @@ class OptimizedLocalHashing(FrequencyOracle):
         The unit of sharded decoding: ranges partitioning the domain decode
         independently (on any execution backend) and concatenate to exactly
         :meth:`support_counts` of the full domain.
+
+        The scan is blocked over (candidate-chunk × report-chunk) so its
+        uint64 scratch stays cache-resident for any batch size; integer
+        partial sums make the blocking bit-identical to a flat scan.
+        Wire-decoded report views (int64 seed view, small-uint bucket
+        view) are consumed without copies.
         """
         seeds, ys = reports
-        seeds = np.asarray(seeds, dtype=np.int64)
-        ys = np.asarray(ys, dtype=np.int64)
+        seeds = np.asarray(seeds)
+        ys = np.asarray(ys)
         if not 0 <= start <= stop:
             raise ValueError(f"invalid candidate range [{start}, {stop})")
-        d_prime = self.hash_domain_size()
+        d_prime = np.uint64(self.hash_domain_size())
         counts = np.zeros(stop - start, dtype=np.int64)
-        n = seeds.size
+        n = int(seeds.size)
         if n == 0:
             return counts
-        chunk = max(1, _DECODE_BLOCK_ELEMENTS // n)
-        for lo in range(start, stop, chunk):
-            hi = min(lo + chunk, stop)
-            candidates = np.arange(lo, hi, dtype=np.int64)
-            hashed = _universal_hash(
-                seeds[np.newaxis, :], candidates[:, np.newaxis], d_prime
-            )
-            counts[lo - start : hi - start] = (hashed == ys[np.newaxis, :]).sum(axis=1)
+        # Hoist the per-report halves of the hash out of both loops.
+        seeds_mixed = seeds.astype(np.uint64, copy=False) + _GOLDEN
+        ys_u64 = ys.astype(np.uint64, copy=False)
+        r_block = min(n, _DECODE_REPORT_BLOCK)
+        c_chunk = max(1, _DECODE_BLOCK_ELEMENTS // r_block)
+        for lo in range(start, stop, c_chunk):
+            hi = min(lo + c_chunk, stop)
+            cand_mixed = (
+                np.arange(lo, hi, dtype=np.uint64) * _GOLDEN
+            )[:, np.newaxis]
+            block_counts = np.zeros(hi - lo, dtype=np.int64)
+            for rlo in range(0, n, r_block):
+                rhi = min(rlo + r_block, n)
+                hashed = _mix(seeds_mixed[np.newaxis, rlo:rhi] ^ cand_mixed) % d_prime
+                block_counts += (hashed == ys_u64[rlo:rhi]).sum(axis=1)
+            counts[lo - start : hi - start] = block_counts
         return counts
 
     def n_reports(self, reports: tuple[np.ndarray, np.ndarray]) -> int:

@@ -6,17 +6,20 @@ flipped to ``1`` with probability ``q = 1/(e^ε + 1)``.  OUE has the lowest
 estimation variance among unary encodings but each report costs ``d`` bits
 of communication, which is exactly the cost trade-off Table 1 and Table 4 of
 the paper quantify.
+
+Report mechanics (sparse sampling, dense/packed forms, packed-domain
+accumulation) are shared with SUE via
+:class:`~repro.ldp.unary.UnaryEncodingOracle`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ldp.base import FrequencyOracle
-from repro.utils.rng import RandomState, as_generator
+from repro.ldp.unary import UnaryEncodingOracle
 
 
-class OptimizedUnaryEncoding(FrequencyOracle):
+class OptimizedUnaryEncoding(UnaryEncodingOracle):
     """The OUE mechanism (one-hot encoding with asymmetric flipping)."""
 
     name = "oue"
@@ -25,30 +28,6 @@ class OptimizedUnaryEncoding(FrequencyOracle):
         p = 0.5
         q = 1.0 / (np.exp(self.epsilon) + 1.0)
         return float(p), float(q)
-
-    def perturb(
-        self, values: np.ndarray, domain_size: int, rng: RandomState = None
-    ) -> np.ndarray:
-        """Return an ``(n_users, domain_size)`` boolean report matrix."""
-        gen = as_generator(rng)
-        values = np.asarray(values, dtype=np.int64)
-        n = values.size
-        p, q = self.support_probabilities(domain_size)
-        # Start from the "all zero bits" flip probability, then overwrite the
-        # column of each user's true value with the keep probability.
-        reports = gen.random((n, domain_size)) < q
-        if n:
-            keep_true = gen.random(n) < p
-            reports[np.arange(n), values] = keep_true
-        return reports
-
-    def support_counts(self, reports: np.ndarray, domain_size: int) -> np.ndarray:
-        reports = np.asarray(reports, dtype=bool)
-        if reports.ndim != 2 or reports.shape[1] != domain_size:
-            raise ValueError(
-                f"expected an (n, {domain_size}) report matrix, got shape {reports.shape}"
-            )
-        return reports.sum(axis=0).astype(np.int64)
 
     def variance(self, n_users: int, domain_size: int) -> float:
         """Var[f_hat] = 4 e^ε / ((e^ε - 1)^2 n)  (Wang et al. 2017)."""

@@ -1,0 +1,352 @@
+"""Packed-bit unary report representation and its accumulation kernels.
+
+The wire format of the unary oracles (OUE, SUE) has always been the
+``numpy.packbits`` form of the ``(n_users, domain_size)`` bit matrix —
+``ceil(d/8)`` bytes per user.  Historically the service *inflated* that
+buffer back into the full boolean matrix before summing, an 8× blow-up
+that made OUE ingestion memory-bound (and collapsed at large batch
+sizes).  This module keeps reports **in the packed domain end to end**:
+
+* :class:`PackedUnaryReports` — a read-only ``(n_users, row_bytes)``
+  ``uint8`` view over the wire payload (zero-copy via
+  :func:`numpy.frombuffer`), with the dense matrix available only as an
+  explicit, lazy fallback (:meth:`PackedUnaryReports.unpack`);
+* :func:`packed_column_counts` — per-candidate support counts straight
+  off the packed bytes: a blocked ``np.bincount`` over byte values folded
+  through a 256×8 bit-expansion table, touching ``d/8`` bytes per report
+  instead of ``d`` booleans and never materialising the matrix;
+* :func:`sample_unary_reports` — the shared perturbation sampler of the
+  unary oracles.  Flipped bits are drawn sparsely (geometric gaps over
+  the flattened ``n × d`` Bernoulli grid — the textbook inverse-CDF
+  skip-sampling, exact in distribution) and scattered either into a
+  dense matrix or directly into packed bytes.  Both output forms consume
+  the generator identically, which is what keeps the in-memory path
+  (dense) and the service path (packed) bit-identical for a fixed seed.
+
+Correctness contract, pinned by ``tests/test_ldp_packed.py``: for every
+packed buffer, ``packed_column_counts`` equals unpack-then-``sum`` bit for
+bit, and for every seed ``sample_unary_reports(..., packed=True)`` holds
+exactly ``numpy.packbits`` of the dense sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+#: Bit-expansion lookup table: ``_BIT_TABLE[v, b]`` is bit ``b`` (MSB
+#: first, matching ``numpy.packbits``'s default big-endian bit order) of
+#: the byte value ``v``.  A byte-value histogram times this table yields
+#: the per-column bit counts of a packed block in one tiny matmul.
+_BIT_TABLE: np.ndarray = (
+    (np.arange(256, dtype=np.int64)[:, None] >> np.arange(7, -1, -1)[None, :]) & 1
+)
+
+#: Elements per histogram block of :func:`packed_column_counts`; bounds the
+#: kernel's scratch (the offset-shifted byte block) to stay cache-resident.
+_KERNEL_BLOCK_ELEMENTS = 1 << 18
+
+#: Largest ``n * d`` (in bits) for which the packed sampler scatters
+#: through a transient boolean scratch before packing: at small batch
+#: shapes the fixed per-op cost of run-length packing dominates, and a
+#: scratch + one ``np.packbits`` is cheaper.  Above this the sampler
+#: scatters straight into packed bytes so client memory stays bounded by
+#: the wire size (``n × ceil(d/8)``), never the dense matrix.
+_PACK_SCRATCH_MAX_BITS = 1 << 21
+
+#: Cached ``arange(n) * row_bytes`` vectors keyed by ``(n, row_bytes)``:
+#: the per-user byte-row offsets of the packed scatter.  Batch shapes
+#: repeat for a whole stream, so the cache hits on every batch but the
+#: ragged last one.  Bounded: stale shapes are evicted once it fills.
+_ROW_OFFSET_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_ROW_OFFSET_CACHE_MAX = 8
+
+
+def _row_offsets(n: int, row_bytes: int) -> np.ndarray:
+    offsets = _ROW_OFFSET_CACHE.get((n, row_bytes))
+    if offsets is None:
+        if len(_ROW_OFFSET_CACHE) >= _ROW_OFFSET_CACHE_MAX:
+            _ROW_OFFSET_CACHE.clear()
+        offsets = np.arange(n, dtype=np.int64) * row_bytes
+        offsets.flags.writeable = False
+        _ROW_OFFSET_CACHE[(n, row_bytes)] = offsets
+    return offsets
+
+
+def packed_row_bytes(domain_size: int) -> int:
+    """Bytes one user's packed bit vector occupies: ``ceil(d / 8)``."""
+    return (int(domain_size) + 7) // 8
+
+
+class PackedUnaryReports:
+    """A batch of unary (bit-vector) reports kept in packed wire form.
+
+    Parameters
+    ----------
+    data:
+        ``(n_users, row_bytes)`` ``uint8`` array in ``numpy.packbits``
+        layout (big-endian bits, rows padded with zero bits to a byte
+        boundary).  The array is frozen read-only on construction: every
+        consumer shares the one buffer, so nobody may scribble on it.
+    n_users / domain_size:
+        Logical shape of the batch; ``row_bytes`` must equal
+        ``ceil(domain_size / 8)``.
+    """
+
+    __slots__ = ("data", "n_users", "domain_size")
+
+    def __init__(self, data: np.ndarray, *, n_users: int, domain_size: int):
+        n_users = int(n_users)
+        domain_size = int(domain_size)
+        if n_users < 0 or domain_size < 1:
+            raise ValueError(
+                f"invalid packed shape: n_users={n_users}, domain_size={domain_size}"
+            )
+        row_bytes = packed_row_bytes(domain_size)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (n_users, row_bytes):
+            raise ValueError(
+                f"packed buffer has shape {data.shape}, expected "
+                f"({n_users}, {row_bytes}) for domain size {domain_size}"
+            )
+        data.flags.writeable = False
+        self.data = data
+        self.n_users = n_users
+        self.domain_size = domain_size
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_buffer(cls, buffer, *, n_users: int, domain_size: int) -> "PackedUnaryReports":
+        """Zero-copy view over a wire payload (bytes/memoryview).
+
+        The returned reports alias ``buffer`` — no byte is copied between
+        the socket and the accumulation kernel.  Raises ``ValueError`` when
+        the buffer size does not match the declared shape.
+        """
+        row_bytes = packed_row_bytes(domain_size)
+        flat = np.frombuffer(buffer, dtype=np.uint8)
+        expected = int(n_users) * row_bytes
+        if flat.size != expected:
+            raise ValueError(
+                f"packed payload is {flat.size} bytes, expected {expected}"
+            )
+        return cls(
+            flat.reshape(int(n_users), row_bytes),
+            n_users=n_users,
+            domain_size=domain_size,
+        )
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "PackedUnaryReports":
+        """Pack a dense ``(n, d)`` boolean report matrix."""
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected an (n, d) matrix, got shape {matrix.shape}")
+        n, d = matrix.shape
+        if d < 1:
+            raise ValueError("domain_size must be at least 1")
+        return cls(np.packbits(matrix, axis=1), n_users=n, domain_size=d)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Size of the packed buffer (the batch's true memory footprint)."""
+        return int(self.data.nbytes)
+
+    def tobytes(self) -> bytes:
+        """The canonical wire payload of the batch."""
+        return self.data.tobytes()
+
+    def unpack(self) -> np.ndarray:
+        """Materialise the dense ``(n_users, domain_size)`` boolean matrix.
+
+        The explicit fallback (and the correctness reference for the
+        packed kernels) — the hot path never calls this.
+        """
+        if self.n_users == 0:
+            return np.zeros((0, self.domain_size), dtype=bool)
+        matrix = np.unpackbits(self.data, axis=1)[:, : self.domain_size]
+        return matrix.astype(bool)
+
+    def column_counts(self) -> np.ndarray:
+        """Per-candidate support counts via the packed kernel."""
+        return packed_column_counts(self.data, self.domain_size)
+
+    def __len__(self) -> int:
+        return self.n_users
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        # Compatibility escape hatch: ``np.asarray(reports)`` anywhere in
+        # legacy code transparently yields the dense matrix.
+        matrix = self.unpack()
+        return matrix if dtype is None else matrix.astype(dtype)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PackedUnaryReports):
+            return NotImplemented
+        return (
+            self.n_users == other.n_users
+            and self.domain_size == other.domain_size
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedUnaryReports(n_users={self.n_users}, "
+            f"domain_size={self.domain_size}, nbytes={self.nbytes})"
+        )
+
+
+def packed_column_counts(data: np.ndarray, domain_size: int) -> np.ndarray:
+    """Column (candidate) support counts straight off packed bytes.
+
+    The blocked popcount/LUT kernel: per row block, every byte is shifted
+    into its byte-column's 256-bin slot and histogrammed with one
+    ``np.bincount``; the ``(row_bytes, 256)`` histogram then folds through
+    the 256×8 bit-expansion table into per-column counts.  Work touched is
+    ``n × ceil(d/8)`` bytes — the wire size — plus an ``O(256·d)`` matmul,
+    and the scratch block stays cache-resident regardless of batch size.
+
+    Bit-identical to ``unpack-then-sum``: padding bits beyond
+    ``domain_size`` land in columns the final slice drops, exactly like
+    the dense path's ``[:, :domain_size]``.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    if data.ndim != 2:
+        raise ValueError(f"expected an (n, row_bytes) byte array, got {data.shape}")
+    domain_size = int(domain_size)
+    n, row_bytes = data.shape
+    if row_bytes != packed_row_bytes(domain_size):
+        raise ValueError(
+            f"row width {row_bytes} does not match domain size {domain_size}"
+        )
+    if n == 0:
+        return np.zeros(domain_size, dtype=np.int64)
+    # Each byte-column gets its own 256-bin slot: value v in column c
+    # histograms into bin c*256 + v.  The offset add goes straight to
+    # int64 so bincount consumes the block without an internal cast.
+    offsets = (np.arange(row_bytes, dtype=np.int64) << 8)[None, :]
+    block = max(1, _KERNEL_BLOCK_ELEMENTS // row_bytes)
+    if n <= block:
+        # One block: bincount straight into the histogram, no accumulator.
+        hist = np.bincount((data + offsets).ravel(), minlength=row_bytes * 256)
+    else:
+        hist = np.zeros(row_bytes * 256, dtype=np.int64)
+        for lo in range(0, n, block):
+            chunk = data[lo : lo + block] + offsets
+            hist += np.bincount(chunk.ravel(), minlength=row_bytes * 256)
+    counts = hist.reshape(row_bytes, 256) @ _BIT_TABLE
+    return counts.reshape(row_bytes * 8)[:domain_size]
+
+
+# --------------------------------------------------------------------------- #
+# Sparse unary perturbation
+# --------------------------------------------------------------------------- #
+def _bernoulli_positions(gen: np.random.Generator, total: int, q: float) -> np.ndarray:
+    """Sorted positions of i.i.d. ``Bernoulli(q)`` successes in ``[0, total)``.
+
+    Inverse-CDF geometric skip sampling: gaps between successes are drawn
+    as ``floor(log(1-U) / log(1-q)) + 1``, which is exact for the
+    geometric law, so the returned position *set* has exactly the
+    distribution of thresholding ``total`` uniforms — while consuming
+    ``~ total·q`` draws instead of ``total``.
+    """
+    if total <= 0 or q <= 0.0:
+        return np.empty(0, dtype=np.int64)
+    if q >= 1.0:
+        return np.arange(total, dtype=np.int64)
+    inv_log = 1.0 / np.log1p(-q)
+    mean = total * q
+    # One draw block almost always suffices (6σ headroom); the rare
+    # shortfall tops up in smaller blocks, continuing the same stream.
+    n_draw = int(mean + 6.0 * np.sqrt(mean + 1.0)) + 16
+    chunks = []
+    last = -1
+    while last < total:
+        u = gen.random(n_draw)
+        np.negative(u, out=u)
+        np.log1p(u, out=u)
+        u *= inv_log
+        gaps = u.astype(np.int64)
+        gaps += 1
+        positions = np.cumsum(gaps)
+        positions += last
+        chunks.append(positions)
+        last = int(positions[-1])
+        n_draw = max(16, n_draw // 4)
+    positions = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    return positions[: int(np.searchsorted(positions, total))]
+
+
+def sample_unary_reports(
+    values: np.ndarray,
+    domain_size: int,
+    rng: RandomState,
+    p: float,
+    q: float,
+    *,
+    packed: bool = False,
+):
+    """Sample one perturbed unary report per user, dense or packed.
+
+    Every bit starts as ``Bernoulli(q)`` (drawn sparsely, see
+    :func:`_bernoulli_positions`); each user's true-value bit is then
+    overwritten with ``Bernoulli(p)``.  The generator is consumed
+    identically for both output forms — flip positions first, then the
+    ``n`` keep draws — so ``packed=True`` returns exactly
+    ``numpy.packbits`` of the ``packed=False`` matrix for the same seed.
+    """
+    gen = as_generator(rng)
+    values = np.asarray(values, dtype=np.int64)
+    n = int(values.size)
+    d = int(domain_size)
+    positions = _bernoulli_positions(gen, n * d, q)
+    keep_true = gen.random(n) < p
+
+    if not packed:
+        reports = np.zeros((n, d), dtype=bool)
+        if positions.size:
+            reports.ravel()[positions] = True
+        if n:
+            reports[np.arange(n), values] = keep_true
+        return reports
+
+    row_bytes = packed_row_bytes(d)
+    if 0 < n * d <= _PACK_SCRATCH_MAX_BITS:
+        # Small batches: scatter into a transient boolean scratch (dies on
+        # return, ≤ 2 MiB) and pack once — fewer vector ops than the
+        # run-length path, which is what matters when batches are small.
+        scratch = np.zeros(n * d, dtype=bool)
+        if positions.size:
+            scratch[positions] = True
+        scratch[_row_offsets(n, d) + values] = keep_true
+        data = np.packbits(scratch.reshape(n, d), axis=1)
+        return PackedUnaryReports(data, n_users=n, domain_size=d)
+    data = np.zeros(n * row_bytes, dtype=np.uint8)
+    if positions.size:
+        rows, cols = np.divmod(positions, d)
+        flat = rows * row_bytes + (cols >> 3)
+        masks = (128 >> (cols & 7)).astype(np.uint8)
+        # Positions are sorted, so flips landing in the same byte are
+        # contiguous in ``flat``: one bitwise-or reduceat over each run
+        # builds every touched byte, and the scatter only writes those.
+        run_starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.flatnonzero(np.diff(flat)) + 1)
+        )
+        data[flat[run_starts]] = np.bitwise_or.reduceat(masks, run_starts)
+    if n:
+        # Overwrite each user's true-value bit with her keep draw (set or
+        # *clear* — a background flip at that bit must not survive a
+        # keep_true=False, exactly as the dense overwrite does it).
+        flat_true = _row_offsets(n, row_bytes) + (values >> 3)
+        masks = (128 >> (values & 7)).astype(np.uint8)
+        current = data[flat_true]
+        data[flat_true] = np.where(keep_true, current | masks, current & ~masks)
+    return PackedUnaryReports(
+        data.reshape(n, row_bytes), n_users=n, domain_size=d
+    )

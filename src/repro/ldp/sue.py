@@ -7,17 +7,20 @@ is strictly worse than OUE's (that is exactly the optimisation OUE makes),
 so it is not used by the paper's experiments; it is included as an extension
 to (a) demonstrate the FO interface is genuinely pluggable and (b) serve as
 a worked example for adding new oracles.
+
+Report mechanics (sparse sampling, dense/packed forms, packed-domain
+accumulation) are shared with OUE via
+:class:`~repro.ldp.unary.UnaryEncodingOracle`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ldp.base import FrequencyOracle
-from repro.utils.rng import RandomState, as_generator
+from repro.ldp.unary import UnaryEncodingOracle
 
 
-class SymmetricUnaryEncoding(FrequencyOracle):
+class SymmetricUnaryEncoding(UnaryEncodingOracle):
     """The SUE / basic RAPPOR mechanism (symmetric bit flipping)."""
 
     name = "sue"
@@ -26,28 +29,6 @@ class SymmetricUnaryEncoding(FrequencyOracle):
         half = np.exp(self.epsilon / 2.0)
         p = half / (half + 1.0)
         return float(p), float(1.0 - p)
-
-    def perturb(
-        self, values: np.ndarray, domain_size: int, rng: RandomState = None
-    ) -> np.ndarray:
-        """Return an ``(n_users, domain_size)`` boolean report matrix."""
-        gen = as_generator(rng)
-        values = np.asarray(values, dtype=np.int64)
-        n = values.size
-        p, q = self.support_probabilities(domain_size)
-        reports = gen.random((n, domain_size)) < q
-        if n:
-            keep_true = gen.random(n) < p
-            reports[np.arange(n), values] = keep_true
-        return reports
-
-    def support_counts(self, reports: np.ndarray, domain_size: int) -> np.ndarray:
-        reports = np.asarray(reports, dtype=bool)
-        if reports.ndim != 2 or reports.shape[1] != domain_size:
-            raise ValueError(
-                f"expected an (n, {domain_size}) report matrix, got shape {reports.shape}"
-            )
-        return reports.sum(axis=0).astype(np.int64)
 
     def variance(self, n_users: int, domain_size: int) -> float:
         """Var[f_hat] = q(1-q) / (n (p-q)^2) with the symmetric p, q."""

@@ -9,11 +9,20 @@ client connections:
   decoded broadcast, then re-encodes it for accounting — canonical codecs
   make the re-encoding byte-identical); a ``finalize`` control message
   closes it and returns the lossless estimate frame;
-* **decode fan-out** — report-batch frames are decoded on the gateway's
-  execution backend (:mod:`repro.engine`) while the single-threaded event
-  loop keeps reading; the accumulate-and-account step
-  (:meth:`~repro.service.server.AggregationServer.ingest_decoded`) always
-  runs on the loop, so totals never race;
+* **columnar decode fan-out** — report-batch frames are decoded *and
+  counted* on the gateway's execution backend (:mod:`repro.engine`) while
+  the single-threaded event loop keeps reading: each worker reduces its
+  payload to an ``O(domain_size)`` count summary
+  (:func:`~repro.service.columnar.summarize_report_payload`), so only
+  count vectors — never report buffers — cross back to the accumulator,
+  which merges them via
+  :meth:`~repro.service.server.AggregationServer.ingest_summary` on one
+  thread so totals never race.  ``columnar_decode=False`` falls back to
+  shipping decoded batches into
+  :meth:`~repro.service.server.AggregationServer.ingest_decoded`; both
+  paths are bit-identical in estimates, transcripts and accounting
+  (counts are exact integers), which
+  ``tests/test_columnar_equivalence.py`` pins;
 * **admission control** — frames above ``max_frame_bytes`` are refused on
   their 5-byte header alone (the body is never read); a global
   ``max_inflight_batches`` semaphore bounds decode memory — when it is
@@ -65,6 +74,7 @@ from repro.net.framing import (
     Frame,
     FrameError,
 )
+from repro.service.columnar import BatchSummary, summarize_report_payload
 from repro.service.protocol import (
     WireFormatError,
     decode_broadcast,
@@ -171,6 +181,12 @@ class AggregationGateway:
         Whether a ``{"op": "shutdown"}`` control message stops the
         gateway (operator convenience for scripted runs; disable for
         long-lived servers).
+    columnar_decode:
+        When True (the default), decode workers summarise each batch to
+        its ``O(domain_size)`` count vector and the accumulator only
+        merges counts; when False, workers return decoded report batches
+        and the accumulator ingests them (the reference path the
+        equivalence tests compare against).
     """
 
     def __init__(
@@ -185,6 +201,7 @@ class AggregationGateway:
         max_inflight_batches: int = DEFAULT_MAX_INFLIGHT_BATCHES,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         allow_shutdown: bool = True,
+        columnar_decode: bool = True,
     ):
         check_positive("connection_credits", connection_credits)
         check_positive("max_inflight_batches", max_inflight_batches)
@@ -195,6 +212,7 @@ class AggregationGateway:
         self.max_inflight_batches = int(max_inflight_batches)
         self.max_frame_bytes = int(max_frame_bytes)
         self.allow_shutdown = bool(allow_shutdown)
+        self.columnar_decode = bool(columnar_decode)
         self._engine = get_backend(decode_backend, decode_workers)
         # The engine instance is shared with the server (instance-passed
         # engines stay caller-owned), so OLH decode shards and frame
@@ -439,7 +457,8 @@ class AggregationGateway:
             return False
         assert self._inflight is not None
         await self._inflight.acquire()  # global cap: stop reading when full
-        future = self._engine.submit(decode_report_batch, payload)
+        decode = summarize_report_payload if self.columnar_decode else decode_report_batch
+        future = self._engine.submit(decode, payload)
         task = asyncio.get_running_loop().create_task(
             self._ingest(state, round_id, seq, wire_bits(payload), future)
         )
@@ -451,14 +470,22 @@ class AggregationGateway:
         try:
             try:
                 batch = await asyncio.wrap_future(future)
-                n = await asyncio.get_running_loop().run_in_executor(
-                    self._accumulator,
-                    partial(
+                if isinstance(batch, BatchSummary):
+                    ingest = partial(
+                        self.server.ingest_summary,
+                        round_id,
+                        batch,
+                        payload_bits=payload_bits,
+                    )
+                else:
+                    ingest = partial(
                         self.server.ingest_decoded,
                         round_id,
                         batch,
                         payload_bits=payload_bits,
-                    ),
+                    )
+                n = await asyncio.get_running_loop().run_in_executor(
+                    self._accumulator, ingest
                 )
             finally:
                 self._inflight.release()

@@ -34,6 +34,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.ldp.packed import PackedUnaryReports
+
 _REPORT_MAGIC = b"RPB1"
 _BROADCAST_MAGIC = b"RBC1"
 
@@ -118,6 +120,18 @@ def _uint_dtype(max_value: int) -> np.dtype:
     raise WireFormatError(f"value {max_value} exceeds 64 bits")  # pragma: no cover
 
 
+def _readonly_view(buffer, dtype: np.dtype) -> np.ndarray:
+    """A zero-copy, read-only array over ``buffer`` (bytes or memoryview).
+
+    The columnar contract of every decoder below: wire bytes are *viewed*,
+    never copied, and the view is frozen so downstream kernels cannot
+    scribble on a buffer other consumers (accounting, re-encoding) alias.
+    """
+    array = np.frombuffer(buffer, dtype=dtype)
+    array.flags.writeable = False
+    return array
+
+
 # ---------------------------------------------------------------------- #
 # Per-oracle report payload codecs
 # ---------------------------------------------------------------------- #
@@ -126,18 +140,33 @@ def _encode_index_reports(batch: ReportBatch) -> bytes:
     return reports.astype(_uint_dtype(batch.value_domain - 1)).tobytes()
 
 
-def _decode_index_reports(data: bytes, batch_meta: "ReportBatch") -> np.ndarray:
+def _decode_index_reports(data, batch_meta: "ReportBatch") -> np.ndarray:
     dtype = _uint_dtype(batch_meta.value_domain - 1)
     expected = batch_meta.n_users * dtype.itemsize
     if len(data) != expected:
         raise WireFormatError(
             f"index payload is {len(data)} bytes, expected {expected}"
         )
-    return np.frombuffer(data, dtype=dtype).astype(np.int64)
+    # Read-only view in the wire dtype; consumers (bincount) take the
+    # smallest-uint form as-is, so no widening copy is ever made.
+    return _readonly_view(data, dtype)
 
 
 def _encode_unary_reports(batch: ReportBatch) -> bytes:
-    matrix = np.asarray(batch.reports, dtype=bool)
+    reports = batch.reports
+    if isinstance(reports, PackedUnaryReports):
+        # Already in wire form: the payload is the packed buffer itself.
+        if (reports.n_users, reports.domain_size) != (
+            batch.n_users,
+            batch.domain_size,
+        ):
+            raise WireFormatError(
+                f"packed unary batch covers ({reports.n_users}, "
+                f"{reports.domain_size}), expected "
+                f"({batch.n_users}, {batch.domain_size})"
+            )
+        return reports.tobytes()
+    matrix = np.asarray(reports, dtype=bool)
     if matrix.ndim != 2 or matrix.shape != (batch.n_users, batch.domain_size):
         raise WireFormatError(
             f"unary batch has shape {matrix.shape}, expected "
@@ -146,35 +175,46 @@ def _encode_unary_reports(batch: ReportBatch) -> bytes:
     return np.packbits(matrix, axis=1).tobytes()
 
 
-def _decode_unary_reports(data: bytes, batch_meta: "ReportBatch") -> np.ndarray:
+def _decode_unary_reports(data, batch_meta: "ReportBatch") -> PackedUnaryReports:
     row_bytes = (batch_meta.domain_size + 7) // 8
     expected = batch_meta.n_users * row_bytes
     if len(data) != expected:
         raise WireFormatError(
             f"unary payload is {len(data)} bytes, expected {expected}"
         )
-    packed = np.frombuffer(data, dtype=np.uint8).reshape(batch_meta.n_users, row_bytes)
-    matrix = np.unpackbits(packed, axis=1)[:, : batch_meta.domain_size]
-    return matrix.astype(bool)
+    # Zero-copy: the reports alias the payload bytes; the (n, d) matrix is
+    # only ever materialised by an explicit ``.unpack()`` fallback.
+    return PackedUnaryReports.from_buffer(
+        data, n_users=batch_meta.n_users, domain_size=batch_meta.domain_size
+    )
 
 
 def _encode_olh_reports(batch: ReportBatch) -> bytes:
     seeds, buckets = batch.reports
     seeds = np.asarray(seeds, dtype="<i8")
-    buckets = np.asarray(buckets, dtype=np.int64)
-    return seeds.tobytes() + buckets.astype(_uint_dtype(batch.value_domain - 1)).tobytes()
+    buckets = np.asarray(buckets)
+    bucket_dtype = _uint_dtype(batch.value_domain - 1)
+    if buckets.dtype != bucket_dtype:
+        buckets = buckets.astype(bucket_dtype)
+    return seeds.tobytes() + buckets.tobytes()
 
 
 def _decode_olh_reports(
-    data: bytes, batch_meta: "ReportBatch"
+    data, batch_meta: "ReportBatch"
 ) -> tuple[np.ndarray, np.ndarray]:
     n = batch_meta.n_users
     bucket_dtype = _uint_dtype(batch_meta.value_domain - 1)
     expected = n * (8 + bucket_dtype.itemsize)
     if len(data) != expected:
         raise WireFormatError(f"OLH payload is {len(data)} bytes, expected {expected}")
-    seeds = np.frombuffer(data[: 8 * n], dtype="<i8").astype(np.int64)
-    buckets = np.frombuffer(data[8 * n :], dtype=bucket_dtype).astype(np.int64)
+    view = memoryview(data)
+    # Read-only views straight over the payload: the seed view is already
+    # native int64 on little-endian hosts and the bucket view stays in its
+    # wire dtype — the decode kernel consumes both without copies.
+    seeds = _readonly_view(view[: 8 * n], np.dtype("<i8"))
+    if seeds.dtype != np.dtype(np.int64):  # pragma: no cover - big-endian only
+        seeds = seeds.astype(np.int64)
+    buckets = _readonly_view(view[8 * n :], bucket_dtype)
     return seeds, buckets
 
 
@@ -229,8 +269,14 @@ def encode_report_batch(batch: ReportBatch) -> bytes:
     return header + encoder(batch)
 
 
-def decode_report_batch(data: bytes) -> ReportBatch:
-    """Reconstruct a :class:`ReportBatch` from wire bytes, losslessly."""
+def split_report_batch(data: bytes) -> tuple[ReportBatch, memoryview]:
+    """Parse a batch header; return its meta and a zero-copy payload view.
+
+    The columnar decode seam: the returned :class:`ReportBatch` carries
+    every header field with ``reports=None``, and the memoryview aliases
+    the payload bytes without copying them.  :func:`decode_report_batch`
+    and the columnar summarisers build on this.
+    """
     if data[:4] != _REPORT_MAGIC:
         raise WireFormatError(
             f"bad report-batch magic {data[:4]!r}, expected {_REPORT_MAGIC!r}"
@@ -255,8 +301,22 @@ def decode_report_batch(data: bytes) -> ReportBatch:
         n_users=int(n_users),
         reports=None,
     )
-    _, decoder = _codec(oracle_name)
-    reports = decoder(data[offset:], meta)
+    # A codec must exist even when the caller only wants the meta — an
+    # unknown oracle is a wire error, wherever it is detected.
+    _codec(oracle_name)
+    return meta, memoryview(data)[offset:]
+
+
+def decode_report_batch(data: bytes) -> ReportBatch:
+    """Reconstruct a :class:`ReportBatch` from wire bytes, losslessly.
+
+    Report payloads decode into zero-copy, read-only views over ``data``
+    (packed unary buffers stay packed); no byte is duplicated between the
+    wire and the accumulation kernels.
+    """
+    meta, payload = split_report_batch(data)
+    _, decoder = _codec(meta.oracle_name)
+    reports = decoder(payload, meta)
     return ReportBatch(
         party=meta.party,
         level=meta.level,

@@ -295,19 +295,40 @@ class AggregationServer:
         round_ = self._round(round_id)
         self._validate_batch(round_, batch)
         n = round_.shard.ingest(batch.reports)
+        self._account_batch(round_, batch.party, payload_bits)
+        return n
+
+    def ingest_summary(self, round_id: int, summary, *, payload_bits: int) -> int:
+        """Fold a columnar batch summary into a round, accounted at ``payload_bits``.
+
+        The columnar twin of :meth:`ingest_decoded`: the engine worker has
+        already decoded *and* counted the wire batch
+        (:func:`repro.service.columnar.summarize_report_payload`), so only
+        its ``O(domain_size)`` count vector reaches the accumulator.
+        ``payload_bits`` is still the exact wire size of the batch the
+        summary stands for — transcripts cannot tell the two paths apart.
+        """
+        round_ = self._round(round_id)
+        self._validate_batch(round_, summary)
+        n = round_.shard.ingest_counts(summary.counts, summary.n_users)
+        self._account_batch(round_, summary.party, payload_bits)
+        return n
+
+    def _account_batch(
+        self, round_: ServiceRound, party: str, payload_bits: int
+    ) -> None:
         round_.n_batches += 1
         round_.upload_bits += payload_bits
         self._upload_bits += payload_bits
         self._messages.append(
             Message(
                 direction=MessageDirection.PARTY_TO_SERVER,
-                party=batch.party,
+                party=party,
                 kind="report_batch",
                 payload_bits=payload_bits,
                 level=round_.level,
             )
         )
-        return n
 
     def ingest_batch(self, round_id: int, batch: ReportBatch) -> int:
         """Encode a batch to wire bytes and ingest it (bytes always counted)."""

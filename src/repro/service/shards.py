@@ -22,6 +22,7 @@ import numpy as np
 from repro.engine import ExecutionBackend, get_backend, split_ranges
 from repro.ldp.base import FrequencyOracle
 from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.packed import PackedUnaryReports
 
 
 class ShardError(ValueError):
@@ -60,7 +61,40 @@ class LevelShard:
         return n
 
     def _decode(self, reports: object) -> np.ndarray:
+        if isinstance(reports, PackedUnaryReports):
+            # Columnar hot path: fold the packed wire form directly.  The
+            # base-class implementation of ``accumulate_packed`` unpacks
+            # first, so every oracle keeps working — unary oracles just
+            # skip the (n, d) matrix entirely.
+            return self.oracle.accumulate_packed(
+                self.counts, reports, self.domain_size
+            )
         return self.oracle.accumulate(self.counts, reports, self.domain_size)
+
+    def ingest_counts(
+        self, counts: np.ndarray, n_users: int, *, n_batches: int = 1
+    ) -> int:
+        """Fold pre-computed exact support counts into the accumulator.
+
+        The server-side half of the columnar decode fan-out: an engine
+        worker summarises a wire batch into its ``O(domain_size)`` count
+        vector (:mod:`repro.service.columnar`) and only that vector
+        reaches the shard.  Counts are exact integers, so this is
+        bit-identical to :meth:`ingest` of the batch it summarises.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.domain_size,):
+            raise ShardError(
+                f"summary counts have shape {counts.shape}, "
+                f"expected ({self.domain_size},)"
+            )
+        n = int(n_users)
+        if n < 0:
+            raise ShardError(f"n_users must be non-negative, got {n}")
+        self.counts = self.oracle.merge_counts(self.counts, counts)
+        self.n_users += n
+        self.n_batches += int(n_batches)
+        return n
 
     # ------------------------------------------------------------------ #
     # Merge algebra
@@ -155,8 +189,11 @@ class OLHDecodeShard(LevelShard):
 
     def _decode(self, reports: object) -> np.ndarray:
         seeds, ys = reports
-        seeds = np.asarray(seeds, dtype=np.int64)
-        ys = np.asarray(ys, dtype=np.int64)
+        # Wire-decoded views go into the tasks as-is (the range decoder
+        # consumes any integer dtype); copying to int64 here would undo
+        # the zero-copy decode for every batch.
+        seeds = np.asarray(seeds)
+        ys = np.asarray(ys)
         tasks = [
             (self.oracle.epsilon, seeds, ys, start, stop)
             for start, stop in split_ranges(self.domain_size, self.n_decode_shards)

@@ -18,6 +18,11 @@ import numpy as np
 from repro.encoding.prefix import extend_prefixes, validate_prefix
 from repro.utils.validation import check_non_empty
 
+#: Widest prefix space resolved through the cached value→index lookup
+#: table in :meth:`CandidateDomain.encode_items` (2^16 entries, 512 KiB);
+#: wider spaces fall back to binary search over the candidate values.
+_ENCODE_LUT_MAX_BITS = 16
+
 
 class CandidateDomain:
     """An ordered set of equal-length candidate prefixes with a dummy slot.
@@ -59,6 +64,8 @@ class CandidateDomain:
         self._index: dict[str, int] = {p: i for i, p in enumerate(cleaned)}
         self.prefix_length: int = lengths.pop() if lengths else 0
         self.include_dummy = bool(include_dummy)
+        self._encode_lut: np.ndarray | None = None
+        self._encode_sorted: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -127,16 +134,33 @@ class CandidateDomain:
         fallback = self.dummy_index
         if fallback is None:
             fallback = -1
-        # Vectorised lookup: map candidate prefixes to their integer values,
-        # sort them once, and resolve every user's prefix id via searchsorted.
         if self.prefix_length == 0:
             out = np.full(items.size, self._index.get("", fallback), dtype=np.int64)
+        elif self.prefix_length <= _ENCODE_LUT_MAX_BITS:
+            # Small prefix space: resolve every user's prefix id with one
+            # gather through a cached value→index table (at most 2^16
+            # entries).  Out-of-range ids (possible for malformed items)
+            # are clipped for the gather and patched to the fallback.
+            if self._encode_lut is None:
+                lut = np.full(1 << self.prefix_length, fallback, dtype=np.int64)
+                values = np.array([int(p, 2) for p in self._prefixes], dtype=np.int64)
+                lut[values] = np.arange(values.size, dtype=np.int64)
+                self._encode_lut = lut
+            lut = self._encode_lut
+            clipped = np.clip(prefix_ids, 0, lut.size - 1)
+            out = lut[clipped]
+            oob = clipped != prefix_ids
+            if oob.any():
+                out[oob] = fallback
         else:
-            candidate_values = np.array(
-                [int(p, 2) for p in self._prefixes], dtype=np.int64
-            )
-            order = np.argsort(candidate_values, kind="stable")
-            sorted_values = candidate_values[order]
+            # Wide prefix space: map candidate prefixes to their integer
+            # values, sort them once (cached), and resolve every user's
+            # prefix id via searchsorted.
+            if self._encode_sorted is None:
+                values = np.array([int(p, 2) for p in self._prefixes], dtype=np.int64)
+                order = np.argsort(values, kind="stable")
+                self._encode_sorted = (values[order], order)
+            sorted_values, order = self._encode_sorted
             positions = np.searchsorted(sorted_values, prefix_ids)
             positions = np.clip(positions, 0, sorted_values.size - 1)
             matched = sorted_values[positions] == prefix_ids
