@@ -1,0 +1,162 @@
+"""Cluster-throughput microbenchmark: shard scaling of the gateway tier.
+
+Stands up in-process shard gateways (1 then 2 — the cheapest honest
+scaling probe) and drives each topology with the same
+:func:`~repro.net.loadgen.run_loadgen` workload through
+:class:`~repro.cluster.coordinator.ClusterConnection` routing, recording
+per shard count:
+
+* ``reports_per_sec`` — end-to-end throughput (client perturb + encode +
+  ring routing + TCP + shard decode + cross-shard merge barrier),
+* ``p50/p95/p99`` batch latency in milliseconds (send→ack round trip),
+* ``upload_bytes`` — exact bytes the run put on the wire (identical
+  across shard counts: routing is transport).
+
+Both tiers honour ``REPRO_BENCH_BACKEND`` / ``REPRO_BENCH_WORKERS``
+(default: ``thread``).  Results persist machine-readably to
+``benchmarks/results/cluster_throughput.json`` (schema:
+``docs/reproducing.md``) with the repo-standard warn-only trend block vs
+the last committed run.  Assertions pin well-formedness and the wire
+invariant, not absolute speed; low-core runners skip with a reason (a
+cluster benchmark on one core measures scheduling, not sharding).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.net.gateway import start_gateway
+from repro.net.loadgen import run_loadgen
+
+USERS_PER_ROUND = 10_000
+ROUNDS = 2
+BATCH_SIZE = 2_048
+LEVEL = 6
+CONNECTIONS = 2
+
+SHARD_COUNTS = (1, 2)
+
+
+def _bench_backend() -> tuple[str, int | None]:
+    spec = os.environ.get("REPRO_BENCH_BACKEND") or "thread"
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    return spec, (int(workers) if workers else None)
+
+
+#: A new run is flagged (warn-only) when its throughput falls below this
+#: fraction of the last committed run at the same shard count.
+_TREND_WARN_RATIO = 0.5
+
+
+def _trend_vs_previous(entries: list[dict], path: Path) -> dict:
+    """Warn-only throughput comparison against the last committed results."""
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {"baseline": None, "comparisons": [], "warnings": []}
+    baseline = {
+        e["shards"]: e["reports_per_sec"]
+        for e in previous.get("entries", [])
+        if e.get("reports_per_sec")
+    }
+    comparisons, warnings = [], []
+    for entry in entries:
+        old = baseline.get(entry["shards"])
+        if not old:
+            continue
+        ratio = entry["reports_per_sec"] / old
+        comparisons.append(
+            {
+                "shards": entry["shards"],
+                "previous_reports_per_sec": old,
+                "ratio": round(ratio, 3),
+            }
+        )
+        if ratio < _TREND_WARN_RATIO:
+            warnings.append(
+                f"{entry['shards']} shard(s): "
+                f"{entry['reports_per_sec']:,} reports/s is {ratio:.2f}x the "
+                f"last committed run ({old:,})"
+            )
+    return {"baseline": "committed", "comparisons": comparisons, "warnings": warnings}
+
+
+def test_cluster_throughput_profile():
+    """Measure reports/sec and latency percentiles vs shard count."""
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip(
+            f"cluster scaling needs >= 2 cores to mean anything, runner has {cores}"
+        )
+    backend, workers = _bench_backend()
+    entries = []
+    for n_shards in SHARD_COUNTS:
+        handles = [
+            start_gateway(decode_backend=backend, decode_workers=workers)
+            for _ in range(n_shards)
+        ]
+        try:
+            report = run_loadgen(
+                ",".join(handle.address for handle in handles),
+                dataset="rdb",
+                scale="small",
+                level=LEVEL,
+                rounds=ROUNDS,
+                batch_size=BATCH_SIZE,
+                users_per_round=USERS_PER_ROUND,
+                connections=CONNECTIONS,
+                backend=backend,
+                max_workers=workers,
+                seed=0,
+                include_gateway_stats=False,
+            )
+        finally:
+            for handle in handles:
+                handle.close()
+        entries.append(
+            {
+                "shards": n_shards,
+                "connections": CONNECTIONS,
+                "rounds": ROUNDS,
+                "n_reports": report.n_reports,
+                "n_batches": report.n_batches,
+                "seconds": report.elapsed_seconds,
+                "reports_per_sec": round(report.reports_per_sec),
+                "p50_ms": report.latency_ms["p50"],
+                "p95_ms": report.latency_ms["p95"],
+                "p99_ms": report.latency_ms["p99"],
+                "upload_bytes": report.upload_bits // 8,
+            }
+        )
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / "cluster_throughput.json"
+    trend = _trend_vs_previous(entries, path)
+    for warning in trend["warnings"]:
+        print(f"\nWARNING (trend): {warning}")
+    payload = {
+        "backend": backend,
+        "max_workers": os.environ.get("REPRO_BENCH_WORKERS"),
+        "level": LEVEL,
+        "batch_size": BATCH_SIZE,
+        "users_per_round": USERS_PER_ROUND,
+        "connections": CONNECTIONS,
+        "entries": entries,
+        "trend": trend,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n===== cluster_throughput =====\n{json.dumps(payload, indent=2)}\n")
+
+    assert len(entries) == len(SHARD_COUNTS)
+    for entry in entries:
+        assert entry["n_reports"] == CONNECTIONS * ROUNDS * USERS_PER_ROUND
+        assert entry["reports_per_sec"] > 0
+        assert 0 < entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+    # Routing is transport: the exact wire bytes must not depend on the
+    # shard count (the cluster half of the bit-identity invariant).
+    assert len({entry["upload_bytes"] for entry in entries}) == 1

@@ -23,7 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.cli import bench, loadgen, run, serve, sweep
+from repro.cli import bench, cluster, loadgen, run, serve, sweep
 from repro.cli.common import CLIError
 
 
@@ -40,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
-    for module in (run, sweep, serve, loadgen, bench):
+    for module in (run, sweep, serve, cluster, loadgen, bench):
         module.add_parser(subparsers)
     return parser
 

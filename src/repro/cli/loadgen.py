@@ -67,7 +67,9 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--connect", default=None, metavar="HOST:PORT",
-        help="target a running gateway (default: self-host one in-process "
+        help="target a running gateway; a comma-separated list targets a "
+             "shard cluster (repro cluster) through consistent-hash "
+             "routing (default: self-host one gateway in-process "
              "on an ephemeral port)",
     )
     parser.add_argument(
@@ -200,8 +202,18 @@ def cmd(args: argparse.Namespace) -> int:
             raise CLIError(str(exc)) from exc
         if args.shutdown and args.connect is not None:
             try:
-                with GatewayConnection(address) as connection:
-                    connection.shutdown_gateway()
+                if "," in address:
+                    from repro.cluster.coordinator import ClusterConnection
+
+                    with ClusterConnection(
+                        address,
+                        ring_seed=params.get("ring_seed", 0),
+                        n_vnodes=params.get("ring_vnodes"),
+                    ) as cluster_connection:
+                        cluster_connection.shutdown_cluster()
+                else:
+                    with GatewayConnection(address) as connection:
+                        connection.shutdown_gateway()
             except (ConnectionError, OSError):
                 pass  # gateway already gone — the goal state
             except Exception as exc:  # noqa: BLE001 - refusal/odd reply

@@ -1,0 +1,36 @@
+"""Sharded gateway cluster: N shard gateways behind one coordinator.
+
+The horizontal-scale layer over the networked service (PR 5/6): the
+:class:`~repro.cluster.ring.HashRing` deterministically assigns candidate
+ranges and report batches to shards, the
+:class:`~repro.cluster.coordinator.ClusterCoordinator` exposes the
+aggregation-server protocol over N
+:class:`~repro.net.client.GatewayConnection`\\ s and runs the round-close
+barrier (collect every shard's raw state, merge with the
+:class:`~repro.service.shards.LevelShard` algebra, estimate once), and
+:func:`~repro.cluster.launcher.launch_cluster` spawns/supervises the
+shard processes.  The subsystem's invariant: fixed-seed discovery over an
+N-shard cluster is **bit-identical** — estimates, transcripts, exact
+wire-bit totals — to single-gateway and in-memory service runs.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterConnection,
+    ClusterCoordinator,
+    parse_cluster_addresses,
+    run_over_cluster,
+)
+from repro.cluster.launcher import ClusterHandle, LauncherError, launch_cluster
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+
+__all__ = [
+    "ClusterConnection",
+    "ClusterCoordinator",
+    "ClusterHandle",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "LauncherError",
+    "launch_cluster",
+    "parse_cluster_addresses",
+    "run_over_cluster",
+]

@@ -1,0 +1,451 @@
+"""Cluster coordinator: consistent-hash routing and the round-close barrier.
+
+Two layers, mirroring :mod:`repro.net.client`:
+
+* :class:`ClusterConnection` — the :class:`~repro.net.client.GatewayConnection`
+  of a *cluster*: one logical round fans out into a physical sub-round on
+  every shard gateway, report batches route to the shard the
+  :class:`~repro.cluster.ring.HashRing` assigns them, and
+  :meth:`ClusterConnection.finalize` runs the round-close **barrier** —
+  drain every shard, collect each shard's raw
+  :class:`~repro.service.server.ExportedShardState`, merge the exact int64
+  counts with the :class:`~repro.service.shards.LevelShard` algebra, and
+  estimate **once** via the same
+  :func:`~repro.service.server.finalize_estimate` the single server calls.
+* :class:`ClusterCoordinator` — the
+  :class:`~repro.net.client.RemoteAggregationServer` of a cluster: the
+  same server protocol (``open_round`` / ``ingest_batch`` /
+  ``finalize_round`` / ``drain_messages`` / ``shutdown``), so
+  :class:`~repro.service.server.ServiceRoundRunner` and every mechanism
+  run over an N-shard cluster unchanged.
+
+**Bit-identity.**  The accounting is *logical*, exactly like PR 5 treated
+frame headers as pure transport: the coordinator logs **one**
+``service_round_open`` message at the canonical broadcast encoding's bits
+even though N physical broadcasts go out (shard fan-out is transport, not
+protocol), and every report batch is logged at its exact canonical wire
+bits on whichever shard it lands.  Because the merge algebra is
+associative/commutative and exact over int64 counts, and because the
+estimate is produced by the same ``finalize_estimate`` call over the same
+merged inputs, a fixed-seed cluster run is bit-identical — estimates,
+transcripts, wire-bit totals — to the single-gateway and in-memory runs
+(``tests/test_cluster_equivalence.py``).
+
+**Failure taxonomy** (structured :class:`~repro.service.server.ServiceError`
+codes, branchable like the PR 5 codes):
+
+* ``shard_unavailable`` — a shard gateway died or stopped answering
+  (socket timeouts bound every read: never a hang);
+* ``ring_version_mismatch`` — the ring changed between round open and the
+  barrier, so routing can no longer be trusted;
+* ``shard_mismatch`` — a shard's exported state disagrees with the
+  logical round (identity fields or accounting totals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.ldp.base import EstimationResult
+from repro.ldp.registry import make_oracle
+from repro.net.client import GatewayConnection, RemoteAggregationServer, parse_address
+from repro.service.protocol import RoundBroadcast, encode_broadcast, wire_bits
+from repro.service.server import ExportedShardState, ServiceError, finalize_estimate
+
+
+def parse_cluster_addresses(addresses) -> list[str]:
+    """Normalise a cluster address (comma-joined string or iterable).
+
+    Every element must be ``HOST:PORT``; duplicates are rejected because
+    opening the same gateway twice would double-count its sub-round.
+    A single address is a valid (1-shard) cluster.
+    """
+    if isinstance(addresses, str):
+        parts = [part.strip() for part in addresses.split(",")]
+    else:
+        parts = [str(part).strip() for part in addresses]
+    if not parts or any(not part for part in parts):
+        raise ValueError(
+            f"cluster address must be a non-empty list of HOST:PORT, got {addresses!r}"
+        )
+    normalised = []
+    for part in parts:
+        host, port = parse_address(part)
+        normalised.append(f"{host}:{port}")
+    if len(set(normalised)) != len(normalised):
+        raise ValueError(f"cluster address lists a shard twice: {normalised}")
+    return normalised
+
+
+@dataclass
+class _ClusterRound:
+    """Coordinator-side state of one logical round spanning every shard."""
+
+    round_id: int
+    party: str
+    level: int
+    oracle_name: str
+    epsilon: float
+    domain_size: int
+    broadcast_bits: int
+    ring_version: str
+    shard_round_ids: list[int] = field(default_factory=list)
+    next_seq: int = 0
+    n_batches: int = 0
+    upload_bits: int = 0
+    is_open: bool = True
+
+
+class ClusterConnection:
+    """Synchronous client of an N-shard gateway cluster.
+
+    The :class:`~repro.net.client.GatewayConnection` surface —
+    ``open_round`` / ``send_batch`` / ``drain`` / ``finalize`` /
+    ``stats`` / ``latencies`` — over a list of shard gateways, plus the
+    cluster-only :meth:`shutdown_cluster`.
+
+    Parameters
+    ----------
+    addresses:
+        Comma-joined ``HOST:PORT`` string (or iterable of them), one per
+        shard gateway.  Order defines shard indices on the ring.
+    timeout:
+        Socket timeout for every shard connection; a stuck shard
+        surfaces as a ``shard_unavailable`` :class:`ServiceError`,
+        never a hang.
+    ring_seed / n_vnodes:
+        :class:`~repro.cluster.ring.HashRing` parameters.  Routing only
+        affects *which* shard accumulates a batch, never the merged
+        result — the merge algebra is partition-independent.
+    """
+
+    def __init__(
+        self,
+        addresses,
+        *,
+        timeout: float = 60.0,
+        ring_seed: int = 0,
+        n_vnodes: int | None = None,
+    ):
+        self.addresses = parse_cluster_addresses(addresses)
+        self.n_shards = len(self.addresses)
+        self.timeout = float(timeout)
+        self.ring = HashRing(
+            self.n_shards,
+            seed=int(ring_seed),
+            n_vnodes=int(n_vnodes) if n_vnodes else DEFAULT_VNODES,
+        )
+        self._connections: list[GatewayConnection] = []
+        self._rounds: dict[int, _ClusterRound] = {}
+        self._next_round_id = 0
+        try:
+            for shard, address in enumerate(self.addresses):
+                try:
+                    self._connections.append(
+                        GatewayConnection(address, timeout=self.timeout)
+                    )
+                except (OSError, EOFError) as exc:
+                    raise self._unavailable(shard, exc) from exc
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Shard plumbing
+    # ------------------------------------------------------------------ #
+    def _unavailable(self, shard: int, exc: BaseException) -> ServiceError:
+        return ServiceError(
+            f"shard {shard} ({self.addresses[shard]}) is unavailable: {exc!r}",
+            code="shard_unavailable",
+        )
+
+    def _on_shard(self, shard: int, fn, *args):
+        """Run one shard operation, mapping transport death to the
+        structured ``shard_unavailable`` code.  Service errors the shard
+        itself raises (the error-frame path) pass through untouched."""
+        try:
+            return fn(*args)
+        except (OSError, EOFError) as exc:
+            raise self._unavailable(shard, exc) from exc
+
+    def _round(self, round_id: int) -> _ClusterRound:
+        round_ = self._rounds.get(int(round_id))
+        if round_ is None:
+            raise ServiceError(
+                f"unknown cluster round id {round_id}", code="unknown_round"
+            )
+        if not round_.is_open:
+            raise ServiceError(
+                f"cluster round {round_id} is already finalized", code="round_closed"
+            )
+        return round_
+
+    # ------------------------------------------------------------------ #
+    # GatewayConnection surface
+    # ------------------------------------------------------------------ #
+    @property
+    def latencies(self) -> list[float]:
+        """Send→ack latencies across every shard connection."""
+        return [lat for conn in self._connections for lat in conn.latencies]
+
+    @property
+    def outstanding(self) -> int:
+        return sum(conn.outstanding for conn in self._connections)
+
+    def open_round(self, broadcast: RoundBroadcast) -> tuple[int, int]:
+        """Open one logical round: a physical sub-round on every shard.
+
+        Returns ``(round_id, broadcast_bits)`` where the bits are the
+        **canonical** broadcast encoding, counted once — the N physical
+        broadcasts are shard fan-out, i.e. transport.  Every shard must
+        account the broadcast at exactly the canonical size
+        (``shard_mismatch`` otherwise: a disagreeing shard would poison
+        bit-identity).
+        """
+        canonical_bits = wire_bits(encode_broadcast(broadcast))
+        shard_round_ids: list[int] = []
+        for shard, conn in enumerate(self._connections):
+            shard_round_id, shard_bits = self._on_shard(
+                shard, conn.open_round, broadcast
+            )
+            if shard_bits != canonical_bits:
+                raise ServiceError(
+                    f"shard {shard} ({self.addresses[shard]}) accounted the round "
+                    f"broadcast at {shard_bits} bits, the canonical encoding is "
+                    f"{canonical_bits} — bit-identity breach",
+                    code="shard_mismatch",
+                )
+            shard_round_ids.append(shard_round_id)
+        round_id = self._next_round_id
+        self._next_round_id += 1
+        self._rounds[round_id] = _ClusterRound(
+            round_id=round_id,
+            party=broadcast.party,
+            level=int(broadcast.level),
+            oracle_name=broadcast.oracle_name,
+            epsilon=float(broadcast.epsilon),
+            domain_size=int(broadcast.domain_size),
+            broadcast_bits=canonical_bits,
+            ring_version=self.ring.version,
+            shard_round_ids=shard_round_ids,
+        )
+        return round_id, canonical_bits
+
+    def send_batch(self, round_id: int, payload: bytes) -> int:
+        """Route one encoded report batch to its owning shard.
+
+        The routing key is ``(party:level:round, seq)`` — deterministic,
+        so a fixed-seed replay routes identically — and the owning shard
+        is the ring's assignment for the key's candidate slot.
+        """
+        round_ = self._round(round_id)
+        seq = round_.next_seq
+        round_.next_seq += 1
+        shard = self.ring.route_batch(
+            f"{round_.party}:{round_.level}:{round_.round_id}",
+            seq,
+            round_.domain_size,
+        )
+        self._on_shard(
+            shard,
+            self._connections[shard].send_batch,
+            round_.shard_round_ids[shard],
+            payload,
+        )
+        round_.n_batches += 1
+        round_.upload_bits += wire_bits(payload)
+        return seq
+
+    def drain(self) -> None:
+        """Block until every shard has acknowledged every pipelined batch."""
+        for shard, conn in enumerate(self._connections):
+            self._on_shard(shard, conn.drain)
+
+    def finalize(self, round_id: int) -> EstimationResult:
+        """The round-close barrier: collect, validate, merge, estimate once.
+
+        Drains and exports every shard's raw sub-round state, validates
+        each against the logical round (identity fields *and* the exact
+        batch/bit totals the coordinator accounted), merges the int64
+        counts with the commutative shard algebra, and produces the
+        estimate through :func:`~repro.service.server.finalize_estimate`
+        — the same call, on the same inputs, as a single server ingesting
+        the whole stream.
+        """
+        round_ = self._round(round_id)
+        if self.ring.version != round_.ring_version:
+            raise ServiceError(
+                f"cluster round {round_id} was opened under ring version "
+                f"{round_.ring_version}, the ring is now {self.ring.version} — "
+                "routing can no longer be trusted",
+                code="ring_version_mismatch",
+            )
+        # The barrier consumes the round: shard sub-rounds close as their
+        # states export, so a half-failed barrier must not be retried
+        # against already-released shards.
+        round_.is_open = False
+        states: list[ExportedShardState] = []
+        for shard, conn in enumerate(self._connections):
+            states.append(
+                self._on_shard(shard, conn.export_shard, round_.shard_round_ids[shard])
+            )
+        self._validate_states(round_, states)
+        oracle = make_oracle(round_.oracle_name, round_.epsilon)
+        counts = np.zeros(round_.domain_size, dtype=np.int64)
+        for state in states:
+            counts = oracle.merge_counts(counts, state.counts)
+        return finalize_estimate(
+            oracle,
+            counts,
+            sum(state.n_users for state in states),
+            round_.domain_size,
+            n_batches=round_.n_batches,
+            upload_bits=round_.upload_bits,
+            broadcast_bits=round_.broadcast_bits,
+        )
+
+    def _validate_states(
+        self, round_: _ClusterRound, states: list[ExportedShardState]
+    ) -> None:
+        for shard, state in enumerate(states):
+            for field_name, expected, got in (
+                ("party", round_.party, state.party),
+                ("level", round_.level, state.level),
+                ("oracle", round_.oracle_name, state.oracle_name),
+                ("epsilon", round_.epsilon, state.epsilon),
+                ("domain_size", round_.domain_size, state.domain_size),
+            ):
+                if got != expected:
+                    raise ServiceError(
+                        f"shard {shard} ({self.addresses[shard]}) exported "
+                        f"{field_name}={got!r} for round {round_.round_id}, "
+                        f"expected {expected!r}",
+                        code="shard_mismatch",
+                    )
+        total_batches = sum(state.n_batches for state in states)
+        if total_batches != round_.n_batches:
+            raise ServiceError(
+                f"shards ingested {total_batches} batches for round "
+                f"{round_.round_id}, the coordinator routed {round_.n_batches}",
+                code="shard_mismatch",
+            )
+        total_bits = sum(state.upload_bits for state in states)
+        if total_bits != round_.upload_bits:
+            raise ServiceError(
+                f"shards accounted {total_bits} upload bits for round "
+                f"{round_.round_id}, the coordinator sent {round_.upload_bits} "
+                "— bit-identity breach",
+                code="shard_mismatch",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Cluster management
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Aggregated accounting: summable counters plus per-shard detail.
+
+        ``upload_bits`` sums to the logical total (each batch lands on
+        exactly one shard); ``broadcast_bits`` is **physical** — every
+        shard broadcasts every round — so it is N× the logical figure.
+        """
+        shards = [
+            self._on_shard(shard, conn.stats)
+            for shard, conn in enumerate(self._connections)
+        ]
+        summed = {
+            key: sum(entry[key] for entry in shards)
+            for key in (
+                "upload_bits",
+                "broadcast_bits",
+                "rounds_opened",
+                "open_rounds",
+                "frames_rejected",
+            )
+            if all(key in entry for entry in shards)
+        }
+        return {"n_shards": self.n_shards, **summed, "shards": shards}
+
+    def shutdown_cluster(self) -> None:
+        """Gracefully stop every shard gateway (already-dead shards are
+        fine: shutting a cluster down twice should not fail)."""
+        for shard, conn in enumerate(self._connections):
+            try:
+                self._on_shard(shard, conn.shutdown_gateway)
+            except ServiceError as exc:
+                if exc.code != "shard_unavailable":
+                    raise
+
+    def close(self) -> None:
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def __enter__(self) -> "ClusterConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ClusterCoordinator(RemoteAggregationServer):
+    """An :class:`~repro.service.server.AggregationServer` backed by a cluster.
+
+    The server-protocol face of :class:`ClusterConnection` — everything
+    :class:`~repro.net.client.RemoteAggregationServer` does (client-side
+    wire-bit message log, lazy connection so instances pickle into
+    process-backend workers, canonical-bits verification at round open)
+    with the single-gateway connection swapped for the cluster one.
+    ``config.gateway`` holding a comma-separated shard list is what routes
+    a mechanism here (:meth:`repro.core.base.FederatedMechanism.
+    _make_round_runner`).
+    """
+
+    def __init__(
+        self,
+        addresses,
+        *,
+        timeout: float = 60.0,
+        ring_seed: int = 0,
+        n_vnodes: int | None = None,
+    ):
+        cluster = parse_cluster_addresses(addresses)
+        super().__init__(",".join(cluster), timeout=timeout)
+        self.shard_addresses = cluster
+        self.ring_seed = int(ring_seed)
+        self.n_vnodes = n_vnodes
+
+    def _connect(self) -> ClusterConnection:
+        return ClusterConnection(
+            self.shard_addresses,
+            timeout=self.timeout,
+            ring_seed=self.ring_seed,
+            n_vnodes=self.n_vnodes,
+        )
+
+    def shutdown_cluster(self) -> None:
+        """Gracefully stop every shard gateway, then drop the connection."""
+        conn = self._conn()
+        try:
+            conn.shutdown_cluster()
+        finally:
+            self.shutdown()
+
+
+def run_over_cluster(mechanism, dataset, addresses, rng=None):
+    """Re-run a federated mechanism over an N-shard gateway cluster.
+
+    The cluster twin of :func:`~repro.net.client.run_over_network` (which
+    it delegates to — a comma-separated gateway address *is* cluster
+    mode): for a fixed seed the result is bit-identical to single-gateway
+    and in-memory service runs.
+    """
+    from repro.net.client import run_over_network
+
+    return run_over_network(
+        mechanism, dataset, ",".join(parse_cluster_addresses(addresses)), rng
+    )

@@ -163,15 +163,25 @@ class FederatedMechanism(abc.ABC):
         server for a :class:`~repro.net.client.RemoteAggregationServer`
         speaking to ``config.gateway`` — one connection per party, opened
         lazily, so party tasks stay self-contained on any backend there
-        too.
+        too.  A **comma-separated** gateway address is a shard cluster:
+        the same seam hands the party a
+        :class:`~repro.cluster.coordinator.ClusterCoordinator` instead,
+        and nothing downstream can tell the difference (that is the
+        cluster's bit-identity contract).
         """
         if config.execution_mode == "network":
-            # Local import: the core layer must not require the network
+            # Local imports: the core layer must not require the network
             # runtime unless a run actually asks for it.
-            from repro.net.client import RemoteAggregationServer
+            if "," in str(config.gateway):
+                from repro.cluster.coordinator import ClusterCoordinator
 
+                server = ClusterCoordinator(config.gateway)
+            else:
+                from repro.net.client import RemoteAggregationServer
+
+                server = RemoteAggregationServer(config.gateway)
             return ServiceRoundRunner(
-                server=RemoteAggregationServer(config.gateway),
+                server=server,
                 party=party_name,
                 batch_size=config.effective_report_batch_size,
             )

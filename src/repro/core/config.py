@@ -98,7 +98,11 @@ class MechanismConfig:
     gateway:
         ``HOST:PORT`` of the aggregation gateway serving the rounds;
         required by (and only meaningful for)
-        ``execution_mode="network"``.
+        ``execution_mode="network"``.  A **comma-separated list** of
+        addresses names a shard cluster (:mod:`repro.cluster`): rounds
+        fan out over every shard through consistent-hash routing and
+        merge at the round-close barrier, still bit-identical to the
+        single-gateway run.
     report_batch_size:
         Upper bound on the number of reports perturbed/ingested at a time.
         ``None`` keeps the in-memory path one-shot and lets service runs

@@ -298,7 +298,12 @@ def save_spec(spec: SweepSpec, path: str | Path) -> Path:
 # Load-generation specs (the networked runtime's document schema)
 # --------------------------------------------------------------------------- #
 #: Top-level keys of a loadgen spec document.
-LOADGEN_KEYS: tuple[str, ...] = ("name", "gateway", "workload", "load")
+LOADGEN_KEYS: tuple[str, ...] = ("name", "gateway", "workload", "load", "cluster")
+
+#: ``cluster:`` keys — the sharded-cluster topology
+#: (:mod:`repro.cluster`): how many shard gateways ``repro cluster``
+#: launches and the hash-ring parameters every client must share.
+LOADGEN_CLUSTER_KEYS: tuple[str, ...] = ("shards", "host", "ring_seed", "n_vnodes")
 
 #: ``gateway:`` keys — constructor knobs of
 #: :class:`repro.net.gateway.AggregationGateway`.
@@ -335,6 +340,54 @@ LOADGEN_LOAD_KEYS: tuple[str, ...] = (
 
 
 @dataclass(frozen=True)
+class ClusterSpec:
+    """One validated ``cluster:`` section: shard topology + ring identity.
+
+    ``shards``/``host`` size the launcher
+    (:func:`repro.cluster.launcher.launch_cluster`); ``ring_seed`` /
+    ``n_vnodes`` parameterise the consistent-hash ring
+    (:class:`repro.cluster.ring.HashRing`) — part of the spec because
+    every client driving the same cluster must route with the same ring.
+    """
+
+    shards: int = 2
+    host: str = "127.0.0.1"
+    ring_seed: int = 0
+    n_vnodes: int | None = None
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, source: str = "<cluster>"
+    ) -> "ClusterSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"{source}: 'cluster' must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys(data, LOADGEN_CLUSTER_KEYS, where="cluster", source=source)
+        shards = data.get("shards", 2)
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise SpecError(f"{source}: cluster.shards must be an integer >= 1")
+        n_vnodes = data.get("n_vnodes")
+        if n_vnodes is not None and (
+            not isinstance(n_vnodes, int) or isinstance(n_vnodes, bool) or n_vnodes < 1
+        ):
+            raise SpecError(f"{source}: cluster.n_vnodes must be an integer >= 1")
+        host = data.get("host", "127.0.0.1")
+        if not isinstance(host, str) or not host:
+            raise SpecError(f"{source}: cluster.host must be a non-empty string")
+        ring_seed = data.get("ring_seed", 0)
+        if not isinstance(ring_seed, int) or isinstance(ring_seed, bool):
+            raise SpecError(f"{source}: cluster.ring_seed must be an integer")
+        return cls(shards=shards, host=host, ring_seed=ring_seed, n_vnodes=n_vnodes)
+
+    def to_dict(self) -> dict:
+        out = {"shards": self.shards, "host": self.host, "ring_seed": self.ring_seed}
+        if self.n_vnodes is not None:
+            out["n_vnodes"] = self.n_vnodes
+        return out
+
+
+@dataclass(frozen=True)
 class LoadgenSpec:
     """One validated load-generation document: gateway + workload + load.
 
@@ -349,6 +402,7 @@ class LoadgenSpec:
     workload: dict = field(default_factory=dict)
     load: dict = field(default_factory=dict)
     scenario: ScenarioSpec | None = None
+    cluster: ClusterSpec | None = None
     name: str = "loadgen"
 
     @classmethod
@@ -374,9 +428,17 @@ class LoadgenSpec:
                 scenario = ScenarioSpec.from_dict(scenario_data, source=source)
             except ScenarioError as exc:
                 raise SpecError(str(exc)) from exc
+        cluster = None
+        if data.get("cluster") is not None:
+            cluster = ClusterSpec.from_dict(data["cluster"], source=source)
         name = _spec_name(data, default="loadgen", source=source)
         return cls(
-            gateway=gateway, workload=workload, load=load, scenario=scenario, name=name
+            gateway=gateway,
+            workload=workload,
+            load=load,
+            scenario=scenario,
+            cluster=cluster,
+            name=name,
         )
 
     def to_dict(self) -> dict:
@@ -384,12 +446,15 @@ class LoadgenSpec:
         workload = dict(self.workload)
         if self.scenario is not None:
             workload["scenario"] = self.scenario.to_dict()
-        return {
+        out = {
             "name": self.name,
             "gateway": dict(self.gateway),
             "workload": workload,
             "load": dict(self.load),
         }
+        if self.cluster is not None:
+            out["cluster"] = self.cluster.to_dict()
+        return out
 
     def fingerprint(self) -> str:
         """Stable digest of the full document (results provenance token)."""
@@ -413,7 +478,18 @@ class LoadgenSpec:
         kwargs.update(self.load)
         if self.scenario is not None:
             kwargs["scenario"] = self.scenario
+        if self.cluster is not None:
+            # Clients driving a cluster must route with the spec's ring.
+            kwargs["ring_seed"] = self.cluster.ring_seed
+            if self.cluster.n_vnodes is not None:
+                kwargs["ring_vnodes"] = self.cluster.n_vnodes
         return kwargs
+
+    def cluster_kwargs(self) -> dict:
+        """Launcher keywords for :func:`repro.cluster.launcher.launch_cluster`."""
+        if self.cluster is None:
+            return {}
+        return {"n_shards": self.cluster.shards, "host": self.cluster.host}
 
 
 def load_loadgen_spec(path: str | Path) -> LoadgenSpec:

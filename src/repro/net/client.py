@@ -39,6 +39,7 @@ from repro.net.framing import (
     FRAME_HEADER_SIZE,
     FRAME_REPORT_BATCH,
     FRAME_ROUND_CONTROL,
+    FRAME_SHARD_STATE,
     Frame,
     FrameError,
     OversizeFrameError,
@@ -252,6 +253,33 @@ class GatewayConnection:
             )
         return estimate
 
+    def export_shard(self, round_id: int):
+        """Drain, close the round, and lift off its raw shard state.
+
+        The client half of the cluster's round-close barrier
+        (``{"op": "export_shard"}``): the round ends like
+        :meth:`finalize`, but the gateway answers with its **exact**
+        unestimated int64 counts
+        (:class:`~repro.service.server.ExportedShardState`) so a
+        coordinator can merge them across shards and estimate once.
+        """
+        self.drain()
+        self._send(
+            FRAME_ROUND_CONTROL,
+            framing.encode_control({"op": "export_shard", "round_id": int(round_id)}),
+        )
+        frame = self._next_message()
+        if frame.kind != FRAME_SHARD_STATE:
+            raise FrameError(
+                f"expected a shard-state frame, got frame kind {frame.kind}"
+            )
+        echoed, state = framing.decode_shard_state_frame(frame.body)
+        if echoed != int(round_id):
+            raise FrameError(
+                f"shard state answers round {echoed}, expected {round_id}"
+            )
+        return state
+
     def stats(self) -> dict:
         """The gateway's accounting/admission counters."""
         self.drain()
@@ -304,9 +332,15 @@ class RemoteAggregationServer:
         state["_connection"] = None  # sockets don't pickle; reconnect lazily
         return state
 
+    def _connect(self) -> GatewayConnection:
+        """Build the underlying connection; the cluster coordinator's
+        override is the only other implementation
+        (:class:`repro.cluster.coordinator.ClusterCoordinator`)."""
+        return GatewayConnection(self.address, timeout=self.timeout)
+
     def _conn(self) -> GatewayConnection:
         if self._connection is None:
-            self._connection = GatewayConnection(self.address, timeout=self.timeout)
+            self._connection = self._connect()
         return self._connection
 
     # ------------------------------------------------------------------ #

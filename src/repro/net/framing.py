@@ -20,7 +20,12 @@ and the body of each kind wraps the existing canonical codecs **unchanged**:
   (:func:`error_to_exception`);
 * ``FRAME_ESTIMATE`` — ``u32 round_id`` plus a lossless
   :class:`~repro.ldp.base.EstimationResult` encoding
-  (:func:`encode_estimate`), the finalize response.
+  (:func:`encode_estimate`), the finalize response;
+* ``FRAME_SHARD_STATE`` — ``u32 round_id`` plus a lossless
+  :class:`~repro.service.server.ExportedShardState` encoding
+  (:func:`encode_shard_state`): a shard gateway's raw, **unestimated**
+  accumulator counts, the coordinator's round-close barrier collects
+  one of these per shard and merges them before estimating once.
 
 Because the payload inside a frame is byte-for-byte what the in-memory
 service accounts, the frame header is pure transport: wire-bit totals of a
@@ -38,7 +43,11 @@ import numpy as np
 
 from repro.ldp.base import EstimationResult
 from repro.service.protocol import WireFormatError
-from repro.service.server import SERVICE_ERROR_CODES, ServiceError
+from repro.service.server import (
+    SERVICE_ERROR_CODES,
+    ExportedShardState,
+    ServiceError,
+)
 
 # --------------------------------------------------------------------------- #
 # Frame kinds
@@ -48,6 +57,7 @@ FRAME_REPORT_BATCH = 2
 FRAME_BROADCAST_REQUEST = 3
 FRAME_ERROR = 4
 FRAME_ESTIMATE = 5
+FRAME_SHARD_STATE = 6
 
 FRAME_KINDS: tuple[int, ...] = (
     FRAME_ROUND_CONTROL,
@@ -55,6 +65,7 @@ FRAME_KINDS: tuple[int, ...] = (
     FRAME_BROADCAST_REQUEST,
     FRAME_ERROR,
     FRAME_ESTIMATE,
+    FRAME_SHARD_STATE,
 )
 
 #: Default bound on one frame's body.  Generous for report batches (the
@@ -65,6 +76,7 @@ DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _HEADER = struct.Struct("<IB")
 _ESTIMATE_MAGIC = b"EST1"
+_SHARD_STATE_MAGIC = b"SHS1"
 
 
 class FrameError(WireFormatError):
@@ -325,3 +337,103 @@ def decode_estimate_frame(body: bytes) -> tuple[int, EstimationResult]:
         raise FrameError("estimate frame body misses its round id")
     (round_id,) = _ESTIMATE_PREFIX.unpack_from(body)
     return int(round_id), decode_estimate(body[_ESTIMATE_PREFIX.size :])
+
+
+# --------------------------------------------------------------------------- #
+# Shard-state frames (lossless ExportedShardState)
+# --------------------------------------------------------------------------- #
+def encode_shard_state(state: ExportedShardState) -> bytes:
+    """Serialise one shard's exported round state without losing a bit.
+
+    Mirrors :func:`encode_estimate`: scalar round metadata travels as a
+    canonical JSON header, the exact support counts as a raw
+    little-endian ``int64`` buffer.  Counts are integers (never
+    estimates), so merging decoded states on the coordinator is exact —
+    the property the cluster's bit-identity invariant rests on.
+    """
+    header = json.dumps(
+        {
+            "party": state.party,
+            "level": int(state.level),
+            "oracle": state.oracle_name,
+            "epsilon": float(state.epsilon),
+            "domain_size": int(state.domain_size),
+            "n_users": int(state.n_users),
+            "n_batches": int(state.n_batches),
+            "upload_bits": int(state.upload_bits),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    counts = np.ascontiguousarray(state.counts, dtype="<i8")
+    d = int(state.domain_size)
+    if counts.shape != (d,):
+        raise FrameError(
+            f"shard-state counts must have shape ({d},), got {counts.shape}"
+        )
+    return b"".join(
+        (
+            _SHARD_STATE_MAGIC,
+            _ESTIMATE_PREFIX.pack(len(header)),
+            header,
+            counts.tobytes(),
+        )
+    )
+
+
+def decode_shard_state(data: bytes) -> ExportedShardState:
+    """Reconstruct an :class:`~repro.service.server.ExportedShardState`."""
+    if data[:4] != _SHARD_STATE_MAGIC:
+        raise FrameError(
+            f"bad shard-state magic {data[:4]!r}, expected {_SHARD_STATE_MAGIC!r}"
+        )
+    try:
+        (header_len,) = _ESTIMATE_PREFIX.unpack_from(data, 4)
+    except struct.error as exc:
+        raise FrameError(f"shard-state header does not parse: {exc}") from exc
+    offset = 4 + _ESTIMATE_PREFIX.size
+    if offset + header_len > len(data):
+        raise FrameError("shard-state header overruns the buffer")
+    try:
+        header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+        party = str(header["party"])
+        level = int(header["level"])
+        oracle_name = header["oracle"]
+        epsilon = float(header["epsilon"])
+        domain_size = int(header["domain_size"])
+        n_users = int(header["n_users"])
+        n_batches = int(header["n_batches"])
+        upload_bits = int(header["upload_bits"])
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise FrameError(f"shard-state header is malformed: {exc!r}") from exc
+    offset += header_len
+    expected = offset + domain_size * 8
+    if len(data) != expected:
+        raise FrameError(
+            f"shard-state payload is {len(data)} bytes, expected {expected}"
+        )
+    counts = np.frombuffer(data, dtype="<i8", count=domain_size, offset=offset)
+    return ExportedShardState(
+        party=party,
+        level=level,
+        oracle_name=oracle_name,
+        epsilon=epsilon,
+        domain_size=domain_size,
+        n_users=n_users,
+        n_batches=n_batches,
+        upload_bits=upload_bits,
+        counts=counts.astype(np.int64),
+    )
+
+
+def encode_shard_state_frame(round_id: int, state: ExportedShardState) -> bytes:
+    """Body of a ``FRAME_SHARD_STATE``: the round id plus the encoded state."""
+    return _ESTIMATE_PREFIX.pack(round_id) + encode_shard_state(state)
+
+
+def decode_shard_state_frame(body: bytes) -> tuple[int, ExportedShardState]:
+    """``(round_id, state)`` of a shard-state frame body."""
+    if len(body) < _ESTIMATE_PREFIX.size:
+        raise FrameError("shard-state frame body misses its round id")
+    (round_id,) = _ESTIMATE_PREFIX.unpack_from(body)
+    return int(round_id), decode_shard_state(body[_ESTIMATE_PREFIX.size :])

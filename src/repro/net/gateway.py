@@ -532,6 +532,20 @@ class AggregationGateway:
                     framing.encode_estimate_frame(round_id, estimate),
                 )
                 return True
+            if op == "export_shard":
+                # The cluster coordinator's half of the round-close
+                # barrier: drain, close the round, and ship the raw
+                # (unestimated) accumulator state for cross-shard merge.
+                await state.drain_pending()
+                round_id = int(message["round_id"])
+                exported = await asyncio.get_running_loop().run_in_executor(
+                    self._accumulator, self.server.export_shard, round_id
+                )
+                await state.send(
+                    framing.FRAME_SHARD_STATE,
+                    framing.encode_shard_state_frame(round_id, exported),
+                )
+                return True
             if op == "stats":
                 await state.drain_pending()
                 # Through the accumulator like every other server access:

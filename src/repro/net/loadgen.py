@@ -57,6 +57,25 @@ class _PoolTask:
     users_per_round: int | None
     top: int
     timeout: float
+    ring_seed: int = 0
+    ring_vnodes: int | None = None
+
+
+def _open_connection(
+    address: str, *, timeout: float, ring_seed: int = 0, ring_vnodes: int | None = None
+):
+    """One client connection: a comma-separated address is a shard cluster.
+
+    Lazy cluster import — :mod:`repro.net` loads this module eagerly, and
+    the cluster layer sits on top of it, not under it.
+    """
+    if "," in str(address):
+        from repro.cluster.coordinator import ClusterConnection
+
+        return ClusterConnection(
+            address, timeout=timeout, ring_seed=ring_seed, n_vnodes=ring_vnodes
+        )
+    return GatewayConnection(str(address), timeout=timeout)
 
 
 def _drive_pool(task: _PoolTask, seed: int) -> dict:
@@ -66,7 +85,12 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
     round_seeds = spawn_seeds(np.random.default_rng(seed), task.rounds)
     n_reports = n_batches = upload_bits = broadcast_bits = 0
     top_prefixes: list[list] = []
-    connection = GatewayConnection(task.address, timeout=task.timeout)
+    connection = _open_connection(
+        task.address,
+        timeout=task.timeout,
+        ring_seed=task.ring_seed,
+        ring_vnodes=task.ring_vnodes,
+    )
     try:
         for round_seed in round_seeds:
             round_gen = np.random.default_rng(round_seed)
@@ -145,6 +169,7 @@ class LoadgenReport:
     rounds: int
     batch_size: int
     backend: str
+    shards: int
     elapsed_seconds: float
     n_reports: int
     n_batches: int
@@ -191,10 +216,11 @@ class LoadgenReport:
                     top,
                 ]
             )
+        cluster = f" shards={self.shards}" if self.shards > 1 else ""
         title = (
             f"loadgen: {self.workload} -> {self.address} "
             f"oracle={self.oracle} eps={self.epsilon:g} level={self.level} "
-            f"connections={self.connections} rounds={self.rounds} | "
+            f"connections={self.connections} rounds={self.rounds}{cluster} | "
             f"{self.reports_per_sec:,.0f} reports/s, "
             f"p99 {self.latency_ms['p99']:.1f} ms"
         )
@@ -221,13 +247,19 @@ def run_loadgen(
     seed: RandomState = 0,
     timeout: float = 120.0,
     include_gateway_stats: bool = True,
+    ring_seed: int = 0,
+    ring_vnodes: int | None = None,
 ) -> LoadgenReport:
     """Drive simulated client pools against a gateway; measure everything.
 
     Parameters
     ----------
     address:
-        ``HOST:PORT`` of a listening gateway.
+        ``HOST:PORT`` of a listening gateway — or a **comma-separated
+        list** of them, which drives a shard cluster: every pool gets a
+        :class:`~repro.cluster.coordinator.ClusterConnection` routing its
+        batches over the hash ring (``ring_seed`` / ``ring_vnodes``) and
+        merging at the round-close barrier.
     dataset / scale / dataset_seed:
         Registry dataset (name or a loaded
         :class:`~repro.datasets.base.FederatedDataset`) whose parties
@@ -311,9 +343,12 @@ def run_loadgen(
             users_per_round=users_per_round,
             top=int(top),
             timeout=float(timeout),
+            ring_seed=int(ring_seed),
+            ring_vnodes=ring_vnodes,
         )
         for name, items in pools
     ]
+    n_shards = str(address).count(",") + 1
 
     engine = get_backend(backend, max_workers)
     start = time.perf_counter()
@@ -325,7 +360,9 @@ def run_loadgen(
     all_latencies = [lat for r in results for lat in r["latencies"]]
     gateway_stats = None
     if include_gateway_stats:
-        with GatewayConnection(str(address), timeout=timeout) as probe:
+        with _open_connection(
+            address, timeout=timeout, ring_seed=ring_seed, ring_vnodes=ring_vnodes
+        ) as probe:
             gateway_stats = probe.stats()
     return LoadgenReport(
         address=str(address),
@@ -337,6 +374,7 @@ def run_loadgen(
         rounds=int(rounds),
         batch_size=int(batch_size),
         backend=engine.name,
+        shards=n_shards,
         elapsed_seconds=round(elapsed, 4),
         n_reports=n_reports,
         n_batches=sum(r["n_batches"] for r in results),

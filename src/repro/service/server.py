@@ -58,6 +58,10 @@ SERVICE_ERROR_CODES: tuple[str, ...] = (
     "bad_mode",          # the execution mode has no per-user reports
     "admission_rejected",  # the gateway's admission control refused the request
     "internal",          # unexpected server-side failure (bug, not protocol)
+    # Cross-shard failures (the cluster coordinator, repro.cluster):
+    "shard_mismatch",        # a shard's exported state disagrees with the round
+    "ring_version_mismatch",  # the hash ring changed while the round was open
+    "shard_unavailable",     # a shard gateway died or stopped answering
 )
 
 
@@ -78,6 +82,68 @@ class ServiceError(RuntimeError):
                 f"available: {sorted(SERVICE_ERROR_CODES)}"
             )
         self.code = code
+
+
+@dataclass(frozen=True)
+class ExportedShardState:
+    """One round's raw accumulator state, lifted off a shard gateway.
+
+    What the cluster coordinator collects at its round-close barrier:
+    the **exact** ``O(domain_size)`` int64 support counts plus the round
+    identity needed to validate the merge (estimation is nonlinear, so
+    shards must never estimate — the coordinator merges counts with the
+    :class:`~repro.service.shards.LevelShard` algebra and estimates
+    once).  Travels as a ``FRAME_SHARD_STATE``
+    (:func:`repro.net.framing.encode_shard_state`).
+    """
+
+    party: str
+    level: int
+    oracle_name: str
+    epsilon: float
+    domain_size: int
+    n_users: int
+    n_batches: int
+    upload_bits: int
+    counts: np.ndarray
+
+
+def finalize_estimate(
+    oracle: FrequencyOracle,
+    counts: np.ndarray,
+    n_users: int,
+    domain_size: int,
+    *,
+    n_batches: int,
+    upload_bits: int,
+    broadcast_bits: int,
+) -> EstimationResult:
+    """Estimate a finished round from its exact support counts.
+
+    The one shared finalisation path: :meth:`AggregationServer.
+    finalize_round` and the cluster coordinator's cross-shard merge both
+    call it, which is what makes an N-shard round *bit-identical* to the
+    single-server round over the same counts — identical numpy calls on
+    identical int64 inputs, identical metadata.
+    """
+    n = int(n_users)
+    est_counts = oracle.estimate_counts(counts, n, domain_size)
+    est_freqs = est_counts / n if n else np.zeros_like(est_counts)
+    return EstimationResult(
+        support_counts=np.asarray(counts, dtype=np.int64),
+        estimated_counts=est_counts,
+        estimated_frequencies=est_freqs,
+        n_users=n,
+        domain_size=int(domain_size),
+        oracle_name=oracle.name,
+        epsilon=oracle.epsilon,
+        metadata={
+            "execution": "service",
+            "n_batches": int(n_batches),
+            "upload_bits": int(upload_bits),
+            "broadcast_bits": int(broadcast_bits),
+        },
+    )
 
 
 @dataclass
@@ -406,24 +472,40 @@ class AggregationServer:
         round_.is_open = False
         shard = round_.shard
         round_.shard = None
-        n = shard.n_users
-        oracle = round_.oracle
-        est_counts = oracle.estimate_counts(shard.counts, n, round_.domain_size)
-        est_freqs = est_counts / n if n else np.zeros_like(est_counts)
-        return EstimationResult(
-            support_counts=np.asarray(shard.counts, dtype=np.int64),
-            estimated_counts=est_counts,
-            estimated_frequencies=est_freqs,
-            n_users=n,
+        return finalize_estimate(
+            round_.oracle,
+            shard.counts,
+            shard.n_users,
+            round_.domain_size,
+            n_batches=round_.n_batches,
+            upload_bits=round_.upload_bits,
+            broadcast_bits=round_.broadcast_bits,
+        )
+
+    def export_shard(self, round_id: int) -> ExportedShardState:
+        """Close a round and hand over its raw shard state, **unestimated**.
+
+        The shard-gateway half of the cluster's round-close barrier
+        (``{"op": "export_shard"}`` on the wire): the round ends exactly
+        like :meth:`finalize_round` — closed, shard released — but the
+        exact int64 counts leave the server instead of an estimate, so a
+        coordinator can merge them with other shards' states and
+        estimate once over the cluster-wide counts.
+        """
+        round_ = self._round(round_id)
+        round_.is_open = False
+        shard = round_.shard
+        round_.shard = None
+        return ExportedShardState(
+            party=round_.party,
+            level=round_.level,
+            oracle_name=round_.oracle.name,
+            epsilon=round_.oracle.epsilon,
             domain_size=round_.domain_size,
-            oracle_name=oracle.name,
-            epsilon=oracle.epsilon,
-            metadata={
-                "execution": "service",
-                "n_batches": round_.n_batches,
-                "upload_bits": round_.upload_bits,
-                "broadcast_bits": round_.broadcast_bits,
-            },
+            n_users=shard.n_users,
+            n_batches=round_.n_batches,
+            upload_bits=round_.upload_bits,
+            counts=np.asarray(shard.counts, dtype=np.int64),
         )
 
     # ------------------------------------------------------------------ #

@@ -16,7 +16,11 @@ from repro.net.framing import (
     OversizeFrameError,
 )
 from repro.service.protocol import WireFormatError
-from repro.service.server import SERVICE_ERROR_CODES, ServiceError
+from repro.service.server import (
+    SERVICE_ERROR_CODES,
+    ExportedShardState,
+    ServiceError,
+)
 
 
 class TestFrameHeader:
@@ -156,3 +160,61 @@ class TestEstimateCodec:
     def test_bad_magic(self):
         with pytest.raises(FrameError, match="magic"):
             framing.decode_estimate(b"NOPE" + b"\x00" * 32)
+
+
+def _shard_state(domain_size: int = 13) -> ExportedShardState:
+    gen = np.random.default_rng(7)
+    return ExportedShardState(
+        party="alpha",
+        level=4,
+        oracle_name="olh",
+        epsilon=2.5,
+        domain_size=domain_size,
+        n_users=321,
+        n_batches=6,
+        upload_bits=98_765,
+        counts=gen.integers(0, 10_000, size=domain_size, dtype=np.int64),
+    )
+
+
+class TestShardStateCodec:
+    def test_lossless_round_trip(self):
+        original = _shard_state()
+        decoded = framing.decode_shard_state(framing.encode_shard_state(original))
+        assert decoded.counts.dtype == np.int64
+        np.testing.assert_array_equal(decoded.counts, original.counts)
+        for field_name in (
+            "party", "level", "oracle_name", "epsilon",
+            "domain_size", "n_users", "n_batches", "upload_bits",
+        ):
+            assert getattr(decoded, field_name) == getattr(original, field_name)
+
+    def test_shard_state_frame_round_trip(self):
+        body = framing.encode_shard_state_frame(23, _shard_state())
+        round_id, decoded = framing.decode_shard_state_frame(body)
+        assert round_id == 23 and decoded.n_users == 321
+
+    def test_counts_shape_must_match_domain(self):
+        state = _shard_state()
+        lying = ExportedShardState(
+            **{**state.__dict__, "counts": state.counts[:-1]}
+        )
+        with pytest.raises(FrameError, match="shape"):
+            framing.encode_shard_state(lying)
+
+    def test_truncations_raise_frame_errors(self):
+        data = framing.encode_shard_state(_shard_state())
+        for cut in (0, 2, 4, 7, 20, len(data) - 1):
+            with pytest.raises(FrameError):
+                framing.decode_shard_state(data[:cut])
+        # Extra trailing bytes are as suspect as missing ones.
+        with pytest.raises(FrameError, match="expected"):
+            framing.decode_shard_state(data + b"\x00")
+
+    def test_bad_magic(self):
+        with pytest.raises(FrameError, match="magic"):
+            framing.decode_shard_state(b"NOPE" + b"\x00" * 32)
+
+    def test_frame_body_missing_round_id(self):
+        with pytest.raises(FrameError, match="round id"):
+            framing.decode_shard_state_frame(b"\x01")
