@@ -55,6 +55,8 @@ _FLAG_PARAMS: tuple[tuple[str, str, object], ...] = (
     ("backend", "backend", None),
     ("workers", "max_workers", None),
     ("rng", "seed", 0),
+    ("retries", "retries", 0),
+    ("timeout", "timeout", 120.0),
 )
 
 
@@ -103,6 +105,24 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
     )
     parser.add_argument("--rng", type=int, default=None,
                         help="run seed for report perturbation (default: 0)")
+    parser.add_argument(
+        "--faults", default=None, metavar="FILE",
+        help="chaos mode: fault profile or chain (YAML/JSON, see "
+             "docs/faults.md) applied by a fault proxy in front of every "
+             "shard gateway; wins over a spec's faults block",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help="per-round retry budget for fault-shaped failures; a round "
+             "that fails is replayed from its own seed on a fresh "
+             "connection (default: 0)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket timeout in seconds — the bound on any single stall, "
+             "so chaos runs (--faults) fail over to their retries fast "
+             "(default: 120)",
+    )
     parser.add_argument(
         "--shutdown", action="store_true",
         help="send the gateway a shutdown frame after the run "
@@ -155,6 +175,13 @@ def cmd(args: argparse.Namespace) -> int:
         except SpecError as exc:
             raise CLIError(str(exc)) from exc
     params = _resolve_params(args, spec)
+    if args.faults is not None:
+        from repro.faults.profile import FaultSpecError, load_fault_profile
+
+        try:
+            params["faults"] = load_fault_profile(args.faults)
+        except FaultSpecError as exc:
+            raise CLIError(str(exc)) from exc
     scenario = spec.scenario if spec is not None else None
     if args.scenario is not None:
         try:

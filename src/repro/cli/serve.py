@@ -100,6 +100,21 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="overwrite an existing --store file",
     )
+    scenario.add_argument(
+        "--defense", default=None, metavar="KIND",
+        help="robust shard-merge policy for the tracker's aggregation "
+             "passes: trimmed/norm_bound (scenario mode; default: off)",
+    )
+    scenario.add_argument(
+        "--defense-fraction", type=float, default=0.25,
+        help="assumed corrupt fraction of wire batches for --defense "
+             "(scenario mode; default: 0.25)",
+    )
+    scenario.add_argument(
+        "--report-batch-size", type=int, default=None,
+        help="reports per wire batch in the tracker's service passes — "
+             "the defense's aggregation sources (scenario mode)",
+    )
     listen = parser.add_argument_group("network gateway")
     listen.add_argument(
         "--listen", default=None, metavar="HOST:PORT",
@@ -156,6 +171,7 @@ RAW_ONLY_FLAGS: tuple[str, ...] = (
 )
 SCENARIO_ONLY_FLAGS: tuple[str, ...] = (
     "granularity", "window", "stride", "detection_recall", "store", "force",
+    "defense", "defense_fraction", "report_batch_size",
 )
 LISTEN_ONLY_FLAGS: tuple[str, ...] = (
     "ready_file", "spec", "credits", "max_inflight", "max_frame_bytes",
@@ -208,6 +224,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             detection_recall=args.detection_recall,
             backend=args.backend,
             max_workers=args.workers,
+            defense=args.defense,
+            defense_fraction=args.defense_fraction,
+            report_batch_size=args.report_batch_size,
         )
     except (StoreError, ValueError) as exc:
         # A store that never received a record (the run failed before any

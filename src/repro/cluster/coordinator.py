@@ -116,6 +116,13 @@ class ClusterConnection:
         Socket timeout for every shard connection; a stuck shard
         surfaces as a ``shard_unavailable`` :class:`ServiceError`,
         never a hang.
+    op_timeout:
+        Per-operation deadline shared by all reads of one shard
+        operation (see :class:`~repro.net.client.GatewayConnection`).
+        Without it a *straggling* (not dead) shard that trickles one
+        frame per ``timeout - ε`` stretches the finalize barrier by its
+        full drain; with it the barrier raises ``shard_unavailable``
+        after at most ``op_timeout`` per shard.
     ring_seed / n_vnodes:
         :class:`~repro.cluster.ring.HashRing` parameters.  Routing only
         affects *which* shard accumulates a batch, never the merged
@@ -127,12 +134,14 @@ class ClusterConnection:
         addresses,
         *,
         timeout: float = 60.0,
+        op_timeout: float | None = None,
         ring_seed: int = 0,
         n_vnodes: int | None = None,
     ):
         self.addresses = parse_cluster_addresses(addresses)
         self.n_shards = len(self.addresses)
         self.timeout = float(timeout)
+        self.op_timeout = None if op_timeout is None else float(op_timeout)
         self.ring = HashRing(
             self.n_shards,
             seed=int(ring_seed),
@@ -145,7 +154,11 @@ class ClusterConnection:
             for shard, address in enumerate(self.addresses):
                 try:
                     self._connections.append(
-                        GatewayConnection(address, timeout=self.timeout)
+                        GatewayConnection(
+                            address,
+                            timeout=self.timeout,
+                            op_timeout=self.op_timeout,
+                        )
                     )
                 except (OSError, EOFError) as exc:
                     raise self._unavailable(shard, exc) from exc
@@ -249,12 +262,26 @@ class ClusterConnection:
             seq,
             round_.domain_size,
         )
-        self._on_shard(
-            shard,
-            self._connections[shard].send_batch,
-            round_.shard_round_ids[shard],
-            payload,
-        )
+        try:
+            self._on_shard(
+                shard,
+                self._connections[shard].send_batch,
+                round_.shard_round_ids[shard],
+                payload,
+            )
+        except BaseException:
+            # A shard error mid-pipelined-upload can arrive as an error
+            # frame interleaved with earlier batches' acks — by the time
+            # it surfaces here, how many of this connection's in-flight
+            # batches the shard ingested is unknowable, so the logical
+            # round's accounting can no longer be validated.  Close the
+            # round explicitly: a later finalize reports the structured
+            # ``round_closed`` instead of a misleading ``shard_mismatch``
+            # from totals this failure skewed.
+            round_.is_open = False
+            raise
+        # Counters only move once the shard accepted the send: an
+        # unsent batch must not inflate the totals the barrier validates.
         round_.n_batches += 1
         round_.upload_bits += wire_bits(payload)
         return seq
@@ -410,12 +437,14 @@ class ClusterCoordinator(RemoteAggregationServer):
         addresses,
         *,
         timeout: float = 60.0,
+        op_timeout: float | None = None,
         ring_seed: int = 0,
         n_vnodes: int | None = None,
     ):
         cluster = parse_cluster_addresses(addresses)
         super().__init__(",".join(cluster), timeout=timeout)
         self.shard_addresses = cluster
+        self.op_timeout = None if op_timeout is None else float(op_timeout)
         self.ring_seed = int(ring_seed)
         self.n_vnodes = n_vnodes
 
@@ -423,6 +452,7 @@ class ClusterCoordinator(RemoteAggregationServer):
         return ClusterConnection(
             self.shard_addresses,
             timeout=self.timeout,
+            op_timeout=self.op_timeout,
             ring_seed=self.ring_seed,
             n_vnodes=self.n_vnodes,
         )

@@ -110,6 +110,17 @@ class MechanismConfig:
         report buffer becomes ``O(batch × domain)``); it changes how the
         RNG stream is split across draws, so runs with different batch
         sizes are identically distributed but not bit-identical.
+    defense:
+        Robust shard-merge policy name (``"trimmed"`` or ``"norm_bound"``,
+        see :mod:`repro.faults.defense`) applied by the aggregation
+        service when accumulating report batches; ``None`` (default)
+        keeps the exact linear merge.  Opt-in precisely because a robust
+        merge departs from the plain-sum bit-identity contract — use it
+        when scoring adversarial scenarios
+        (:mod:`repro.scenarios.adversaries`).
+    defense_fraction:
+        Assumed corrupt fraction of wire batches for the defense (the
+        trim share per tail / the clipping headroom).
     backend / max_workers:
         Execution backend for the mechanism's independent party tasks
         (``"serial"``, ``"thread"`` or ``"process"``, see
@@ -149,6 +160,8 @@ class MechanismConfig:
     min_validation_users: int = 30
     execution_mode: str = "memory"
     report_batch_size: Optional[int] = None
+    defense: Optional[str] = None
+    defense_fraction: float = 0.25
     backend: str = "serial"
     max_workers: Optional[int] = None
     gateway: Optional[str] = None
@@ -183,6 +196,10 @@ class MechanismConfig:
             )
         if self.report_batch_size is not None:
             check_positive("report_batch_size", self.report_batch_size)
+        if self.defense is not None:
+            # Building the policy runs the full defense validation (kind
+            # and fraction) at configuration time, not mid-round.
+            self.defense_policy()
         if (
             self.execution_mode in ("service", "network")
             and self.simulation_mode != "per_user"
@@ -246,6 +263,18 @@ class MechanismConfig:
         """Instantiate the configured frequency oracle."""
         return make_oracle(self.oracle, self.epsilon)
 
+    def defense_policy(self):
+        """The configured robust-merge policy, or ``None`` when undefended.
+
+        Imported lazily: the faults package is only a dependency of
+        defended configurations.
+        """
+        if self.defense is None:
+            return None
+        from repro.faults.defense import RobustMergePolicy
+
+        return RobustMergePolicy(kind=self.defense, fraction=self.defense_fraction)
+
     def make_backend(self):
         """Instantiate the configured execution backend (see :mod:`repro.engine`)."""
         return get_backend(self.backend, self.max_workers)
@@ -274,6 +303,11 @@ class MechanismConfig:
         """
         out = {}
         for f in dataclasses.fields(self):
+            # Undefended configs omit the defense knobs entirely, keeping
+            # their spec documents (and store fingerprints) identical to
+            # those written before the defense existed.
+            if f.name in ("defense", "defense_fraction") and self.defense is None:
+                continue
             value = getattr(self, f.name)
             if isinstance(value, enum.Enum):
                 value = value.value

@@ -298,7 +298,14 @@ def save_spec(spec: SweepSpec, path: str | Path) -> Path:
 # Load-generation specs (the networked runtime's document schema)
 # --------------------------------------------------------------------------- #
 #: Top-level keys of a loadgen spec document.
-LOADGEN_KEYS: tuple[str, ...] = ("name", "gateway", "workload", "load", "cluster")
+LOADGEN_KEYS: tuple[str, ...] = (
+    "name",
+    "gateway",
+    "workload",
+    "load",
+    "cluster",
+    "faults",
+)
 
 #: ``cluster:`` keys — the sharded-cluster topology
 #: (:mod:`repro.cluster`): how many shard gateways ``repro cluster``
@@ -336,6 +343,8 @@ LOADGEN_LOAD_KEYS: tuple[str, ...] = (
     "backend",
     "max_workers",
     "seed",
+    "retries",
+    "timeout",
 )
 
 
@@ -403,6 +412,9 @@ class LoadgenSpec:
     load: dict = field(default_factory=dict)
     scenario: ScenarioSpec | None = None
     cluster: ClusterSpec | None = None
+    #: Parsed ``faults:`` block — a FaultProfile or FaultChain the run
+    #: interposes between clients and every shard gateway.
+    faults: Any = None
     name: str = "loadgen"
 
     @classmethod
@@ -431,6 +443,14 @@ class LoadgenSpec:
         cluster = None
         if data.get("cluster") is not None:
             cluster = ClusterSpec.from_dict(data["cluster"], source=source)
+        faults = None
+        if data.get("faults") is not None:
+            from repro.faults.profile import FaultSpecError, fault_profile_from_dict
+
+            try:
+                faults = fault_profile_from_dict(data["faults"], source=source)
+            except FaultSpecError as exc:
+                raise SpecError(str(exc)) from exc
         name = _spec_name(data, default="loadgen", source=source)
         return cls(
             gateway=gateway,
@@ -438,6 +458,7 @@ class LoadgenSpec:
             load=load,
             scenario=scenario,
             cluster=cluster,
+            faults=faults,
             name=name,
         )
 
@@ -454,6 +475,8 @@ class LoadgenSpec:
         }
         if self.cluster is not None:
             out["cluster"] = self.cluster.to_dict()
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
         return out
 
     def fingerprint(self) -> str:
@@ -483,6 +506,8 @@ class LoadgenSpec:
             kwargs["ring_seed"] = self.cluster.ring_seed
             if self.cluster.n_vnodes is not None:
                 kwargs["ring_vnodes"] = self.cluster.n_vnodes
+        if self.faults is not None:
+            kwargs["faults"] = self.faults
         return kwargs
 
     def cluster_kwargs(self) -> dict:

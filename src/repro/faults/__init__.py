@@ -1,0 +1,46 @@
+"""Fault & adversary lab: chaos proxy, fault profiles, robust aggregation.
+
+Three seams, one package:
+
+* :mod:`repro.faults.profile` — declarative, seed-deterministic fault
+  schedules (:class:`FaultProfile`) that compose associatively into
+  :class:`FaultChain` layers.
+* :mod:`repro.faults.proxy` — :class:`FaultProxy`, a frame-aware TCP
+  proxy that applies a profile between any client and any gateway or
+  cluster shard.
+* :mod:`repro.faults.defense` — :class:`RobustMergePolicy`, the opt-in
+  trimmed / norm-bounded shard merge scored against the adversarial
+  client models in :mod:`repro.scenarios.adversaries`.
+"""
+
+from repro.faults.defense import DEFENSE_KINDS, RobustMergePolicy
+from repro.faults.profile import (
+    DIRECTIONS,
+    FAULT_ACTIONS,
+    FaultChain,
+    FaultProfile,
+    FaultSpecError,
+    FrameDecision,
+    as_chain,
+    compose,
+    fault_profile_from_dict,
+    load_fault_profile,
+)
+from repro.faults.proxy import FaultProxy, parse_proxy_target
+
+__all__ = [
+    "DEFENSE_KINDS",
+    "DIRECTIONS",
+    "FAULT_ACTIONS",
+    "FaultChain",
+    "FaultProfile",
+    "FaultProxy",
+    "FaultSpecError",
+    "FrameDecision",
+    "RobustMergePolicy",
+    "as_chain",
+    "compose",
+    "fault_profile_from_dict",
+    "load_fault_profile",
+    "parse_proxy_target",
+]

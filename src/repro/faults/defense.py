@@ -1,0 +1,151 @@
+"""Robust shard aggregation: trimmed / norm-bounded merges of batch counts.
+
+The aggregation service sums per-batch support counts — a linear merge a
+single colluding coalition can dominate by concentrating its reports on a
+target candidate.  :class:`RobustMergePolicy` replaces the plain sum with
+one of the classic Byzantine-tolerant estimators over the round's *wire
+batches* (each batch is one aggregation source):
+
+* ``trimmed`` — per candidate, drop the sources with the highest and
+  lowest support **rates** (count / batch size) before summing, the
+  coordinate-wise trimmed mean rescaled back to the full population.
+  An f-tolerant merge in the approximate-agreement sense: any coalition
+  confined to at most a ``fraction`` of the sources is removed entirely.
+* ``norm_bound`` — cap every source's per-candidate support rate at the
+  coordinate-wise median rate across sources, scaled by ``1 +
+  fraction`` — contributions consistent with the honest majority pass
+  untouched, outliers are clipped to it.
+
+Both are deterministic pure-numpy transforms of the ``(counts, n_users)``
+pairs the shard already stores, so a defended merge is exactly
+reproducible; and both return **integer** counts (floor), so the defended
+path stays inside the exact int64 algebra the service accounts.
+
+Deliberately import-light: the service shard layer consumes the policy
+duck-typed (``repro.service.shards`` must not import the faults package —
+the proxy half imports the net stack, which imports the service).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_known_keys, check_positive, check_probability
+
+#: Robust merge estimators a policy can name.
+DEFENSE_KINDS: tuple[str, ...] = ("trimmed", "norm_bound")
+
+
+@dataclass(frozen=True)
+class RobustMergePolicy:
+    """How a shard turns its per-batch counts into round counts.
+
+    Parameters
+    ----------
+    kind:
+        ``"trimmed"`` or ``"norm_bound"`` (see module docstring).
+    fraction:
+        Assumed corrupt fraction of sources: the trim share per tail, or
+        the clipping headroom over the median rate.
+    min_sources:
+        Below this many sources the policy falls back to the plain sum —
+        trimming two of three batches is not a defense, it is noise.
+    """
+
+    kind: str = "trimmed"
+    fraction: float = 0.25
+    min_sources: int = 4
+
+    _FIELDS: ClassVar[tuple[str, ...]] = ("kind", "fraction", "min_sources")
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEFENSE_KINDS:
+            raise ValueError(
+                f"unknown defense kind {self.kind!r}; available: {sorted(DEFENSE_KINDS)}"
+            )
+        check_probability("fraction", self.fraction)
+        if self.fraction == 0.0:
+            raise ValueError("fraction must be > 0 (a zero-trim defense is the plain sum)")
+        if self.fraction >= 0.5:
+            raise ValueError(
+                f"fraction must be < 0.5 (cannot trim a majority), got {self.fraction}"
+            )
+        check_positive("min_sources", self.min_sources)
+
+    # ------------------------------------------------------------------ #
+    # The robust aggregation itself
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        batch_counts: Sequence[np.ndarray],
+        batch_users: Sequence[int],
+        domain_size: int,
+    ) -> np.ndarray:
+        """Robustly merge per-source support counts into int64 round counts.
+
+        ``batch_counts[i]`` are source ``i``'s exact support counts over
+        ``domain_size`` candidates; ``batch_users[i]`` its report count.
+        Deterministic, and exactly the plain sum when there are fewer
+        than ``min_sources`` sources or every source is empty.
+        """
+        if len(batch_counts) != len(batch_users):
+            raise ValueError(
+                f"{len(batch_counts)} count vectors vs {len(batch_users)} sizes"
+            )
+        if not batch_counts:
+            return np.zeros(int(domain_size), dtype=np.int64)
+        counts = np.vstack([np.asarray(c, dtype=np.int64) for c in batch_counts])
+        users = np.asarray(batch_users, dtype=np.int64)
+        if counts.shape[1] != int(domain_size):
+            raise ValueError(
+                f"count vectors have {counts.shape[1]} candidates, expected {domain_size}"
+            )
+        total_users = int(users.sum())
+        plain = counts.sum(axis=0, dtype=np.int64)
+        live = users > 0
+        if int(live.sum()) < self.min_sources or total_users == 0:
+            return plain
+        rates = counts[live].astype(np.float64) / users[live, None].astype(np.float64)
+        if self.kind == "trimmed":
+            merged_rates = self._trimmed(rates)
+        else:
+            merged_rates = self._norm_bound(rates)
+        # Rescale the robust mean rate back to the full population and
+        # floor to stay in the integer algebra downstream estimation
+        # expects.  (A defense is opt-in precisely because this departs
+        # from the exact-sum bit-identity contract of the default path.)
+        return np.floor(merged_rates * total_users).astype(np.int64)
+
+    def _trimmed(self, rates: np.ndarray) -> np.ndarray:
+        n_sources = rates.shape[0]
+        n_trim = int(np.ceil(self.fraction * n_sources))
+        n_trim = min(n_trim, (n_sources - 1) // 2)
+        if n_trim == 0:
+            return rates.mean(axis=0)
+        ordered = np.sort(rates, axis=0)
+        return ordered[n_trim : n_sources - n_trim].mean(axis=0)
+
+    def _norm_bound(self, rates: np.ndarray) -> np.ndarray:
+        bound = np.median(rates, axis=0) * (1.0 + self.fraction)
+        return np.minimum(rates, bound[None, :]).mean(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Document round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, source: str = "<defense>"
+    ) -> "RobustMergePolicy":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"{source}: a defense policy must be a mapping, got {type(data).__name__}"
+            )
+        check_known_keys(data, cls._FIELDS, where="defense", source=source)
+        return cls(**dict(data))

@@ -1,0 +1,424 @@
+"""Declarative, seed-deterministic fault profiles for the chaos proxy.
+
+A :class:`FaultProfile` describes *which* transport faults hit *which*
+frames — drops, duplicates, reorders, byte corruption, truncation,
+mid-round disconnects, latency injection with stragglers, and slow-loris
+trickle writes — as a pure function of ``(seed, connection, frame,
+direction)``.  Nothing here touches a socket: the profile only *decides*
+(:meth:`FaultProfile.decide`), and :class:`repro.faults.proxy.FaultProxy`
+applies the decisions to a live byte stream.
+
+Two properties make fault runs testable rather than merely destructive:
+
+* **Seed determinism** — every decision comes from a keyed blake2b hash of
+  the profile seed and the frame coordinates, so the same profile replays
+  the same fault schedule frame for frame (``tests/test_faults_profile.py``
+  pins this with hypothesis).
+* **Exact composition** — profiles compose into a :class:`FaultChain`
+  whose layers apply in order; :func:`compose` flattens nested chains, so
+  composition is associative *as data*: ``compose(a, compose(b, c)) ==
+  compose(compose(a, b), c)``, and therefore schedules compose
+  associatively too.
+
+``max_faults`` bounds how many fault events a profile may inject per proxy
+lifetime, which is what lets the chaos matrix assert *bit-identical after
+retry*: once the budget is spent the stream is clean, so a deterministic
+client replay converges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, ClassVar, Mapping
+
+from repro.utils.validation import check_known_keys, check_positive, check_probability
+
+
+class FaultSpecError(ValueError):
+    """A fault profile description is malformed; the message names why."""
+
+
+#: Frame directions a profile can restrict itself to.
+DIRECTIONS: tuple[str, ...] = ("up", "down", "both")
+
+#: The fault actions a profile schedules (order = application order).
+FAULT_ACTIONS: tuple[str, ...] = (
+    "disconnect",
+    "drop",
+    "truncate",
+    "corrupt",
+    "duplicate",
+    "reorder",
+    "straggle",
+)
+
+
+def _unit(seed: int, connection: int, frame: int, direction: str, action: str) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one (frame, action) cell.
+
+    A keyed hash, not an RNG stream: decisions for frame ``t`` never depend
+    on how many earlier frames were inspected, so the schedule is stable
+    under retries, reconnects, and chain re-ordering of *other* actions.
+    """
+    key = f"{seed}:{connection}:{frame}:{direction}:{action}".encode("utf-8")
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FrameDecision:
+    """What a profile wants done to one frame (before any budget check)."""
+
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    corrupt: bool = False
+    truncate: bool = False
+    disconnect: bool = False
+    straggle: bool = False
+    #: Position of the corrupted byte as a fraction of the eligible span.
+    corrupt_unit: float = 0.0
+    #: XOR mask applied to the corrupted byte (never 0: always a real flip).
+    corrupt_xor: int = 1
+    #: Fraction of the body retained when truncating.
+    truncate_unit: float = 0.0
+
+    @property
+    def any_fault(self) -> bool:
+        return (
+            self.drop
+            or self.duplicate
+            or self.reorder
+            or self.corrupt
+            or self.truncate
+            or self.disconnect
+            or self.straggle
+        )
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """One declarative fault layer.
+
+    Parameters
+    ----------
+    seed:
+        Root of the deterministic fault schedule.
+    direction:
+        Which half of the duplex stream the layer touches: ``"up"``
+        (client → gateway), ``"down"`` (gateway → client) or ``"both"``.
+    drop / duplicate / reorder / corrupt / truncate / disconnect / straggle:
+        Per-frame probabilities of each fault action.  ``corrupt`` flips
+        one body byte (never the frame header — a corrupted length prefix
+        would desynchronise the stream, which is a different fault:
+        ``truncate``).  ``truncate`` forwards a partial body and closes
+        the connection.  ``disconnect`` closes mid-stream without
+        forwarding.  ``straggle`` sleeps ``straggle_ms`` before
+        forwarding — the straggler model.
+    delay_ms:
+        Constant per-frame forwarding delay (plain latency injection;
+        not counted against ``max_faults`` because it cannot change
+        results, only timings).
+    straggle_ms:
+        Extra delay when a straggle event fires.
+    bytes_per_sec:
+        Slow-loris mode: forward matching frames in small chunks at this
+        byte rate instead of one write.
+    corrupt_window:
+        Restrict the corrupted byte to the first ``corrupt_window`` body
+        bytes (``None``: anywhere in the body).  Useful to target frame
+        *routing* fields, whose corruption is always protocol-visible.
+    kinds:
+        Frame kinds the layer applies to (``None``: all).
+    ops:
+        For control frames only: restrict to these control ``op`` values
+        (e.g. ``("batch_ack",)``).  Non-control frames don't match when
+        ``ops`` is set unless their kind is also listed in ``kinds``.
+    max_faults:
+        Budget of fault events this layer may inject per proxy lifetime
+        (``None``: unbounded).  Spent budgets make retried runs converge.
+    """
+
+    name: str = "faults"
+    seed: int = 0
+    direction: str = "both"
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    disconnect: float = 0.0
+    straggle: float = 0.0
+    delay_ms: float = 0.0
+    straggle_ms: float = 1000.0
+    bytes_per_sec: int | None = None
+    corrupt_window: int | None = None
+    kinds: tuple[int, ...] | None = None
+    ops: tuple[str, ...] | None = None
+    max_faults: int | None = None
+
+    _PROBABILITIES: ClassVar[tuple[str, ...]] = (
+        "drop",
+        "duplicate",
+        "reorder",
+        "corrupt",
+        "truncate",
+        "disconnect",
+        "straggle",
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise FaultSpecError("profile name must be a non-empty string")
+        if self.direction not in DIRECTIONS:
+            raise FaultSpecError(
+                f"unknown direction {self.direction!r}; available: {sorted(DIRECTIONS)}"
+            )
+        for field_name in self._PROBABILITIES:
+            check_probability(field_name, getattr(self, field_name))
+        check_positive("delay_ms", self.delay_ms, strict=False)
+        check_positive("straggle_ms", self.straggle_ms, strict=False)
+        if self.bytes_per_sec is not None:
+            check_positive("bytes_per_sec", self.bytes_per_sec)
+        if self.corrupt_window is not None:
+            check_positive("corrupt_window", self.corrupt_window)
+        if self.kinds is not None:
+            if not self.kinds:
+                raise FaultSpecError("kinds must be a non-empty list of frame kinds")
+            for kind in self.kinds:
+                if not isinstance(kind, int) or isinstance(kind, bool) or kind < 1:
+                    raise FaultSpecError(f"frame kinds must be positive ints, got {kind!r}")
+        if self.ops is not None:
+            if not self.ops or any(not isinstance(op, str) or not op for op in self.ops):
+                raise FaultSpecError("ops must be a non-empty list of control op names")
+        if self.max_faults is not None:
+            check_positive("max_faults", self.max_faults, strict=False)
+
+    # ------------------------------------------------------------------ #
+    # The deterministic schedule
+    # ------------------------------------------------------------------ #
+    def applies(self, *, direction: str, kind: int | None = None, op: str | None = None) -> bool:
+        """Whether this layer touches a frame of ``kind``/``op`` going ``direction``."""
+        if self.direction != "both" and direction != self.direction:
+            return False
+        if self.kinds is not None and (kind is None or int(kind) not in self.kinds):
+            return False
+        if self.ops is not None and op not in self.ops:
+            return False
+        return True
+
+    def decide(self, connection: int, frame: int, direction: str) -> FrameDecision:
+        """The profile's verdict on frame ``frame`` of ``connection``.
+
+        Pure in its arguments and the profile fields — two equal profiles
+        always return equal decisions (the seed-determinism contract).
+        """
+
+        def fires(action: str, probability: float) -> bool:
+            if probability <= 0.0:
+                return False
+            return _unit(self.seed, connection, frame, direction, action) < probability
+
+        corrupt = fires("corrupt", self.corrupt)
+        truncate = fires("truncate", self.truncate)
+        return FrameDecision(
+            drop=fires("drop", self.drop),
+            duplicate=fires("duplicate", self.duplicate),
+            reorder=fires("reorder", self.reorder),
+            corrupt=corrupt,
+            truncate=truncate,
+            disconnect=fires("disconnect", self.disconnect),
+            straggle=fires("straggle", self.straggle),
+            corrupt_unit=(
+                _unit(self.seed, connection, frame, direction, "corrupt_at")
+                if corrupt
+                else 0.0
+            ),
+            corrupt_xor=(
+                1
+                + int(
+                    _unit(self.seed, connection, frame, direction, "corrupt_xor") * 255
+                )
+                if corrupt
+                else 1
+            ),
+            truncate_unit=(
+                _unit(self.seed, connection, frame, direction, "truncate_at")
+                if truncate
+                else 0.0
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Composition / reseeding
+    # ------------------------------------------------------------------ #
+    @property
+    def layers(self) -> tuple["FaultProfile", ...]:
+        """A profile is the one-layer chain of itself (duck-chain view)."""
+        return (self,)
+
+    def compose(self, other) -> "FaultChain":
+        return compose(self, other)
+
+    def with_seed(self, seed: int) -> "FaultProfile":
+        return replace(self, seed=int(seed))
+
+    def shifted(self, offset: int) -> "FaultProfile":
+        """The same layer under an offset seed (per-shard decorrelation)."""
+        return replace(self, seed=self.seed + int(offset))
+
+    # ------------------------------------------------------------------ #
+    # Document round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, source: str = "<faults>") -> "FaultProfile":
+        if not isinstance(data, Mapping):
+            raise FaultSpecError(
+                f"{source}: a fault profile must be a mapping, got {type(data).__name__}"
+            )
+        allowed = tuple(f.name for f in dataclasses.fields(cls))
+        check_known_keys(
+            data, allowed, where="fault profile", source=source, error=FaultSpecError
+        )
+        kwargs = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in data.items()
+        }
+        try:
+            return cls(**kwargs)
+        except FaultSpecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise FaultSpecError(f"{source}: invalid fault profile: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultChain:
+    """An ordered composition of fault layers.
+
+    The proxy applies layers in order per frame; each layer keeps its own
+    seed, filters and ``max_faults`` budget.  Chains are always flat
+    (:func:`compose` flattens nested chains), which is what makes
+    composition exactly associative.
+    """
+
+    layers: tuple[FaultProfile, ...] = ()
+
+    def __post_init__(self) -> None:
+        for layer in self.layers:
+            if not isinstance(layer, FaultProfile):
+                raise FaultSpecError(
+                    f"chain layers must be FaultProfile instances, got {layer!r}"
+                )
+
+    @property
+    def name(self) -> str:
+        return "+".join(layer.name for layer in self.layers) or "faults"
+
+    def compose(self, other) -> "FaultChain":
+        return compose(self, other)
+
+    def shifted(self, offset: int) -> "FaultChain":
+        return FaultChain(tuple(layer.shifted(offset) for layer in self.layers))
+
+    def to_dict(self) -> dict:
+        return {"layers": [layer.to_dict() for layer in self.layers]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, source: str = "<faults>") -> "FaultChain":
+        if not isinstance(data, Mapping) or "layers" not in data:
+            raise FaultSpecError(
+                f"{source}: a fault chain must be a mapping with a 'layers' list"
+            )
+        check_known_keys(
+            data, ("layers",), where="fault chain", source=source, error=FaultSpecError
+        )
+        layers = data["layers"]
+        if not isinstance(layers, (list, tuple)):
+            raise FaultSpecError(f"{source}: 'layers' must be a list of fault profiles")
+        return cls(tuple(FaultProfile.from_dict(layer, source=source) for layer in layers))
+
+
+def as_chain(profile) -> FaultChain:
+    """Normalise a profile or chain into a :class:`FaultChain`."""
+    if isinstance(profile, FaultChain):
+        return profile
+    if isinstance(profile, FaultProfile):
+        return FaultChain((profile,))
+    raise FaultSpecError(
+        f"expected a FaultProfile or FaultChain, got {type(profile).__name__}"
+    )
+
+
+def compose(*profiles) -> FaultChain:
+    """Compose profiles/chains left to right into one flat chain.
+
+    Flattening is the associativity proof: any parenthesisation of the
+    same layer sequence produces the same tuple, hence equal chains and
+    equal schedules.
+    """
+    layers: list[FaultProfile] = []
+    for profile in profiles:
+        layers.extend(as_chain(profile).layers)
+    return FaultChain(tuple(layers))
+
+
+def fault_profile_from_dict(data, *, source: str = "<faults>"):
+    """Build a profile or chain from its document form.
+
+    Accepts the three shapes a ``faults:`` block may take: a profile
+    mapping, a ``{"layers": [...]}`` chain mapping, or a bare list of
+    profile mappings (sugar for a chain).
+    """
+    if isinstance(data, (list, tuple)):
+        return FaultChain(
+            tuple(FaultProfile.from_dict(layer, source=source) for layer in data)
+        )
+    if isinstance(data, Mapping) and "layers" in data:
+        return FaultChain.from_dict(data, source=source)
+    return FaultProfile.from_dict(data, source=source)
+
+
+def load_fault_profile(path: str | Path):
+    """Load a profile or chain from a YAML/JSON file (``--faults FILE``).
+
+    Self-contained parsing (mirroring the spec loader's sniffing rules)
+    so the faults package never depends on :mod:`repro.experiments`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FaultSpecError(f"fault profile file {path} does not exist")
+    text = path.read_text(encoding="utf-8")
+    fmt = {".json": "json", ".yaml": "yaml", ".yml": "yaml"}.get(path.suffix.lower())
+    stripped = text.lstrip()
+    if fmt == "json" or (fmt is None and stripped.startswith(("{", "["))):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultSpecError(f"{path}: invalid JSON: {exc}") from exc
+    else:
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - PyYAML is in the image
+            raise FaultSpecError(
+                f"{path}: parsing YAML requires PyYAML, which is not installed; "
+                "write the profile as JSON instead"
+            ) from exc
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise FaultSpecError(f"{path}: invalid YAML: {exc}") from exc
+    return fault_profile_from_dict(data, source=str(path))

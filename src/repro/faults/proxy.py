@@ -1,0 +1,346 @@
+"""Frame-aware chaos proxy applying a fault profile to a live byte stream.
+
+:class:`FaultProxy` listens on an ephemeral port and forwards each accepted
+connection to a single upstream target (a gateway or cluster shard),
+re-framing the stream at the wire protocol's 5-byte headers so faults land
+on whole frames: the proxy never corrupts a length prefix, because a
+desynchronised stream is indistinguishable from arbitrary garbage and
+therefore untestable — truncation and disconnects model torn streams
+instead, explicitly.
+
+All decisions come from the profile's deterministic schedule
+(:meth:`repro.faults.profile.FaultProfile.decide`); the proxy's only state
+is the per-layer ``max_faults`` budget and the fault counters it exposes
+for assertions.  Layers apply in chain order with the first *terminal*
+action winning (``disconnect`` > ``drop`` > ``truncate``); non-terminal
+actions (corrupt, duplicate, reorder, straggle, delay, slow-loris)
+accumulate across layers.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Iterable
+
+from repro.faults.profile import FaultChain, FaultProfile, as_chain
+from repro.net import framing
+
+__all__ = ["FaultProxy", "parse_proxy_target"]
+
+#: Forwarding outcomes of one frame (module-private sentinels).
+_FORWARDED = "forwarded"
+_DROPPED = "dropped"
+_CLOSED = "closed"
+
+#: Chunk cadence for slow-loris writes.
+_LORIS_TICK_S = 0.02
+
+
+def parse_proxy_target(target) -> tuple[str, int]:
+    """Normalise a ``"host:port"`` string or ``(host, port)`` pair."""
+    if isinstance(target, str):
+        host, sep, port = target.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"proxy target must look like 'host:port', got {target!r}")
+        return host, int(port)
+    host, port = target
+    return str(host), int(port)
+
+
+class _Budget:
+    """A layer's remaining fault allowance, shared across pump threads."""
+
+    def __init__(self, max_faults: int | None) -> None:
+        self._remaining = max_faults
+        self._lock = threading.Lock()
+
+    def take(self) -> bool:
+        if self._remaining is None:
+            return True
+        with self._lock:
+            if self._remaining <= 0:
+                return False
+            self._remaining -= 1
+            return True
+
+
+class FaultProxy:
+    """A TCP proxy in front of ``target`` injecting ``profile``'s faults.
+
+    Accepting starts immediately; connect clients to :attr:`address`.
+    ``counters`` tallies injected fault events by action and
+    :attr:`n_faults` sums them — a chaos test asserting "the fault really
+    happened" reads these rather than inferring from symptoms.
+    """
+
+    def __init__(
+        self,
+        target,
+        profile: FaultProfile | FaultChain,
+        *,
+        host: str = "127.0.0.1",
+        max_frame_bytes: int = framing.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.target = parse_proxy_target(target)
+        self.chain = as_chain(profile)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._budgets = [_Budget(layer.max_faults) for layer in self.chain.layers]
+        self._needs_ops = any(layer.ops is not None for layer in self.chain.layers)
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self._closed = threading.Event()
+        self._conn_sockets: set[socket.socket] = set()
+        self._next_connection = 0
+        self._listener = socket.create_server((host, 0))
+        self._listener.settimeout(0.2)
+        self._host = host
+        self._port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"fault-proxy-{self._port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self._port}"
+
+    @property
+    def n_faults(self) -> int:
+        with self._lock:
+            return sum(self.counters.values())
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            sockets = list(self._conn_sockets)
+        for sock in sockets:
+            _quiet_close(sock)
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Accept / pump loops
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self.target, timeout=10.0)
+            except OSError:
+                _quiet_close(client)
+                continue
+            upstream.settimeout(None)
+            client.settimeout(None)
+            with self._lock:
+                connection = self._next_connection
+                self._next_connection += 1
+                self._conn_sockets.update((client, upstream))
+            for src, dst, direction in (
+                (client, upstream, "up"),
+                (upstream, client, "down"),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, connection, direction),
+                    name=f"fault-pump-{connection}-{direction}",
+                    daemon=True,
+                ).start()
+
+    def _pump(
+        self, src: socket.socket, dst: socket.socket, connection: int, direction: str
+    ) -> None:
+        frame = 0
+        held: bytes | None = None
+        try:
+            while not self._closed.is_set():
+                header = _read_exact(src, framing.FRAME_HEADER_SIZE)
+                if header is None:
+                    break
+                length, kind = framing.parse_frame_header(header)
+                framing.check_frame_header(
+                    length, kind, max_frame_bytes=self.max_frame_bytes
+                )
+                body = _read_exact(src, length)
+                if body is None:
+                    break
+                outcome, held = self._relay(
+                    connection, frame, direction, kind, header, body, dst, held
+                )
+                frame += 1
+                if outcome == _CLOSED:
+                    return
+            if held is not None:
+                _send_all(dst, held)
+        except (OSError, framing.FrameError):
+            pass
+        finally:
+            _quiet_close(src)
+            _quiet_close(dst)
+
+    # ------------------------------------------------------------------ #
+    # Per-frame fault application
+    # ------------------------------------------------------------------ #
+    def _relay(
+        self,
+        connection: int,
+        frame: int,
+        direction: str,
+        kind: int,
+        header: bytes,
+        body: bytes,
+        dst: socket.socket,
+        held: bytes | None,
+    ) -> tuple[str, bytes | None]:
+        op = self._control_op(kind, body) if self._needs_ops else None
+        duplicate = False
+        reorder = False
+        straggle_s = 0.0
+        delay_s = 0.0
+        loris_rate: int | None = None
+        mutable: bytearray | None = None
+        for layer, budget in zip(self.chain.layers, self._budgets):
+            if not layer.applies(direction=direction, kind=kind, op=op):
+                continue
+            delay_s += layer.delay_ms / 1000.0
+            if layer.bytes_per_sec is not None:
+                loris_rate = (
+                    layer.bytes_per_sec
+                    if loris_rate is None
+                    else min(loris_rate, layer.bytes_per_sec)
+                )
+            decision = layer.decide(connection, frame, direction)
+            if not decision.any_fault:
+                continue
+            if decision.disconnect and budget.take():
+                self._count("disconnect")
+                if held is not None:
+                    _send_all(dst, held)
+                return _CLOSED, None
+            if decision.drop and budget.take():
+                self._count("drop")
+                return _DROPPED, held
+            if decision.truncate and budget.take():
+                self._count("truncate")
+                kept = int(decision.truncate_unit * len(body))
+                _send_all(dst, header + bytes(body[:kept]))
+                return _CLOSED, None
+            if decision.corrupt and budget.take():
+                self._count("corrupt")
+                if mutable is None:
+                    mutable = bytearray(body)
+                span = len(mutable)
+                if layer.corrupt_window is not None:
+                    span = min(span, layer.corrupt_window)
+                if span > 0:
+                    at = min(int(decision.corrupt_unit * span), span - 1)
+                    mutable[at] ^= decision.corrupt_xor
+            if decision.duplicate and budget.take():
+                self._count("duplicate")
+                duplicate = True
+            if decision.reorder and budget.take():
+                self._count("reorder")
+                reorder = True
+            if decision.straggle and budget.take():
+                self._count("straggle")
+                straggle_s = max(straggle_s, layer.straggle_ms / 1000.0)
+        wire = header + (bytes(mutable) if mutable is not None else body)
+        total_delay = delay_s + straggle_s
+        if total_delay > 0.0:
+            self._sleep(total_delay)
+        if reorder and held is None:
+            # Hold this frame; it goes out after the next one (or at EOF).
+            return _FORWARDED, wire
+        self._write(dst, wire, loris_rate)
+        if duplicate:
+            self._write(dst, wire, loris_rate)
+        if held is not None:
+            _send_all(dst, held)
+            held = None
+        return _FORWARDED, held
+
+    def _write(self, dst: socket.socket, data: bytes, loris_rate: int | None) -> None:
+        if loris_rate is None:
+            _send_all(dst, data)
+            return
+        chunk = max(1, int(loris_rate * _LORIS_TICK_S))
+        for start in range(0, len(data), chunk):
+            _send_all(dst, data[start : start + chunk])
+            self._sleep(_LORIS_TICK_S)
+
+    def _sleep(self, seconds: float) -> None:
+        # Wait on the shutdown event so close() never blocks on a straggler.
+        self._closed.wait(seconds)
+
+    def _control_op(self, kind: int, body: bytes) -> str | None:
+        if kind != framing.FRAME_ROUND_CONTROL:
+            return None
+        try:
+            message = framing.decode_control(body)
+        except framing.WireFormatError:
+            return None
+        op = message.get("op")
+        return op if isinstance(op, str) else None
+
+    def _count(self, action: str) -> None:
+        with self._lock:
+            self.counters[action] = self.counters.get(action, 0) + 1
+
+
+# ---------------------------------------------------------------------- #
+# Socket plumbing
+# ---------------------------------------------------------------------- #
+def _read_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or ``None`` on a clean/torn EOF."""
+    if n == 0:
+        return b""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 16))
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_all(sock: socket.socket, data: bytes) -> None:
+    try:
+        sock.sendall(data)
+    except OSError:
+        pass
+
+
+def _quiet_close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

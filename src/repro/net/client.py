@@ -25,6 +25,7 @@ mechanism with its frequency-oracle rounds served by a live gateway.
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import time
 
@@ -76,6 +77,17 @@ class GatewayConnection:
     timeout:
         Socket timeout for connect and every read, in seconds.  A stuck
         gateway therefore surfaces as ``socket.timeout``, never a hang.
+    op_timeout:
+        Optional **per-operation** deadline, in seconds, for the
+        multi-read operations (:meth:`drain`, :meth:`finalize`,
+        :meth:`export_shard`, :meth:`stats`).  The plain ``timeout`` is
+        per *read*: a straggling gateway that trickles one ack per
+        ``timeout - ε`` can stretch an operation almost indefinitely
+        without ever tripping it.  With ``op_timeout`` set, every read
+        inside one operation shares a single deadline, so a straggler
+        injected mid-finalize surfaces as ``socket.timeout`` — which the
+        cluster coordinator maps to the structured ``shard_unavailable``
+        error — instead of stalling the whole merge barrier.
 
     Attributes
     ----------
@@ -85,17 +97,33 @@ class GatewayConnection:
     latencies:
         Send→ack round-trip of every acked batch, in seconds, in ack
         order — the raw material of the load generator's percentiles.
+    duplicate_acks:
+        Count of acknowledgement frames for sequence numbers that were
+        not outstanding (duplicated or replayed acks, e.g. injected by a
+        fault proxy).  They are ignored for accounting — the ledger is
+        keyed by seq precisely so replays cannot double-count — but the
+        counter makes the decision observable and testable.
     """
 
-    def __init__(self, address: str, *, timeout: float = 60.0):
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: float = 60.0,
+        op_timeout: float | None = None,
+    ):
         host, port = parse_address(address)
         self.address = f"{host}:{port}"
+        self.timeout = float(timeout)
+        self.op_timeout = None if op_timeout is None else float(op_timeout)
+        self._deadline: float | None = None
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(timeout)
         self._fp = self._sock.makefile("rb")
         self.latencies: list[float] = []
         self._sent_at: dict[int, float] = {}
         self._next_seq = 0
+        self.duplicate_acks = 0
         self.credits = 1
         self.max_frame_bytes = DEFAULT_MAX_FRAME_BYTES
         try:
@@ -114,7 +142,36 @@ class GatewayConnection:
     # ------------------------------------------------------------------ #
     # Frame plumbing
     # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def _operation_deadline(self, seconds: float | None):
+        """Bound all reads of one operation by a single shared deadline.
+
+        The outermost operation wins: nested operations (``finalize``
+        calls ``drain``) run under the deadline already in force rather
+        than extending it.  On exit the socket's per-read timeout is
+        restored.
+        """
+        if seconds is None or self._deadline is not None:
+            yield
+            return
+        self._deadline = time.perf_counter() + float(seconds)
+        try:
+            yield
+        finally:
+            self._deadline = None
+            try:
+                self._sock.settimeout(self.timeout)
+            except OSError:  # pragma: no cover - already closed
+                pass
+
     def _read_exact(self, n: int) -> bytes:
+        if self._deadline is not None:
+            remaining = self._deadline - time.perf_counter()
+            if remaining <= 0:
+                raise socket.timeout(
+                    f"operation deadline expired reading from {self.address}"
+                )
+            self._sock.settimeout(min(self.timeout, remaining))
         data = self._fp.read(n)
         if data is None or len(data) < n:
             raise ConnectionError(
@@ -155,9 +212,16 @@ class GatewayConnection:
         self._sock.sendall(framing.encode_frame(kind, body))
 
     def _record_ack(self, message: dict) -> None:
-        sent = self._sent_at.pop(int(message.get("seq", -1)), None)
-        if sent is not None:
-            self.latencies.append(time.perf_counter() - sent)
+        seq = int(message.get("seq", -1))
+        if seq not in self._sent_at:
+            # An ack for a seq that is not outstanding: a duplicate (or a
+            # replay injected on the wire).  The ledger is keyed by seq so
+            # a replay can never double-count a batch or mint credit —
+            # count it instead of pretending it did not happen.
+            self.duplicate_acks += 1
+            return
+        sent = self._sent_at.pop(seq)
+        self.latencies.append(time.perf_counter() - sent)
 
     def _next_message(self) -> Frame:
         """Next non-ack frame; stray batch acks are absorbed on the way."""
@@ -229,31 +293,49 @@ class GatewayConnection:
             )
         self._record_ack(message)
 
-    def drain(self) -> None:
-        """Block until every pipelined batch has been acknowledged."""
-        while self.outstanding:
-            self._receive_ack()
+    def drain(self, *, deadline: float | None = None) -> None:
+        """Block until every pipelined batch has been acknowledged.
 
-    def finalize(self, round_id: int) -> EstimationResult:
-        """Drain, close the round on the gateway, decode the estimate."""
-        self.drain()
-        self._send(
-            FRAME_ROUND_CONTROL,
-            framing.encode_control({"op": "finalize", "round_id": int(round_id)}),
-        )
-        frame = self._next_message()
-        if frame.kind != FRAME_ESTIMATE:
-            raise FrameError(
-                f"expected an estimate frame, got frame kind {frame.kind}"
-            )
-        echoed, estimate = framing.decode_estimate_frame(frame.body)
-        if echoed != int(round_id):
-            raise FrameError(
-                f"estimate answers round {echoed}, expected {round_id}"
-            )
-        return estimate
+        ``deadline`` (default: the connection's ``op_timeout``) bounds
+        the *whole* drain, not each ack read.
+        """
+        with self._operation_deadline(
+            deadline if deadline is not None else self.op_timeout
+        ):
+            while self.outstanding:
+                self._receive_ack()
 
-    def export_shard(self, round_id: int):
+    def finalize(
+        self, round_id: int, *, deadline: float | None = None
+    ) -> EstimationResult:
+        """Drain, close the round on the gateway, decode the estimate.
+
+        One ``deadline`` (default: ``op_timeout``) covers the drain *and*
+        the estimate read, so a gateway that straggles mid-finalize
+        surfaces ``socket.timeout`` instead of stretching the caller's
+        merge barrier one per-read timeout at a time.
+        """
+        with self._operation_deadline(
+            deadline if deadline is not None else self.op_timeout
+        ):
+            self.drain()
+            self._send(
+                FRAME_ROUND_CONTROL,
+                framing.encode_control({"op": "finalize", "round_id": int(round_id)}),
+            )
+            frame = self._next_message()
+            if frame.kind != FRAME_ESTIMATE:
+                raise FrameError(
+                    f"expected an estimate frame, got frame kind {frame.kind}"
+                )
+            echoed, estimate = framing.decode_estimate_frame(frame.body)
+            if echoed != int(round_id):
+                raise FrameError(
+                    f"estimate answers round {echoed}, expected {round_id}"
+                )
+            return estimate
+
+    def export_shard(self, round_id: int, *, deadline: float | None = None):
         """Drain, close the round, and lift off its raw shard state.
 
         The client half of the cluster's round-close barrier
@@ -263,28 +345,32 @@ class GatewayConnection:
         (:class:`~repro.service.server.ExportedShardState`) so a
         coordinator can merge them across shards and estimate once.
         """
-        self.drain()
-        self._send(
-            FRAME_ROUND_CONTROL,
-            framing.encode_control({"op": "export_shard", "round_id": int(round_id)}),
-        )
-        frame = self._next_message()
-        if frame.kind != FRAME_SHARD_STATE:
-            raise FrameError(
-                f"expected a shard-state frame, got frame kind {frame.kind}"
+        with self._operation_deadline(
+            deadline if deadline is not None else self.op_timeout
+        ):
+            self.drain()
+            self._send(
+                FRAME_ROUND_CONTROL,
+                framing.encode_control({"op": "export_shard", "round_id": int(round_id)}),
             )
-        echoed, state = framing.decode_shard_state_frame(frame.body)
-        if echoed != int(round_id):
-            raise FrameError(
-                f"shard state answers round {echoed}, expected {round_id}"
-            )
-        return state
+            frame = self._next_message()
+            if frame.kind != FRAME_SHARD_STATE:
+                raise FrameError(
+                    f"expected a shard-state frame, got frame kind {frame.kind}"
+                )
+            echoed, state = framing.decode_shard_state_frame(frame.body)
+            if echoed != int(round_id):
+                raise FrameError(
+                    f"shard state answers round {echoed}, expected {round_id}"
+                )
+            return state
 
     def stats(self) -> dict:
         """The gateway's accounting/admission counters."""
-        self.drain()
-        self._send(FRAME_ROUND_CONTROL, framing.encode_control({"op": "stats"}))
-        message = self._expect_control("stats")
+        with self._operation_deadline(self.op_timeout):
+            self.drain()
+            self._send(FRAME_ROUND_CONTROL, framing.encode_control({"op": "stats"}))
+            message = self._expect_control("stats")
         message.pop("op", None)
         return message
 

@@ -33,12 +33,20 @@ from repro.core.config import DEFAULT_REPORT_BATCH_SIZE
 from repro.engine import get_backend
 from repro.ldp.registry import make_oracle
 from repro.net.client import GatewayConnection
+from repro.net.framing import WireFormatError
 from repro.service.clients import ClientPool
 from repro.service.protocol import RoundBroadcast, encode_report_batch, wire_bits
+from repro.service.server import ServiceError
 from repro.trie.candidate_domain import CandidateDomain
 from repro.utils.rng import RandomState, as_generator, spawn_seeds
 from repro.utils.tables import TextTable
 from repro.utils.validation import check_positive
+
+
+#: Failures a fault-injected round may legitimately surface: structured
+#: service errors, torn/garbled frames, and transport-level breakage.
+#: Anything else (assertion, bug) propagates — chaos must never mask it.
+RETRYABLE_ERRORS: tuple = (ServiceError, WireFormatError, ConnectionError, OSError, EOFError)
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,7 @@ class _PoolTask:
     timeout: float
     ring_seed: int = 0
     ring_vnodes: int | None = None
+    retries: int = 0
 
 
 def _open_connection(
@@ -78,54 +87,91 @@ def _open_connection(
     return GatewayConnection(str(address), timeout=timeout)
 
 
+def _run_round(task: _PoolTask, pool: ClientPool, domain, connection, round_seed) -> dict:
+    """One full frequency-oracle round on an open connection.
+
+    Everything random derives from ``round_seed``, so replaying the same
+    seed on a fresh connection reproduces the identical report stream —
+    the property the fault-retry loop relies on for bit-identity.
+    """
+    round_gen = np.random.default_rng(round_seed)
+    oracle = make_oracle(task.oracle, task.epsilon)
+    round_id, bits = connection.open_round(
+        RoundBroadcast(
+            party=task.name,
+            level=task.level,
+            oracle_name=oracle.name,
+            epsilon=oracle.epsilon,
+            domain_size=domain.size,
+            prefixes=tuple(domain.prefixes),
+        )
+    )
+    stats = {"n_reports": 0, "n_batches": 0, "upload_bits": 0, "broadcast_bits": bits}
+    user_indices = (
+        pool.draw_users(task.users_per_round, round_gen)
+        if task.users_per_round is not None
+        else None
+    )
+    for batch in pool.iter_report_batches(
+        oracle, domain, task.n_bits, round_gen, user_indices=user_indices
+    ):
+        payload = encode_report_batch(batch)
+        connection.send_batch(round_id, payload)
+        stats["n_reports"] += batch.n_users
+        stats["n_batches"] += 1
+        stats["upload_bits"] += wire_bits(payload)
+    estimate = connection.finalize(round_id)
+    counts = estimate.estimated_counts[: domain.n_candidates]
+    order = np.argsort(counts)[::-1][: task.top]
+    stats["top_prefixes"] = [[domain.prefixes[i], float(counts[i])] for i in order]
+    return stats
+
+
 def _drive_pool(task: _PoolTask, seed: int) -> dict:
     """Stream every round of one pool; module-level so process backends pickle it."""
     domain = CandidateDomain.full_domain(task.level)
     pool = ClientPool(task.items, name=task.name, batch_size=task.batch_size)
     round_seeds = spawn_seeds(np.random.default_rng(seed), task.rounds)
     n_reports = n_batches = upload_bits = broadcast_bits = 0
+    n_retries = 0
+    latencies: list[float] = []
     top_prefixes: list[list] = []
-    connection = _open_connection(
-        task.address,
-        timeout=task.timeout,
-        ring_seed=task.ring_seed,
-        ring_vnodes=task.ring_vnodes,
-    )
+
+    def _open():
+        return _open_connection(
+            task.address,
+            timeout=task.timeout,
+            ring_seed=task.ring_seed,
+            ring_vnodes=task.ring_vnodes,
+        )
+
+    connection = _open()
     try:
         for round_seed in round_seeds:
-            round_gen = np.random.default_rng(round_seed)
-            oracle = make_oracle(task.oracle, task.epsilon)
-            round_id, bits = connection.open_round(
-                RoundBroadcast(
-                    party=task.name,
-                    level=task.level,
-                    oracle_name=oracle.name,
-                    epsilon=oracle.epsilon,
-                    domain_size=domain.size,
-                    prefixes=tuple(domain.prefixes),
-                )
-            )
-            broadcast_bits += bits
-            user_indices = (
-                pool.draw_users(task.users_per_round, round_gen)
-                if task.users_per_round is not None
-                else None
-            )
-            for batch in pool.iter_report_batches(
-                oracle, domain, task.n_bits, round_gen, user_indices=user_indices
-            ):
-                payload = encode_report_batch(batch)
-                connection.send_batch(round_id, payload)
-                n_reports += batch.n_users
-                n_batches += 1
-                upload_bits += wire_bits(payload)
-            estimate = connection.finalize(round_id)
-            counts = estimate.estimated_counts[: domain.n_candidates]
-            order = np.argsort(counts)[::-1][: task.top]
-            top_prefixes = [
-                [domain.prefixes[i], float(counts[i])] for i in order
-            ]
-        latencies = list(connection.latencies)
+            for attempt in range(int(task.retries) + 1):
+                try:
+                    stats = _run_round(task, pool, domain, connection, round_seed)
+                    break
+                except RETRYABLE_ERRORS:
+                    # A fault mid-round leaves unknown state on both the
+                    # connection and the gateway round; abandon both and
+                    # replay the round from its own seed on a fresh
+                    # connection.  Latencies the failed attempt measured
+                    # are real round trips, so they stay in the summary;
+                    # the counters only move on success, so a run that
+                    # converges is bit-identical to a fault-free one.
+                    latencies.extend(connection.latencies)
+                    connection.close()
+                    if attempt >= int(task.retries):
+                        raise
+                    n_retries += 1
+                    connection = _open()
+            n_reports += stats["n_reports"]
+            n_batches += stats["n_batches"]
+            upload_bits += stats["upload_bits"]
+            broadcast_bits += stats["broadcast_bits"]
+            top_prefixes = stats["top_prefixes"]
+        latencies.extend(connection.latencies)
     finally:
         connection.close()
     return {
@@ -137,6 +183,7 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
         "broadcast_bits": broadcast_bits,
         "latencies": latencies,
         "top_prefixes": top_prefixes,
+        "n_retries": n_retries,
     }
 
 
@@ -179,14 +226,29 @@ class LoadgenReport:
     latency_ms: dict
     per_connection: list[dict] = field(default_factory=list)
     gateway: dict | None = None
+    retries: int = 0
+    n_retries: int = 0
+    faults: dict | None = None
 
     def to_dict(self) -> dict:
         out = {f: getattr(self, f) for f in self.__dataclass_fields__}
-        # Raw per-batch latencies are working data, not report payload.
+        # Raw per-batch latencies are working data, not report payload;
+        # a zero retry count is noise outside fault runs.
         out["per_connection"] = [
-            {k: v for k, v in entry.items() if k != "latencies"}
+            {
+                k: v
+                for k, v in entry.items()
+                if k != "latencies" and (k != "n_retries" or v)
+            }
             for entry in self.per_connection
         ]
+        # Fault fields only appear on fault runs, so clean-run reports stay
+        # byte-identical to those written before the chaos layer existed.
+        if self.faults is None:
+            del out["faults"]
+            if self.retries == 0 and self.n_retries == 0:
+                del out["retries"]
+                del out["n_retries"]
         return out
 
     def render(self) -> str:
@@ -217,10 +279,15 @@ class LoadgenReport:
                 ]
             )
         cluster = f" shards={self.shards}" if self.shards > 1 else ""
+        chaos = (
+            f" faults={self.faults['n_faults']} retries={self.n_retries}"
+            if self.faults is not None
+            else ""
+        )
         title = (
             f"loadgen: {self.workload} -> {self.address} "
             f"oracle={self.oracle} eps={self.epsilon:g} level={self.level} "
-            f"connections={self.connections} rounds={self.rounds}{cluster} | "
+            f"connections={self.connections} rounds={self.rounds}{cluster}{chaos} | "
             f"{self.reports_per_sec:,.0f} reports/s, "
             f"p99 {self.latency_ms['p99']:.1f} ms"
         )
@@ -249,6 +316,8 @@ def run_loadgen(
     include_gateway_stats: bool = True,
     ring_seed: int = 0,
     ring_vnodes: int | None = None,
+    faults=None,
+    retries: int = 0,
 ) -> LoadgenReport:
     """Drive simulated client pools against a gateway; measure everything.
 
@@ -285,10 +354,23 @@ def run_loadgen(
     seed:
         Run seed; one child seed per (connection, round) is fanned out
         before anything streams.
+    faults:
+        A :class:`~repro.faults.profile.FaultProfile` / ``FaultChain``
+        (or its mapping/list document form): every shard address gets a
+        :class:`~repro.faults.proxy.FaultProxy` in front of it applying
+        the profile — shard ``i`` under ``shifted(i)`` so fault schedules
+        decorrelate across shards — and all client traffic runs through
+        the proxies.  The gateway-stats probe bypasses them.
+    retries:
+        Per-round retry budget for fault-shaped failures
+        (:data:`RETRYABLE_ERRORS`): a failed round is replayed from its
+        own seed on a fresh connection, so a run that converges within
+        the budget is bit-identical to a fault-free run.
     """
     check_positive("connections", connections)
     check_positive("rounds", rounds)
     check_positive("level", level)
+    check_positive("retries", retries, strict=False)
     if users_per_round is not None:
         check_positive("users_per_round", users_per_round)
     gen = as_generator(seed)
@@ -329,9 +411,29 @@ def run_loadgen(
         ]
         workload = f"dataset:{dataset.name}"
 
+    # Chaos seam: interpose one fault proxy per shard address, decorrelated
+    # by shard index, and point every pool at the proxies.  Lazy import —
+    # the faults layer sits on top of the net layer, not under it.
+    proxies: list = []
+    fault_chain = None
+    task_address = str(address)
+    if faults is not None:
+        from repro.faults.profile import as_chain, fault_profile_from_dict
+        from repro.faults.proxy import FaultProxy
+
+        if isinstance(faults, (dict, list, tuple)):
+            faults = fault_profile_from_dict(faults, source="<loadgen faults>")
+        fault_chain = as_chain(faults)
+        shard_addresses = [part.strip() for part in str(address).split(",")]
+        proxies = [
+            FaultProxy(shard_address, fault_chain.shifted(index))
+            for index, shard_address in enumerate(shard_addresses)
+        ]
+        task_address = ",".join(proxy.address for proxy in proxies)
+
     tasks = [
         _PoolTask(
-            address=str(address),
+            address=task_address,
             name=name,
             items=np.asarray(items, dtype=np.int64),
             n_bits=int(n_bits),
@@ -345,6 +447,7 @@ def run_loadgen(
             timeout=float(timeout),
             ring_seed=int(ring_seed),
             ring_vnodes=ring_vnodes,
+            retries=int(retries),
         )
         for name, items in pools
     ]
@@ -352,14 +455,31 @@ def run_loadgen(
 
     engine = get_backend(backend, max_workers)
     start = time.perf_counter()
-    with engine:
-        results = engine.map_seeded(_drive_pool, tasks, rng=gen)
+    try:
+        with engine:
+            results = engine.map_seeded(_drive_pool, tasks, rng=gen)
+    finally:
+        for proxy in proxies:
+            proxy.close()
     elapsed = time.perf_counter() - start
+
+    faults_summary = None
+    if fault_chain is not None:
+        injected: dict[str, int] = {}
+        for proxy in proxies:
+            for action, count in proxy.counters.items():
+                injected[action] = injected.get(action, 0) + count
+        faults_summary = {
+            "profile": fault_chain.to_dict(),
+            "injected": dict(sorted(injected.items())),
+            "n_faults": sum(injected.values()),
+        }
 
     n_reports = sum(r["n_reports"] for r in results)
     all_latencies = [lat for r in results for lat in r["latencies"]]
     gateway_stats = None
     if include_gateway_stats:
+        # The probe asks the real gateway, never the (now closed) proxies.
         with _open_connection(
             address, timeout=timeout, ring_seed=ring_seed, ring_vnodes=ring_vnodes
         ) as probe:
@@ -384,4 +504,7 @@ def run_loadgen(
         latency_ms=_latency_summary(all_latencies),
         per_connection=results,
         gateway=gateway_stats,
+        retries=int(retries),
+        n_retries=sum(r.get("n_retries", 0) for r in results),
+        faults=faults_summary,
     )

@@ -7,6 +7,10 @@ deployment conditions that abstraction hides:
 * :mod:`repro.scenarios.effects` — composable time-varying effects
   (:class:`DriftSchedule`, :class:`BurstArrivals`, :class:`PopulationChurn`,
   :class:`SkewShift`, :class:`PoisonedReports`);
+* :mod:`repro.scenarios.adversaries` — adversarial client models beyond
+  report poisoning (:class:`ColludingParties`, :class:`TargetedPromotion`,
+  :class:`ByzantineParties`), scored with and without the robust shard
+  merge (:class:`repro.faults.defense.RobustMergePolicy`);
 * :mod:`repro.scenarios.scenario` — :class:`Scenario`, a base workload
   (:class:`BaseWorkload`) composed with effects into an arrival stream
   whose exact moving ground truth is known at every step;
@@ -36,14 +40,25 @@ from repro.scenarios.effects import (
     SkewShift,
     effect_from_dict,
 )
+
+# Imported after effects: registers the adversary kinds in EFFECT_KINDS.
+from repro.scenarios.adversaries import (
+    ADVERSARY_KINDS,
+    ByzantineParties,
+    ColludingParties,
+    TargetedPromotion,
+)
 from repro.scenarios.harness import ScenarioReport, run_scenario, run_scenario_spec
 from repro.scenarios.scenario import ArrivalBatch, BaseWorkload, Scenario
 from repro.scenarios.spec import SCENARIO_KEYS, ScenarioSpec
 
 __all__ = [
+    "ADVERSARY_KINDS",
     "ArrivalBatch",
     "BaseWorkload",
     "BurstArrivals",
+    "ByzantineParties",
+    "ColludingParties",
     "DriftSchedule",
     "EFFECT_KINDS",
     "PoisonedReports",
@@ -54,6 +69,7 @@ __all__ = [
     "ScenarioReport",
     "ScenarioSpec",
     "SkewShift",
+    "TargetedPromotion",
     "effect_from_dict",
     "run_scenario",
     "run_scenario_spec",

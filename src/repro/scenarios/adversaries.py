@@ -1,0 +1,221 @@
+"""Adversarial client models beyond :class:`PoisonedReports`.
+
+Each adversary is a scenario effect (frozen, validated, registered in
+:data:`~repro.scenarios.effects.EFFECT_KINDS`) that controls the trailing
+``n_adversarial(step, batch)`` arrivals of each step's batch.  Ground
+truth always stays the *honest* generating process — an adversary can
+distort what the mechanism discovers, never what is true — so the PR-4
+robustness metrics (time-resolved precision/recall/F1, detection latency)
+score attacks and defenses without any new machinery.
+
+The adversary seam (see :meth:`Scenario.iter_batches`) passes the step's
+child generator ``step_gen`` *after* all honest sampling has been drawn
+from it.  Deterministic adversaries (collusion, targeted promotion)
+ignore it, leaving the honest stream bit-identical to the attack-free
+run; :class:`ByzantineParties` draws from it, which keeps the whole
+stream a pure function of the run seed — Byzantine runs replay exactly.
+
+Catalog:
+
+* :class:`ColludingParties` — the coalition coordinates on **one** target
+  item per step (rotating through the target list), the strongest
+  promotion pressure a fixed-size coalition can exert on a single
+  candidate and the model the trimmed shard merge is designed to break.
+* :class:`TargetedPromotion` — promotes the items ranked just *below*
+  the true top-k, the subtle boundary attack: small per-item pressure,
+  large F1 damage, hard to see in aggregate counts.
+* :class:`ByzantineParties` — arbitrarily misbehaving clients: reports
+  drawn uniformly from the whole bit domain (``mode="uniform"``) or from
+  the reversed popularity law (``mode="reverse"``), modelling broken or
+  maximally unhelpful clients rather than a coordinated attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Mapping
+
+import numpy as np
+
+from repro.scenarios.effects import (
+    EFFECT_KINDS,
+    ScenarioError,
+    _from_mapping,
+    _to_dict,
+    resolve_attack_targets,
+)
+from repro.utils.validation import check_in_range, check_positive
+
+#: Report laws a Byzantine party can follow.
+BYZANTINE_MODES: tuple[str, ...] = ("uniform", "reverse")
+
+
+def _check_coalition(fraction: float, start: int) -> None:
+    check_in_range("fraction", fraction, 0.0, 1.0)
+    if fraction == 0.0:
+        raise ValueError("fraction must be > 0 (an empty coalition attacks nothing)")
+    check_positive("start", start)
+
+
+def _coalition_size(fraction: float, start: int, step: int, batch: int) -> int:
+    if step < start:
+        return 0
+    return min(int(batch), int(round(fraction * batch)))
+
+
+@dataclass(frozen=True)
+class ColludingParties:
+    """A coalition that coordinates all its reports on one item per step.
+
+    From ``start`` on, the last ``round(fraction × batch)`` arrivals all
+    report the *same* target: entry ``(step - start) mod len(targets)``
+    of the target list.  Compared to :class:`PoisonedReports` (which
+    cycles its targets within every batch) this concentrates the entire
+    coalition's mass on a single candidate at a time — the worst case
+    for a linear shard merge, and the model a trimmed merge defeats:
+    the coalition's wire batches are nearly pure, so they land in the
+    trimmed tail of the per-candidate rate distribution.
+    """
+
+    kind: ClassVar[str] = "collude"
+    is_adversary: ClassVar[bool] = True
+    fraction: float = 0.1
+    start: int = 1
+    items: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_coalition(self.fraction, self.start)
+        if self.items is not None:
+            if not self.items:
+                raise ValueError("items must be a non-empty list of target item ids")
+            for item in self.items:
+                if int(item) < 0:
+                    raise ValueError(f"target item ids must be >= 0, got {item}")
+
+    def resolve_targets(self, scenario) -> np.ndarray:
+        return resolve_attack_targets(scenario, self.items)
+
+    def n_adversarial(self, step: int, batch: int) -> int:
+        return _coalition_size(self.fraction, self.start, step, batch)
+
+    def adversarial_items(self, *, scenario, step, n, targets, step_gen) -> np.ndarray:
+        target = int(targets[(step - self.start) % len(targets)])
+        return np.full(n, target, dtype=np.int64)
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "ColludingParties":
+        return _from_mapping(cls, data, source=source)
+
+
+@dataclass(frozen=True)
+class TargetedPromotion:
+    """Promote the items ranked just below the true top-k boundary.
+
+    The coalition splits its reports evenly (cycled) over the ``width``
+    items ranked ``k+1 … k+width`` in the step's *honest* frequency
+    order.  These runners-up need only a small push to displace the
+    genuine tail of the top-k, so the attack trades per-item pressure
+    for stealth: total injected mass is the same as a cold-item poison
+    of equal fraction, but the damage concentrates exactly where
+    precision-at-k is decided.  Targets re-resolve every step, so the
+    attack tracks drift.
+    """
+
+    kind: ClassVar[str] = "promote"
+    is_adversary: ClassVar[bool] = True
+    fraction: float = 0.1
+    start: int = 1
+    #: How many boundary items to promote (``None``: the scenario's k).
+    width: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_coalition(self.fraction, self.start)
+        if self.width is not None:
+            check_positive("width", self.width)
+
+    def resolve_targets(self, scenario) -> None:
+        width = self.width if self.width is not None else scenario.k
+        if scenario.k + width > scenario.n_items:
+            raise ScenarioError(
+                f"promotion width {width} leaves no runners-up below the "
+                f"top-{scenario.k} of {scenario.n_items} items"
+            )
+        return None  # dynamic: targets depend on the step
+
+    def n_adversarial(self, step: int, batch: int) -> int:
+        return _coalition_size(self.fraction, self.start, step, batch)
+
+    def adversarial_items(self, *, scenario, step, n, targets, step_gen) -> np.ndarray:
+        width = self.width if self.width is not None else scenario.k
+        freqs = scenario.frequencies(step)
+        order = np.lexsort((scenario.item_ids, -freqs))
+        runners = scenario.item_ids[order[scenario.k : scenario.k + width]]
+        return np.resize(runners.astype(np.int64), n)
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "TargetedPromotion":
+        return _from_mapping(cls, data, source=source)
+
+
+@dataclass(frozen=True)
+class ByzantineParties:
+    """Arbitrarily misbehaving clients with no coordinated goal.
+
+    ``mode="uniform"`` reports items drawn uniformly from the whole
+    ``2**n_bits`` code space — including codes that are no item at all —
+    modelling broken clients or garbage inputs.  ``mode="reverse"``
+    draws from the honest step law with its rank order reversed — the
+    maximally unhelpful *valid* population.  Both draw from the step's
+    child generator after honest sampling, so runs replay bit-for-bit.
+    """
+
+    kind: ClassVar[str] = "byzantine"
+    is_adversary: ClassVar[bool] = True
+    fraction: float = 0.1
+    start: int = 1
+    mode: str = "uniform"
+
+    def __post_init__(self) -> None:
+        _check_coalition(self.fraction, self.start)
+        if self.mode not in BYZANTINE_MODES:
+            raise ScenarioError(
+                f"unknown byzantine mode {self.mode!r}; "
+                f"available: {sorted(BYZANTINE_MODES)}"
+            )
+
+    def resolve_targets(self, scenario) -> None:
+        return None  # no fixed targets: reports are sampled per step
+
+    def n_adversarial(self, step: int, batch: int) -> int:
+        return _coalition_size(self.fraction, self.start, step, batch)
+
+    def adversarial_items(self, *, scenario, step, n, targets, step_gen) -> np.ndarray:
+        if self.mode == "uniform":
+            return step_gen.integers(0, 1 << scenario.n_bits, size=n, dtype=np.int64)
+        freqs = scenario.frequencies(step)
+        reversed_law = freqs[::-1].copy()
+        positions = step_gen.choice(
+            scenario.n_items, size=n, p=reversed_law / reversed_law.sum()
+        )
+        return scenario.item_ids[positions].astype(np.int64)
+
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, source: str = "<scenario>") -> "ByzantineParties":
+        return _from_mapping(cls, data, source=source)
+
+
+#: Registered alongside the honest effects so ``effects:`` spec blocks and
+#: the chaos matrix pick adversaries up through the same dispatch table.
+ADVERSARY_KINDS: dict[str, type] = {
+    cls.kind: cls for cls in (ColludingParties, TargetedPromotion, ByzantineParties)
+}
+EFFECT_KINDS.update(ADVERSARY_KINDS)

@@ -17,8 +17,12 @@ deterministic transformation of the scenario's generating process:
 Effects never touch an RNG themselves: they reshape either the exact
 per-step frequency vector (drift, skew) or the sampling recipe (burst,
 churn, poison), and all sampling randomness is drawn from the scenario's
-per-step child seeds (see :meth:`Scenario.iter_batches`).  Steps are
-1-based throughout, matching ``WindowSnapshot.step``.
+per-step child seeds (see :meth:`Scenario.iter_batches`).  The one
+refinement: *adversary* effects (``is_adversary=True``; this module's
+:class:`PoisonedReports` plus the catalog in
+:mod:`repro.scenarios.adversaries`) may draw from the step generator
+**after** all honest sampling, so the honest stream never depends on the
+attack.  Steps are 1-based throughout, matching ``WindowSnapshot.step``.
 
 Every effect round-trips through ``to_dict``/``from_dict`` with the same
 unknown-key validation as the sweep specs, so a ``scenario:`` block in a
@@ -30,6 +34,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 from typing import Any, ClassVar, Mapping
+
+import numpy as np
 
 from repro.utils.validation import (
     check_in_range,
@@ -76,6 +82,39 @@ def _to_dict(effect) -> dict:
             value = list(value)
         out[f.name] = value
     return out
+
+
+def resolve_attack_targets(scenario, items) -> np.ndarray:
+    """Fixed target items of a promotion-style adversary.
+
+    Explicit ``items`` are validated against the scenario's bit domain;
+    with ``items=None`` the targets default to the coldest items that
+    never enter the moving truth at any step, so precision cleanly
+    measures the attack (explicit items are the operator's choice and
+    may overlap the truth deliberately).  Shared by every adversary with
+    a static target list (:class:`PoisonedReports`,
+    :class:`~repro.scenarios.adversaries.ColludingParties`).
+    """
+    if items is not None:
+        limit = 1 << scenario.n_bits
+        bad = [int(i) for i in items if int(i) >= limit]
+        if bad:
+            raise ScenarioError(
+                f"poison target items {bad} exceed the {scenario.n_bits}-bit domain"
+            )
+        return np.asarray(items, dtype=np.int64)
+    ever_true = set()
+    for step in range(1, scenario.n_steps + 1):
+        ever_true.update(scenario.true_top_k(step))
+    cold = [
+        int(item) for item in scenario.item_ids[::-1] if int(item) not in ever_true
+    ][: scenario.k]
+    if not cold:
+        raise ScenarioError(
+            "every item enters the moving top-k at some step; "
+            "pass explicit poison target items"
+        )
+    return np.asarray(cold, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -279,6 +318,7 @@ class PoisonedReports:
     """
 
     kind: ClassVar[str] = "poison"
+    is_adversary: ClassVar[bool] = True
     fraction: float = 0.05
     start: int = 1
     items: tuple[int, ...] | None = None
@@ -300,6 +340,16 @@ class PoisonedReports:
         if step < self.start:
             return 0
         return min(int(batch), int(round(self.fraction * batch)))
+
+    # Adversary protocol (see repro.scenarios.adversaries).
+    def resolve_targets(self, scenario) -> np.ndarray:
+        return resolve_attack_targets(scenario, self.items)
+
+    def n_adversarial(self, step: int, batch: int) -> int:
+        return self.n_poisoned(step, batch)
+
+    def adversarial_items(self, *, scenario, step, n, targets, step_gen) -> np.ndarray:
+        return np.resize(targets, n)
 
     def to_dict(self) -> dict:
         return _to_dict(self)

@@ -111,6 +111,9 @@ def run_scenario(
     detection_recall: float = 0.5,
     backend: str | None = None,
     max_workers: int | None = None,
+    defense: str | None = None,
+    defense_fraction: float = 0.25,
+    report_batch_size: int | None = None,
     name: str | None = None,
 ) -> ScenarioReport:
     """Run one scenario through the tracker and score every snapshot.
@@ -122,8 +125,8 @@ def run_scenario(
     config:
         Full protocol configuration; when given it must carry the
         scenario's ``n_bits``.  The remaining protocol knobs
-        (``epsilon``/``oracle``/``granularity``/``backend``) build one
-        when it is ``None``.
+        (``epsilon``/``oracle``/``granularity``/``backend``/``defense``/
+        ``report_batch_size``) build one when it is ``None``.
     window_batches / stride:
         Tracker cadence (see :class:`SlidingWindowDiscovery`).
     seed:
@@ -135,6 +138,14 @@ def run_scenario(
     detection_recall:
         Recall bar a snapshot must reach to count as having re-detected
         the truth after a drift event.
+    defense / defense_fraction:
+        Robust shard-merge policy for the tracker's aggregation passes
+        (see :mod:`repro.faults.defense`); the knob the adversary goldens
+        flip to compare attacked runs with and without the defense.
+    report_batch_size:
+        Wire-batch bound for the tracker's service passes — the defense's
+        aggregation sources; small batches give the robust merge more
+        sources to trim.
     """
     if config is None:
         levels = granularity if granularity is not None else min(4, scenario.n_bits)
@@ -147,6 +158,9 @@ def run_scenario(
             simulation_mode="per_user",
             backend=backend or "serial",
             max_workers=max_workers,
+            defense=defense,
+            defense_fraction=defense_fraction,
+            report_batch_size=report_batch_size,
         )
     elif config.n_bits != scenario.n_bits:
         raise ValueError(
@@ -206,20 +220,26 @@ def run_scenario(
                 "latency_steps": latency,
             }
         )
+    report_config = {
+        "epsilon": float(config.epsilon),
+        "oracle": config.oracle,
+        "granularity": int(config.granularity),
+        "n_bits": int(config.n_bits),
+        "k": int(scenario.k),
+        "window_batches": int(window_batches),
+        "stride": int(stride),
+        "detection_recall": float(detection_recall),
+        "n_steps": int(scenario.n_steps),
+        "batch_size": int(scenario.batch_size),
+    }
+    if config.defense is not None:
+        # Conditional so undefended reports stay byte-identical to those
+        # written before the defense existed.
+        report_config["defense"] = config.defense
+        report_config["defense_fraction"] = float(config.defense_fraction)
     return ScenarioReport(
         scenario=name or "scenario",
-        config={
-            "epsilon": float(config.epsilon),
-            "oracle": config.oracle,
-            "granularity": int(config.granularity),
-            "n_bits": int(config.n_bits),
-            "k": int(scenario.k),
-            "window_batches": int(window_batches),
-            "stride": int(stride),
-            "detection_recall": float(detection_recall),
-            "n_steps": int(scenario.n_steps),
-            "batch_size": int(scenario.batch_size),
-        },
+        config=report_config,
         records=records,
         events=events,
     )
@@ -238,6 +258,9 @@ def run_scenario_spec(
     detection_recall: float = 0.5,
     backend: str | None = None,
     max_workers: int | None = None,
+    defense: str | None = None,
+    defense_fraction: float = 0.25,
+    report_batch_size: int | None = None,
 ) -> ScenarioReport:
     """Build and run a declarative spec (what ``repro serve --scenario`` calls).
 
@@ -256,5 +279,8 @@ def run_scenario_spec(
         detection_recall=detection_recall,
         backend=backend,
         max_workers=max_workers,
+        defense=defense,
+        defense_fraction=defense_fraction,
+        report_batch_size=report_batch_size,
         name=spec.name,
     )

@@ -29,7 +29,6 @@ from repro.datasets.distributions import scatter_item_ids, zipf_frequencies
 from repro.scenarios.effects import (
     BurstArrivals,
     DriftSchedule,
-    PoisonedReports,
     PopulationChurn,
     ScenarioError,
     SkewShift,
@@ -201,36 +200,20 @@ class Scenario:
         drift: DriftSchedule | None = by_kind.get("drift")
         rotation = self.k if drift is None or drift.rotation is None else drift.rotation
         self._rotation = int(rotation) % self.n_items
-        poison: PoisonedReports | None = by_kind.get("poison")
-        self._poison_targets: np.ndarray | None = None
-        if poison is not None:
-            if poison.items is not None:
-                limit = 1 << self.n_bits
-                bad = [int(i) for i in poison.items if int(i) >= limit]
-                if bad:
-                    raise ScenarioError(
-                        f"poison target items {bad} exceed the {self.n_bits}-bit domain"
-                    )
-                self._poison_targets = np.asarray(poison.items, dtype=np.int64)
-            else:
-                # Default targets: the coldest items that never enter the
-                # moving truth at any step, so precision cleanly measures
-                # the attack (explicit `items` are the operator's choice
-                # and may overlap the truth deliberately).
-                ever_true = set()
-                for step in range(1, self.n_steps + 1):
-                    ever_true.update(self.true_top_k(step))
-                cold = [
-                    int(item)
-                    for item in self.item_ids[::-1]
-                    if int(item) not in ever_true
-                ][: self.k]
-                if not cold:
-                    raise ScenarioError(
-                        "every item enters the moving top-k at some step; "
-                        "pass explicit poison target items"
-                    )
-                self._poison_targets = np.asarray(cold, dtype=np.int64)
+        adversaries = [
+            effect for effect in self.effects if getattr(effect, "is_adversary", False)
+        ]
+        if len(adversaries) > 1:
+            kinds = sorted(effect.kind for effect in adversaries)
+            raise ScenarioError(
+                f"at most one adversary effect per scenario, got {kinds}"
+            )
+        #: The adversary controlling each batch's trailing reports, if any
+        #: (PoisonedReports or a repro.scenarios.adversaries model).
+        self._adversary = adversaries[0] if adversaries else None
+        self._adversary_targets: np.ndarray | None = (
+            self._adversary.resolve_targets(self) if self._adversary else None
+        )
 
     # ------------------------------------------------------------------ #
     # The exact generating process (no sampling)
@@ -293,7 +276,7 @@ class Scenario:
         seeds = spawn_seeds(gen, self.n_steps)
         burst: BurstArrivals | None = self._by_kind.get("burst")
         churn: PopulationChurn | None = self._by_kind.get("churn")
-        poison: PoisonedReports | None = self._by_kind.get("poison")
+        adversary = self._adversary
         population: np.ndarray | None = None
         previous_truth: tuple[int, ...] | None = None
         for step in range(1, self.n_steps + 1):
@@ -317,11 +300,18 @@ class Scenario:
                 positions = population[step_gen.integers(0, pop_size, size=size)]
             items = self.item_ids[positions].astype(np.int64)
             n_poisoned = 0
-            if poison is not None:
-                n_poisoned = poison.n_poisoned(step, size)
+            if adversary is not None:
+                n_poisoned = adversary.n_adversarial(step, size)
                 if n_poisoned:
-                    items[size - n_poisoned :] = np.resize(
-                        self._poison_targets, n_poisoned
+                    # step_gen is passed *after* honest sampling: a random
+                    # adversary (Byzantine) stays replayable without ever
+                    # perturbing the honest prefix of the stream.
+                    items[size - n_poisoned :] = adversary.adversarial_items(
+                        scenario=self,
+                        step=step,
+                        n=n_poisoned,
+                        targets=self._adversary_targets,
+                        step_gen=step_gen,
                     )
             truth = self.true_top_k(step)
             changed = previous_truth is not None and set(truth) != set(previous_truth)

@@ -181,6 +181,12 @@ class AggregationServer:
     n_decode_shards:
         Candidate ranges per OLH decode (see
         :class:`~repro.service.shards.OLHDecodeShard`).
+    defense:
+        Optional robust-merge policy applied to every round's shard
+        (see :meth:`repro.service.shards.LevelShard.effective_counts`).
+        Opt-in: a defended server finalises from the robust merge of its
+        wire batches, deliberately departing from the plain-sum
+        bit-identity contract.
 
     Examples
     --------
@@ -213,10 +219,12 @@ class AggregationServer:
         decode_backend: str | ExecutionBackend | None = None,
         decode_workers: int | None = None,
         n_decode_shards: int = 8,
+        defense=None,
     ):
         self.decode_backend = decode_backend
         self.decode_workers = decode_workers
         self.n_decode_shards = n_decode_shards
+        self.defense = defense
         self.rounds: dict[int, ServiceRound] = {}
         self._messages: list[Message] = []
         self._next_round_id = 0
@@ -280,6 +288,7 @@ class AggregationServer:
             domain.size,
             decode_backend=decode_engine,
             n_decode_shards=self.n_decode_shards,
+            defense=self.defense,
         )
         broadcast = RoundBroadcast(
             party=party,
@@ -474,7 +483,7 @@ class AggregationServer:
         round_.shard = None
         return finalize_estimate(
             round_.oracle,
-            shard.counts,
+            shard.effective_counts(),
             shard.n_users,
             round_.domain_size,
             n_batches=round_.n_batches,
@@ -505,7 +514,7 @@ class AggregationServer:
             n_users=shard.n_users,
             n_batches=round_.n_batches,
             upload_bits=round_.upload_bits,
-            counts=np.asarray(shard.counts, dtype=np.int64),
+            counts=np.asarray(shard.effective_counts(), dtype=np.int64),
         )
 
     # ------------------------------------------------------------------ #

@@ -38,9 +38,19 @@ class LevelShard:
         The frequency oracle whose reports the shard ingests.
     domain_size:
         Candidate-domain size (dummy included) of the round.
+    defense:
+        Optional robust-merge policy (duck-typed:
+        ``apply(batch_counts, batch_users, domain_size) -> int64 counts``,
+        e.g. :class:`repro.faults.defense.RobustMergePolicy`).  When set,
+        the shard additionally records each ingested batch as a separate
+        aggregation source so :meth:`effective_counts` can merge them
+        robustly instead of linearly.  ``None`` (the default) keeps the
+        exact-sum algebra and its bit-identity contract untouched.
     """
 
-    def __init__(self, oracle: FrequencyOracle, domain_size: int):
+    def __init__(
+        self, oracle: FrequencyOracle, domain_size: int, *, defense=None
+    ):
         if domain_size < 1:
             raise ShardError(f"domain_size must be positive, got {domain_size}")
         self.oracle = oracle
@@ -48,6 +58,11 @@ class LevelShard:
         self.counts = np.zeros(self.domain_size, dtype=np.int64)
         self.n_users = 0
         self.n_batches = 0
+        self.defense = defense
+        #: Per-source (delta counts, n_users) pairs, kept only when defended.
+        self._sources: list[tuple[np.ndarray, int]] | None = (
+            [] if defense is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -55,7 +70,10 @@ class LevelShard:
     def ingest(self, reports: object) -> int:
         """Fold one report batch into the accumulator; returns its size."""
         n = self.oracle.n_reports(reports)
-        self.counts = self._decode(reports)
+        decoded = self._decode(reports)
+        if self._sources is not None:
+            self._sources.append((decoded - self.counts, n))
+        self.counts = decoded
         self.n_users += n
         self.n_batches += 1
         return n
@@ -91,6 +109,8 @@ class LevelShard:
         n = int(n_users)
         if n < 0:
             raise ShardError(f"n_users must be non-negative, got {n}")
+        if self._sources is not None:
+            self._sources.append((counts.copy(), n))
         self.counts = self.oracle.merge_counts(self.counts, counts)
         self.n_users += n
         self.n_batches += int(n_batches)
@@ -106,10 +126,29 @@ class LevelShard:
         report stream yields the counts of ingesting the stream whole.
         """
         self._check_compatible(other)
+        if self._sources is not None:
+            if other._sources is not None:
+                self._sources.extend(other._sources)
+            elif other.n_batches:
+                # An undefended shard merges in as one opaque source.
+                self._sources.append((other.counts.copy(), other.n_users))
         self.counts = self.oracle.merge_counts(self.counts, other.counts)
         self.n_users += other.n_users
         self.n_batches += other.n_batches
         return self
+
+    def effective_counts(self) -> np.ndarray:
+        """The counts the round's estimate is built from.
+
+        The exact sum (:attr:`counts`) unless a defense policy is set, in
+        which case the recorded per-source deltas are merged robustly.
+        Deterministic either way, so defended runs replay exactly too.
+        """
+        if self.defense is None or not self._sources:
+            return self.counts
+        batch_counts = [counts for counts, _ in self._sources]
+        batch_users = [users for _, users in self._sources]
+        return self.defense.apply(batch_counts, batch_users, self.domain_size)
 
     def _check_compatible(self, other: "LevelShard") -> None:
         if not isinstance(other, LevelShard):
@@ -163,8 +202,9 @@ class OLHDecodeShard(LevelShard):
         *,
         backend: str | ExecutionBackend | None = None,
         n_decode_shards: int = 8,
+        defense=None,
     ):
-        super().__init__(oracle, domain_size)
+        super().__init__(oracle, domain_size, defense=defense)
         if n_decode_shards < 1:
             raise ShardError(f"n_decode_shards must be positive, got {n_decode_shards}")
         self.n_decode_shards = int(n_decode_shards)
@@ -208,11 +248,14 @@ def make_shard(
     *,
     decode_backend: str | ExecutionBackend | None = None,
     n_decode_shards: int = 8,
+    defense=None,
 ) -> LevelShard:
     """Build the right shard for ``oracle`` over a ``domain_size`` domain.
 
     A ``decode_backend`` only matters for OLH, the one oracle whose decode
     is heavy enough to shard; every other oracle accumulates inline.
+    ``defense`` opts the shard into a robust (non-linear) merge of its
+    ingested batches — see :meth:`LevelShard.effective_counts`.
     """
     if oracle.name == OptimizedLocalHashing.name and decode_backend is not None:
         return OLHDecodeShard(
@@ -220,5 +263,6 @@ def make_shard(
             domain_size,
             backend=decode_backend,
             n_decode_shards=n_decode_shards,
+            defense=defense,
         )
-    return LevelShard(oracle, domain_size)
+    return LevelShard(oracle, domain_size, defense=defense)

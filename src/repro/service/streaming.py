@@ -177,7 +177,10 @@ class SlidingWindowDiscovery:
         party = Party(name="window", items=items)
         # A caller-owned engine instance (or None): the per-pass server
         # never owns a pool, so no per-pass shutdown is needed.
-        server = AggregationServer(decode_backend=self._decode_backend())
+        server = AggregationServer(
+            decode_backend=self._decode_backend(),
+            defense=self.config.defense_policy(),
+        )
         runner = ServiceRoundRunner(
             server=server,
             party="window",

@@ -1,0 +1,272 @@
+"""Adversary scoring goldens and the robust-merge defense (ISSUE 8).
+
+Every adversarial client model is scored with the PR-4 robustness
+metrics (time-resolved F1, detection latency) on one shared workload and
+pinned as exact goldens — the runs are pure functions of the seed, so
+these are equality assertions, not tolerances.  The same goldens then
+show the trimmed shard merge doing its job: measurably better F1 under
+collusion and targeted promotion, at no cost to the honest baseline's
+machinery.
+
+Alongside the scores, the invariants that make adversaries *scorable*:
+
+* ground truth stays honest — an attack distorts what the mechanism
+  discovers, never what is true;
+* the honest prefix of the arrival stream is bit-identical to the
+  attack-free run (the adversary seam draws from the step generator only
+  after honest sampling);
+* same-seed runs persist byte-identical snapshot stores, defense on or
+  off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.store import ScenarioSnapshotStore
+from repro.scenarios.adversaries import (
+    ADVERSARY_KINDS,
+    ByzantineParties,
+    ColludingParties,
+    TargetedPromotion,
+)
+from repro.scenarios.effects import (
+    EFFECT_KINDS,
+    DriftSchedule,
+    PoisonedReports,
+    ScenarioError,
+    effect_from_dict,
+)
+from repro.scenarios.harness import run_scenario
+from repro.scenarios.scenario import BaseWorkload, Scenario
+
+#: Shared workload: a 64-item zipf stream with one abrupt drift at step 4,
+#: so the goldens exercise both the attack and the re-detection path.
+BASE = BaseWorkload(kind="zipf", n_items=64, n_bits=8)
+SEED = 7
+
+
+def _scenario(adversary=None) -> Scenario:
+    effects: tuple = (DriftSchedule(start=4),)
+    if adversary is not None:
+        effects = effects + (adversary,)
+    return Scenario(base=BASE, effects=effects, n_steps=8, batch_size=400, k=4)
+
+
+def _score(adversary=None, *, store=None, **kwargs):
+    return run_scenario(
+        _scenario(adversary),
+        granularity=3,
+        window_batches=3,
+        seed=SEED,
+        report_batch_size=32,
+        store=store,
+        **kwargs,
+    )
+
+
+def _f1(report) -> list[float]:
+    return [record["f1"] for record in report.records]
+
+
+def _latency(report) -> list:
+    return [event["latency_steps"] for event in report.events]
+
+
+#: kind → (adversary, pinned F1 per snapshot, pinned detection latency).
+#: Derived once from the deterministic harness; any change to sampling,
+#: estimation, or scoring that moves these is a visible diff, not drift.
+GOLDENS = {
+    "honest": (None, [1.0, 0.25, 0.5, 0.75, 0.75, 0.75], [1]),
+    "collude": (
+        ColludingParties(fraction=0.3, start=1),
+        [0.25, 0.25, 0.25, 0.25, 0.25, 0.5],
+        [4],
+    ),
+    "promote": (
+        TargetedPromotion(fraction=0.3, start=1),
+        [0.25, 0.5, 0.25, 0.25, 0.25, 0.5],
+        [0],
+    ),
+    "byzantine": (
+        ByzantineParties(fraction=0.3, start=1, mode="uniform"),
+        [0.75, 0.25, 0.75, 0.75, 0.75, 0.75],
+        [1],
+    ),
+    "poison": (
+        PoisonedReports(fraction=0.3, start=1),
+        [0.25, 0.25, 0.25, 0.25, 0.25, 0.25],
+        [None],  # the drifted truth is never re-detected under poison
+    ),
+}
+
+#: kind → pinned F1 with the trimmed shard merge enabled.
+DEFENDED_GOLDENS = {
+    "collude": [0.5, 0.25, 0.25, 0.75, 0.5, 0.75],
+    "promote": [0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+}
+
+
+class TestScoringGoldens:
+    @pytest.mark.parametrize("kind", sorted(GOLDENS))
+    def test_adversary_f1_and_detection_latency_are_pinned(self, kind):
+        adversary, f1, latency = GOLDENS[kind]
+        report = _score(adversary)
+        assert _f1(report) == f1
+        assert _latency(report) == latency
+
+    def test_every_adversary_kind_has_a_golden(self):
+        assert set(ADVERSARY_KINDS) <= set(GOLDENS)
+
+    @pytest.mark.parametrize("kind", sorted(DEFENDED_GOLDENS))
+    def test_trimmed_merge_goldens_are_pinned(self, kind):
+        adversary = GOLDENS[kind][0]
+        report = _score(adversary, defense="trimmed")
+        assert _f1(report) == DEFENDED_GOLDENS[kind]
+
+    @pytest.mark.parametrize("kind", sorted(DEFENDED_GOLDENS))
+    def test_defense_measurably_improves_f1(self, kind):
+        """The acceptance bar: at least one adversary (here: two) scores
+        measurably better with the defense on, in the pinned goldens —
+        no fresh runs needed, the inequality lives in the constants."""
+        plain = GOLDENS[kind][1]
+        defended = DEFENDED_GOLDENS[kind]
+        assert sum(defended) / len(defended) > sum(plain) / len(plain)
+
+    def test_defense_recovers_detection_latency_under_collusion(self):
+        adversary = GOLDENS["collude"][0]
+        defended = _score(adversary, defense="trimmed")
+        assert _latency(defended) == [2]  # vs 4 undefended, 1 honest
+
+
+class TestSnapshotStores:
+    @pytest.mark.parametrize("defense", [None, "trimmed"])
+    def test_same_seed_runs_persist_byte_identical_stores(self, tmp_path, defense):
+        adversary = ColludingParties(fraction=0.3, start=1)
+        kwargs = {} if defense is None else {"defense": defense}
+        paths = []
+        for run in ("a", "b"):
+            path = tmp_path / f"run-{run}.jsonl"
+            store = ScenarioSnapshotStore(path, fingerprint="golden")
+            _score(adversary, store=store, **kwargs)
+            paths.append(path)
+        first, second = (path.read_bytes() for path in paths)
+        assert first == second
+        assert len(ScenarioSnapshotStore.load(paths[0])) == 6
+
+    def test_store_records_match_the_report(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = ScenarioSnapshotStore(path, fingerprint="golden")
+        report = _score(ByzantineParties(fraction=0.3, start=1))
+        stored = None
+        # Re-run into the store: same seed, so records must agree exactly.
+        _score(ByzantineParties(fraction=0.3, start=1), store=store)
+        stored = ScenarioSnapshotStore.load(path)
+        assert stored == [dict(record) for record in report.records]
+
+
+class TestGroundTruthStaysHonest:
+    @pytest.mark.parametrize("kind", [k for k in sorted(GOLDENS) if GOLDENS[k][0]])
+    def test_attacked_stream_keeps_the_honest_truth_and_prefix(self, kind):
+        """The attacked stream's ground truth and honest prefix are
+        bit-identical to the attack-free run — only the adversarial tail
+        differs, and its size is exactly the declared coalition."""
+        adversary = GOLDENS[kind][0]
+        honest = list(_scenario().iter_batches(SEED))
+        attacked = list(_scenario(adversary).iter_batches(SEED))
+        assert len(honest) == len(attacked)
+        for clean, dirty in zip(honest, attacked):
+            assert dirty.true_top_k == clean.true_top_k
+            assert dirty.truth_changed == clean.truth_changed
+            expected = adversary.n_adversarial(dirty.step, len(dirty.items))
+            assert dirty.n_poisoned == expected
+            honest_prefix = len(dirty.items) - dirty.n_poisoned
+            assert np.array_equal(
+                dirty.items[:honest_prefix], clean.items[:honest_prefix]
+            )
+
+    def test_coalition_size_honours_start_and_fraction(self):
+        adversary = ColludingParties(fraction=0.25, start=3)
+        assert adversary.n_adversarial(2, 400) == 0
+        assert adversary.n_adversarial(3, 400) == 100
+        assert adversary.n_adversarial(8, 400) == 100
+
+    def test_colluding_targets_rotate_per_step(self):
+        adversary = ColludingParties(fraction=0.2, start=1, items=(5, 9))
+        scenario = _scenario(adversary)
+        steps = {
+            batch.step: set(batch.items[-batch.n_poisoned :].tolist())
+            for batch in scenario.iter_batches(SEED)
+        }
+        assert steps[1] == {5} and steps[2] == {9} and steps[3] == {5}
+
+    def test_promotion_targets_runners_up_only(self):
+        adversary = TargetedPromotion(fraction=0.2, start=1, width=3)
+        scenario = _scenario(adversary)
+        for batch in scenario.iter_batches(SEED):
+            tail = set(batch.items[-batch.n_poisoned :].tolist())
+            assert tail, "the coalition must inject every step"
+            assert not tail & set(batch.true_top_k)  # boundary, never top-k
+
+
+class TestValidation:
+    def test_at_most_one_adversary_per_scenario(self):
+        with pytest.raises(ScenarioError, match="at most one adversary"):
+            Scenario(
+                base=BASE,
+                effects=(
+                    ColludingParties(fraction=0.1),
+                    ByzantineParties(fraction=0.1),
+                ),
+            )
+        with pytest.raises(ScenarioError, match="at most one adversary"):
+            Scenario(
+                base=BASE,
+                effects=(
+                    ColludingParties(fraction=0.1),
+                    TargetedPromotion(fraction=0.1),
+                ),
+            )
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: ColludingParties(fraction=0.0),
+            lambda: ColludingParties(fraction=1.5),
+            lambda: ColludingParties(fraction=0.1, start=0),
+            lambda: ColludingParties(fraction=0.1, items=()),
+            lambda: ColludingParties(fraction=0.1, items=(-1,)),
+            lambda: TargetedPromotion(fraction=0.1, width=0),
+            lambda: ByzantineParties(fraction=0.1, mode="chaotic-neutral"),
+        ],
+    )
+    def test_invalid_adversaries_are_rejected(self, build):
+        with pytest.raises((ScenarioError, ValueError)):
+            build()
+
+    def test_promotion_width_must_leave_runners_up(self):
+        wide = TargetedPromotion(fraction=0.1, width=64)
+        with pytest.raises(ScenarioError, match="runners-up"):
+            Scenario(base=BASE, effects=(wide,), k=4)
+
+
+class TestDocumentRoundTrip:
+    def test_adversaries_are_registered_effects(self):
+        for kind, cls in ADVERSARY_KINDS.items():
+            assert EFFECT_KINDS[kind] is cls
+            assert cls.is_adversary
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [
+            ColludingParties(fraction=0.3, start=2, items=(4, 8)),
+            TargetedPromotion(fraction=0.2, start=1, width=2),
+            ByzantineParties(fraction=0.1, start=3, mode="reverse"),
+        ],
+        ids=lambda adversary: adversary.kind,
+    )
+    def test_dict_round_trip_through_the_effect_registry(self, adversary):
+        document = adversary.to_dict()
+        assert document["kind"] == adversary.kind
+        assert effect_from_dict(document) == adversary

@@ -1,0 +1,216 @@
+"""Property tests for the declarative fault profiles (ISSUE 8 tentpole).
+
+The two contracts that make chaos runs *testable*:
+
+* **Seed determinism** — a profile's schedule is a pure function of its
+  fields and the frame coordinates; equal profiles produce equal
+  decisions, frame for frame, regardless of inspection order.
+* **Associative composition** — chains are flat tuples of layers, so any
+  parenthesisation of the same layer sequence is the *same* chain, hence
+  the same schedule.
+
+Both are pinned with hypothesis over the full parameter space, alongside
+the document round-trip and the filter/validation surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.profile import (
+    DIRECTIONS,
+    FaultChain,
+    FaultProfile,
+    FaultSpecError,
+    as_chain,
+    compose,
+    fault_profile_from_dict,
+    load_fault_profile,
+)
+from repro.net.framing import FRAME_REPORT_BATCH, FRAME_ROUND_CONTROL
+
+PROBABILITY = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+PROFILES = st.builds(
+    FaultProfile,
+    seed=st.integers(min_value=0, max_value=2**31),
+    direction=st.sampled_from(DIRECTIONS),
+    drop=PROBABILITY,
+    duplicate=PROBABILITY,
+    reorder=PROBABILITY,
+    corrupt=PROBABILITY,
+    truncate=PROBABILITY,
+    disconnect=PROBABILITY,
+    straggle=PROBABILITY,
+    corrupt_window=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    kinds=st.one_of(
+        st.none(),
+        st.lists(
+            st.integers(min_value=1, max_value=6), min_size=1, max_size=3, unique=True
+        ).map(tuple),
+    ),
+    max_faults=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+)
+
+FRAME_COORDS = st.tuples(
+    st.integers(min_value=0, max_value=1 << 20),  # connection
+    st.integers(min_value=0, max_value=1 << 20),  # frame
+    st.sampled_from(("up", "down")),
+)
+
+
+class TestSeedDeterminism:
+    @given(profile=PROFILES, coords=FRAME_COORDS)
+    @settings(max_examples=80, deadline=None)
+    def test_equal_profiles_make_equal_decisions(self, profile, coords):
+        """Schedule = f(fields, coordinates): a reconstructed equal profile
+        replays the identical decision — the retry/replay contract."""
+        connection, frame, direction = coords
+        clone = FaultProfile(**{
+            f.name: getattr(profile, f.name) for f in dataclasses.fields(profile)
+        })
+        assert clone == profile
+        assert clone.decide(connection, frame, direction) == profile.decide(
+            connection, frame, direction
+        )
+        # And the decision is stable under repeated inspection (hash, not
+        # an RNG stream): asking twice cannot change the verdict.
+        assert profile.decide(connection, frame, direction) == profile.decide(
+            connection, frame, direction
+        )
+
+    @given(profile=PROFILES, coords=FRAME_COORDS, offset=st.integers(1, 1 << 16))
+    @settings(max_examples=60, deadline=None)
+    def test_shifted_profiles_change_only_the_seed(self, profile, coords, offset):
+        shifted = profile.shifted(offset)
+        assert shifted.seed == profile.seed + offset
+        assert shifted.with_seed(profile.seed) == profile
+        connection, frame, direction = coords
+        # Zero shift is the identity on the schedule.
+        assert profile.shifted(0).decide(connection, frame, direction) == (
+            profile.decide(connection, frame, direction)
+        )
+
+    @given(coords=FRAME_COORDS)
+    @settings(max_examples=40, deadline=None)
+    def test_probability_endpoints_are_exact(self, coords):
+        """p=0 never fires; p=1 always fires — no float edge can leak."""
+        connection, frame, direction = coords
+        never = FaultProfile(seed=1).decide(connection, frame, direction)
+        assert not never.any_fault
+        always = FaultProfile(
+            seed=1, drop=1.0, duplicate=1.0, corrupt=1.0, straggle=1.0
+        ).decide(connection, frame, direction)
+        assert always.drop and always.duplicate and always.corrupt and always.straggle
+        assert always.corrupt_xor >= 1  # a real bit flip, never a no-op XOR
+
+
+class TestComposition:
+    @given(a=PROFILES, b=PROFILES, c=PROFILES)
+    @settings(max_examples=60, deadline=None)
+    def test_compose_is_exactly_associative(self, a, b, c):
+        left = compose(compose(a, b), c)
+        right = compose(a, compose(b, c))
+        assert left == right
+        assert left.layers == (a, b, c)
+
+    @given(profile=PROFILES)
+    @settings(max_examples=30, deadline=None)
+    def test_a_profile_is_its_own_one_layer_chain(self, profile):
+        assert as_chain(profile).layers == (profile,)
+        assert profile.layers == (profile,)
+        assert compose(profile).layers == (profile,)
+
+    @given(a=PROFILES, b=PROFILES, offset=st.integers(0, 1 << 10))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_distributes_over_composition(self, a, b, offset):
+        assert compose(a, b).shifted(offset) == compose(
+            a.shifted(offset), b.shifted(offset)
+        )
+
+    def test_chain_rejects_non_profile_layers(self):
+        with pytest.raises(FaultSpecError, match="FaultProfile"):
+            FaultChain(("not a profile",))
+        with pytest.raises(FaultSpecError, match="FaultProfile"):
+            as_chain({"drop": 0.5})
+
+
+class TestDocumentRoundTrip:
+    @given(profile=PROFILES)
+    @settings(max_examples=60, deadline=None)
+    def test_profile_dict_round_trip(self, profile):
+        assert FaultProfile.from_dict(profile.to_dict()) == profile
+
+    @given(a=PROFILES, b=PROFILES)
+    @settings(max_examples=40, deadline=None)
+    def test_chain_dict_round_trip(self, a, b):
+        chain = compose(a, b)
+        assert FaultChain.from_dict(chain.to_dict()) == chain
+        # The loader's three accepted shapes all land on the same object.
+        assert fault_profile_from_dict(chain.to_dict()) == chain
+        assert fault_profile_from_dict([a.to_dict(), b.to_dict()]) == chain
+        assert fault_profile_from_dict(a.to_dict()) == a
+
+    def test_file_loading_json_and_yaml(self, tmp_path):
+        profile = FaultProfile(name="drop", seed=3, drop=0.25, max_faults=2)
+        json_path = tmp_path / "faults.json"
+        json_path.write_text(__import__("json").dumps(profile.to_dict()))
+        assert load_fault_profile(json_path) == profile
+        yaml_path = tmp_path / "faults.yaml"
+        yaml_path.write_text("name: drop\nseed: 3\ndrop: 0.25\nmax_faults: 2\n")
+        assert load_fault_profile(yaml_path) == profile
+        with pytest.raises(FaultSpecError, match="does not exist"):
+            load_fault_profile(tmp_path / "missing.yaml")
+
+    def test_unknown_keys_are_named(self):
+        with pytest.raises(FaultSpecError, match="dorp"):
+            FaultProfile.from_dict({"dorp": 0.5})
+
+
+class TestFiltersAndValidation:
+    def test_direction_and_kind_and_op_filters(self):
+        layer = FaultProfile(
+            direction="down",
+            kinds=(FRAME_ROUND_CONTROL,),
+            ops=("batch_ack",),
+        )
+        assert layer.applies(
+            direction="down", kind=FRAME_ROUND_CONTROL, op="batch_ack"
+        )
+        assert not layer.applies(
+            direction="up", kind=FRAME_ROUND_CONTROL, op="batch_ack"
+        )
+        assert not layer.applies(
+            direction="down", kind=FRAME_REPORT_BATCH, op="batch_ack"
+        )
+        assert not layer.applies(
+            direction="down", kind=FRAME_ROUND_CONTROL, op="open_round"
+        )
+        unfiltered = FaultProfile()
+        assert unfiltered.applies(direction="up", kind=FRAME_REPORT_BATCH)
+        assert unfiltered.applies(direction="down", kind=None)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"direction": "sideways"},
+            {"drop": 1.5},
+            {"corrupt": -0.1},
+            {"delay_ms": -1.0},
+            {"bytes_per_sec": 0},
+            {"corrupt_window": 0},
+            {"kinds": ()},
+            {"kinds": ("report",)},
+            {"ops": ()},
+            {"ops": ("",)},
+            {"max_faults": -1},
+            {"name": ""},
+        ],
+    )
+    def test_invalid_profiles_are_rejected(self, bad):
+        with pytest.raises((FaultSpecError, ValueError)):
+            FaultProfile(**bad)
