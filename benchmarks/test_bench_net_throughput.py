@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.net.gateway import start_gateway
 from repro.net.loadgen import run_loadgen
+from repro.perf.gate import ARTIFACT_SCHEMAS
 
 #: Reports per (connection, round) and rounds per connection: sized so the
 #: quick profile finishes in a few seconds while still crossing several
@@ -44,50 +45,7 @@ def _bench_backend() -> tuple[str, int | None]:
     return spec, (int(workers) if workers else None)
 
 
-#: A new run is flagged (warn-only) when its throughput falls below this
-#: fraction of the last committed run at the same connection count.
-_TREND_WARN_RATIO = 0.5
-
-
-def _trend_vs_previous(entries: list[dict], path: Path) -> dict:
-    """Warn-only throughput comparison against the last committed results.
-
-    The same honest-perf-trajectory block the service throughput benchmark
-    carries: shared runners are noisy, so regressions are *reported* (in
-    the payload and on stdout), never asserted.
-    """
-    try:
-        previous = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return {"baseline": None, "comparisons": [], "warnings": []}
-    baseline = {
-        e["connections"]: e["reports_per_sec"]
-        for e in previous.get("entries", [])
-        if e.get("reports_per_sec")
-    }
-    comparisons, warnings = [], []
-    for entry in entries:
-        old = baseline.get(entry["connections"])
-        if not old:
-            continue
-        ratio = entry["reports_per_sec"] / old
-        comparisons.append(
-            {
-                "connections": entry["connections"],
-                "previous_reports_per_sec": old,
-                "ratio": round(ratio, 3),
-            }
-        )
-        if ratio < _TREND_WARN_RATIO:
-            warnings.append(
-                f"{entry['connections']} connection(s): "
-                f"{entry['reports_per_sec']:,} reports/s is {ratio:.2f}x the "
-                f"last committed run ({old:,})"
-            )
-    return {"baseline": "committed", "comparisons": comparisons, "warnings": warnings}
-
-
-def test_net_throughput_profile():
+def test_net_throughput_profile(calibration):
     """Measure reports/sec and latency percentiles vs connection count."""
     backend, workers = _bench_backend()
     entries = []
@@ -124,8 +82,12 @@ def test_net_throughput_profile():
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(parents=True, exist_ok=True)
     path = results_dir / "net_throughput.json"
-    trend = _trend_vs_previous(entries, path)
-    for warning in trend["warnings"]:
+    # Warn-only calibrated trend vs the committed artifact (read before this
+    # run overwrites it); enforcement belongs to `repro bench gate`.
+    trend = ARTIFACT_SCHEMAS["net_throughput"].trend(
+        entries, path, calibration=calibration
+    )
+    for warning in trend.warnings:
         print(f"\nWARNING (trend): {warning}")
     payload = {
         "backend": backend,
@@ -134,7 +96,8 @@ def test_net_throughput_profile():
         "batch_size": BATCH_SIZE,
         "users_per_round": USERS_PER_ROUND,
         "entries": entries,
-        "trend": trend,
+        "trend": trend.to_dict(),
+        "calibration": calibration.to_dict(),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n===== net_throughput =====\n{json.dumps(payload, indent=2)}\n")

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.engine import get_backend
 from repro.ldp.registry import make_oracle
+from repro.perf.gate import ARTIFACT_SCHEMAS
 from repro.service.clients import ClientPool
 from repro.service.protocol import encode_report_batch
 from repro.service.server import AggregationServer
@@ -119,51 +120,7 @@ def _stream_once(oracle_name: str, n_users: int, batch_size: int, backend) -> di
     }
 
 
-#: A new run is flagged (warn-only) when its throughput falls below this
-#: fraction of the last committed run for the same (oracle, batch size).
-_TREND_WARN_RATIO = 0.5
-
-
-def _trend_vs_previous(entries: list[dict], path: Path) -> dict:
-    """Warn-only throughput comparison against the last committed results.
-
-    Benchmarks on shared runners are noisy, so regressions are *reported*
-    (in the payload and on stdout), never asserted.
-    """
-    try:
-        previous = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return {"baseline": None, "comparisons": [], "warnings": []}
-    baseline = {
-        (e["oracle"], e["batch_size"]): e["reports_per_sec"]
-        for e in previous.get("entries", [])
-        if e.get("reports_per_sec")
-    }
-    comparisons, warnings = [], []
-    for entry in entries:
-        key = (entry["oracle"], entry["batch_size"])
-        old = baseline.get(key)
-        if not old:
-            continue
-        ratio = entry["reports_per_sec"] / old
-        comparisons.append(
-            {
-                "oracle": entry["oracle"],
-                "batch_size": entry["batch_size"],
-                "previous_reports_per_sec": old,
-                "ratio": round(ratio, 3),
-            }
-        )
-        if ratio < _TREND_WARN_RATIO:
-            warnings.append(
-                f"{entry['oracle']} @ batch {entry['batch_size']}: "
-                f"{entry['reports_per_sec']:,} reports/s is {ratio:.2f}x the "
-                f"last committed run ({old:,})"
-            )
-    return {"baseline": "committed", "comparisons": comparisons, "warnings": warnings}
-
-
-def test_service_ingestion_throughput():
+def test_service_ingestion_throughput(calibration):
     """Measure ingestion throughput vs batch size and persist the profile.
 
     Asserts the memory model rather than absolute speed (CI machines vary):
@@ -180,15 +137,20 @@ def test_service_ingestion_throughput():
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(parents=True, exist_ok=True)
     path = results_dir / "service_throughput.json"
-    trend = _trend_vs_previous(entries, path)
-    for warning in trend["warnings"]:
+    # Warn-only calibrated trend vs the committed artifact (read before this
+    # run overwrites it); enforcement belongs to `repro bench gate`.
+    trend = ARTIFACT_SCHEMAS["service_throughput"].trend(
+        entries, path, calibration=calibration
+    )
+    for warning in trend.warnings:
         print(f"\nWARNING (trend): {warning}")
     payload = {
         "backend": backend_spec or "serial",
         "max_workers": os.environ.get("REPRO_BENCH_WORKERS"),
         "domain_size": (1 << DOMAIN_BITS) + 1,
         "entries": entries,
-        "trend": trend,
+        "trend": trend.to_dict(),
+        "calibration": calibration.to_dict(),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"\n===== service_throughput =====\n{json.dumps(payload, indent=2)}\n")

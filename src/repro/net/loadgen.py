@@ -34,6 +34,7 @@ from repro.engine import get_backend
 from repro.ldp.registry import make_oracle
 from repro.net.client import GatewayConnection
 from repro.net.framing import WireFormatError
+from repro.perf.controller import AdaptiveController, ControllerConfig, resolve_adaptive
 from repro.service.clients import ClientPool
 from repro.service.protocol import RoundBroadcast, encode_report_batch, wire_bits
 from repro.service.server import ServiceError
@@ -68,6 +69,7 @@ class _PoolTask:
     ring_seed: int = 0
     ring_vnodes: int | None = None
     retries: int = 0
+    adaptive: ControllerConfig | None = None
 
 
 def _open_connection(
@@ -136,6 +138,11 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
     n_retries = 0
     latencies: list[float] = []
     top_prefixes: list[list] = []
+    controller = (
+        AdaptiveController(task.adaptive, initial_batch_size=task.batch_size)
+        if task.adaptive is not None
+        else None
+    )
 
     def _open():
         return _open_connection(
@@ -148,6 +155,12 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
     connection = _open()
     try:
         for round_seed in round_seeds:
+            if controller is not None:
+                # The controller owns the batch size from here on; the pool
+                # re-reads it at iteration time, so this round streams at
+                # whatever the last decision picked.
+                pool.batch_size = controller.batch_size
+            observed_before = len(latencies) + len(connection.latencies)
             for attempt in range(int(task.retries) + 1):
                 try:
                     stats = _run_round(task, pool, domain, connection, round_seed)
@@ -171,10 +184,17 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
             upload_bits += stats["upload_bits"]
             broadcast_bits += stats["broadcast_bits"]
             top_prefixes = stats["top_prefixes"]
+            if controller is not None:
+                # Feed the controller exactly this round's send→ack
+                # latencies (including any failed attempts — those were
+                # real round trips) and let it pick the next round's knobs.
+                observed = latencies + list(connection.latencies)
+                controller.observe_many(observed[observed_before:])
+                controller.end_round()
         latencies.extend(connection.latencies)
     finally:
         connection.close()
-    return {
+    result = {
         "pool": task.name,
         "n_users": pool.n_users,
         "n_reports": n_reports,
@@ -185,6 +205,9 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
         "top_prefixes": top_prefixes,
         "n_retries": n_retries,
     }
+    if controller is not None:
+        result["controller"] = controller.trace()
+    return result
 
 
 def _latency_summary(latencies_s: list[float]) -> dict:
@@ -229,6 +252,7 @@ class LoadgenReport:
     retries: int = 0
     n_retries: int = 0
     faults: dict | None = None
+    adaptive: dict | None = None
 
     def to_dict(self) -> dict:
         out = {f: getattr(self, f) for f in self.__dataclass_fields__}
@@ -249,6 +273,10 @@ class LoadgenReport:
             if self.retries == 0 and self.n_retries == 0:
                 del out["retries"]
                 del out["n_retries"]
+        # Same contract for the adaptive controller: non-adaptive reports
+        # stay byte-identical to those written before it existed.
+        if self.adaptive is None:
+            del out["adaptive"]
         return out
 
     def render(self) -> str:
@@ -318,6 +346,7 @@ def run_loadgen(
     ring_vnodes: int | None = None,
     faults=None,
     retries: int = 0,
+    adaptive=None,
 ) -> LoadgenReport:
     """Drive simulated client pools against a gateway; measure everything.
 
@@ -366,6 +395,15 @@ def run_loadgen(
         (:data:`RETRYABLE_ERRORS`): a failed round is replayed from its
         own seed on a fresh connection, so a run that converges within
         the budget is bit-identical to a fault-free run.
+    adaptive:
+        Opt-in latency feedback: ``True`` for the default
+        :class:`~repro.perf.controller.ControllerConfig`, or a config /
+        mapping of its fields.  Each connection then runs its own
+        :class:`~repro.perf.controller.AdaptiveController` — starting
+        from ``batch_size`` — that re-picks the batch size from the
+        observed p50/p95 after every round; the per-connection decision
+        trace lands under ``per_connection[i]["controller"]``.  Off by
+        default: fixed-knob runs stay bit-identical to earlier releases.
     """
     check_positive("connections", connections)
     check_positive("rounds", rounds)
@@ -373,6 +411,7 @@ def run_loadgen(
     check_positive("retries", retries, strict=False)
     if users_per_round is not None:
         check_positive("users_per_round", users_per_round)
+    adaptive_config = resolve_adaptive(adaptive, source="<loadgen adaptive>")
     gen = as_generator(seed)
 
     if scenario is not None:
@@ -448,6 +487,7 @@ def run_loadgen(
             ring_seed=int(ring_seed),
             ring_vnodes=ring_vnodes,
             retries=int(retries),
+            adaptive=adaptive_config,
         )
         for name, items in pools
     ]
@@ -507,4 +547,5 @@ def run_loadgen(
         retries=int(retries),
         n_retries=sum(r.get("n_retries", 0) for r in results),
         faults=faults_summary,
+        adaptive=adaptive_config.to_dict() if adaptive_config is not None else None,
     )

@@ -1,0 +1,64 @@
+"""The perf layer: calibration, trends, the gate, and adaptive control.
+
+Four pieces make the repo's speed claims load-bearing instead of
+anecdotal (see ``docs/architecture.md``, "The perf layer"):
+
+* :mod:`repro.perf.calibrate` — a fixed reference kernel prices the
+  machine (:class:`MachineCalibration`), so measurements become
+  **work-normalized cost ratios** comparable across machines;
+* :mod:`repro.perf.trend` — the one shared trend engine comparing a
+  run's entries to the last committed artifact by calibrated ratio,
+  emitting a structured :class:`TrendReport` (pass/warn/fail/new/skip
+  per entry, skips always with a reason);
+* :mod:`repro.perf.gate` — golden schemas for every committed perf
+  artifact plus ``repro bench gate``: schema validation, trend
+  re-checking, non-zero exit on a ``fail``, and a ``--selftest`` that
+  injects a synthetic 2× slowdown and proves the gate catches it;
+* :mod:`repro.perf.controller` — :class:`AdaptiveController`, a
+  deterministic latency-feedback loop picking ``batch_size`` /
+  ``credits`` / ``max_workers``, opt-in from ``run_loadgen(adaptive=…)``.
+"""
+
+from repro.perf.calibrate import MachineCalibration, calibrate, effective_cores
+from repro.perf.controller import (
+    AdaptiveController,
+    ControllerConfig,
+    ControllerDecision,
+    resolve_adaptive,
+)
+from repro.perf.gate import (
+    ARTIFACT_SCHEMAS,
+    ArtifactSchema,
+    GateReport,
+    inject_slowdown,
+    run_gate,
+    run_selftest,
+)
+from repro.perf.trend import (
+    VERDICTS,
+    TrendComparison,
+    TrendPolicy,
+    TrendReport,
+    trend_vs_previous,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMAS",
+    "AdaptiveController",
+    "ArtifactSchema",
+    "ControllerConfig",
+    "ControllerDecision",
+    "GateReport",
+    "MachineCalibration",
+    "TrendComparison",
+    "TrendPolicy",
+    "TrendReport",
+    "VERDICTS",
+    "calibrate",
+    "effective_cores",
+    "inject_slowdown",
+    "resolve_adaptive",
+    "run_gate",
+    "run_selftest",
+    "trend_vs_previous",
+]

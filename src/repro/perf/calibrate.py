@@ -1,0 +1,186 @@
+"""Machine calibration: a fixed reference kernel that prices this machine.
+
+Absolute benchmark numbers (reports/sec, seconds) are meaningless across
+machines — a laptop, a shared CI runner, and a throttled container can
+differ by an order of magnitude on identical code.  The perf gate instead
+expresses every measurement as a **work-normalized cost ratio**::
+
+    cost_ratio = seconds × calibration.ops_per_sec / work_units
+
+i.e. "how many reference byte-ops this machine *could* have executed in
+the time one unit of work actually took".  Both factors scale identically
+with machine speed (a 2× slower machine halves ``ops_per_sec`` and
+doubles ``seconds``), so the ratio is a property of the *code*, not the
+*hardware* — which is what makes trend comparisons against a committed
+artifact from a different machine honest.
+
+The reference kernel is deliberately the same arithmetic as the columnar
+hot path (:func:`repro.ldp.packed.packed_column_counts`: a blocked
+``np.bincount`` over byte values folded through the 256×8 popcount LUT),
+so the calibration exercises the memory and integer-histogram behaviour
+the gated benchmarks actually depend on.  Nothing runs at import time:
+:func:`calibrate` times the kernel when called, with an injectable clock
+so tests can pin the arithmetic without real timing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.ldp.packed import packed_column_counts
+
+#: Version tag of the reference kernel.  Bump when the kernel's work per
+#: repetition changes — cost ratios are only comparable within one tag.
+KERNEL_NAME = "packed-bincount-lut-v1"
+
+#: Shape of the fixed reference buffer: 4096 packed unary reports over a
+#: 256-candidate domain (32 bytes/row) — large enough to stream through
+#: the blocked kernel, small enough that one pass takes well under a
+#: millisecond on any machine this repo targets.
+_REFERENCE_SHAPE = (4096, 32)
+_REFERENCE_DOMAIN = _REFERENCE_SHAPE[1] * 8
+
+_REFERENCE_BUFFER: np.ndarray | None = None
+
+
+def _reference_buffer() -> np.ndarray:
+    """The fixed pseudorandom byte buffer every calibration runs over."""
+    global _REFERENCE_BUFFER
+    if _REFERENCE_BUFFER is None:
+        data = np.random.default_rng(20250808).integers(
+            0, 256, size=_REFERENCE_SHAPE, dtype=np.uint8
+        )
+        data.flags.writeable = False
+        _REFERENCE_BUFFER = data
+    return _REFERENCE_BUFFER
+
+
+def effective_cores() -> int:
+    """Cores actually usable by this process (honours CPU affinity masks)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class MachineCalibration:
+    """One machine's price tag: reference-kernel throughput plus topology.
+
+    ``ops_per_sec`` counts *bytes the reference kernel touched per
+    second* — the unit every work-normalized cost ratio is denominated
+    in.  ``cpu_count``/``effective_cores`` travel with it so artifacts
+    record the topology that produced them (a speedup claim without a
+    core count is not a claim).
+    """
+
+    ops_per_sec: float
+    elapsed_seconds: float
+    work_units: int
+    repetitions: int
+    cpu_count: int
+    effective_cores: int
+    kernel: str = KERNEL_NAME
+
+    def __post_init__(self):
+        if self.ops_per_sec <= 0:
+            raise ValueError(f"ops_per_sec must be positive, got {self.ops_per_sec}")
+        if self.repetitions < 1 or self.work_units < 1:
+            raise ValueError("calibration must have run at least one repetition")
+
+    # ------------------------------------------------------------------ #
+    # Normalization
+    # ------------------------------------------------------------------ #
+    def normalized_cost(self, seconds: float, work_units: float) -> float:
+        """Work-normalized cost ratio: reference ops per unit of work.
+
+        Dimensionless and machine-invariant (see the module docstring);
+        *lower* is better.
+        """
+        if work_units <= 0:
+            raise ValueError(f"work_units must be positive, got {work_units}")
+        return float(seconds) * self.ops_per_sec / float(work_units)
+
+    def normalized_rate(self, per_second: float) -> float:
+        """A throughput expressed as a fraction of the reference kernel's.
+
+        Machine-invariant for the same reason as :meth:`normalized_cost`;
+        *higher* is better.  This is the form the trend engine compares
+        ``reports_per_sec`` in.
+        """
+        return float(per_second) / self.ops_per_sec
+
+    # ------------------------------------------------------------------ #
+    # Document form
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "ops_per_sec": round(float(self.ops_per_sec), 1),
+            "elapsed_seconds": round(float(self.elapsed_seconds), 6),
+            "work_units": int(self.work_units),
+            "repetitions": int(self.repetitions),
+            "cpu_count": int(self.cpu_count),
+            "effective_cores": int(self.effective_cores),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MachineCalibration":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a calibration must be a mapping, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                ops_per_sec=float(data["ops_per_sec"]),
+                elapsed_seconds=float(data["elapsed_seconds"]),
+                work_units=int(data["work_units"]),
+                repetitions=int(data["repetitions"]),
+                cpu_count=int(data["cpu_count"]),
+                effective_cores=int(data["effective_cores"]),
+                kernel=str(data.get("kernel", KERNEL_NAME)),
+            )
+        except KeyError as exc:
+            raise ValueError(f"calibration document is missing key {exc}") from exc
+
+
+def calibrate(
+    *,
+    min_seconds: float = 0.1,
+    clock: Callable[[], float] = time.perf_counter,
+) -> MachineCalibration:
+    """Time the reference kernel on this machine, right now.
+
+    Runs one untimed warmup pass (first-touch faults and the LUT cache
+    line otherwise pollute the first repetition), then repeats the kernel
+    until ``min_seconds`` of clock time have elapsed.  ``clock`` is
+    injectable: tests pass a deterministic fake and the returned
+    ``ops_per_sec`` becomes exact arithmetic over the fake's ticks.
+    """
+    if min_seconds <= 0:
+        raise ValueError(f"min_seconds must be positive, got {min_seconds}")
+    data = _reference_buffer()
+    packed_column_counts(data, _REFERENCE_DOMAIN)  # warmup, untimed
+
+    bytes_per_pass = int(data.size)
+    repetitions = 0
+    start = clock()
+    elapsed = 0.0
+    while elapsed < min_seconds:
+        packed_column_counts(data, _REFERENCE_DOMAIN)
+        repetitions += 1
+        elapsed = clock() - start
+    work_units = repetitions * bytes_per_pass
+    return MachineCalibration(
+        ops_per_sec=work_units / max(elapsed, 1e-9),
+        elapsed_seconds=elapsed,
+        work_units=work_units,
+        repetitions=repetitions,
+        cpu_count=os.cpu_count() or 1,
+        effective_cores=effective_cores(),
+    )

@@ -1,0 +1,526 @@
+"""The perf gate: schema + trend enforcement over committed artifacts.
+
+``repro bench gate`` (and :func:`run_gate` behind it) loads every
+``benchmarks/results/*.json``, validates each against its golden schema
+(required keys, types, the calibration block, the trend-report shape),
+**re-checks** every embedded trend comparison against the gate's own
+tolerances, and fails — process exit non-zero — on any ``fail`` verdict
+or schema drift.  This is what makes the repo's speed claims
+load-bearing: a PR that halves decode throughput flips the committed
+artifact's trend to ``fail`` the next time the benchmarks run, and the
+gate turns that into a red CI job instead of a number nobody reads.
+
+Nothing is skipped silently: every ``skip`` comparison carries its
+reason into the gate report, and an artifact missing from the schema
+registry is an error, not a shrug.
+
+``--selftest`` proves the gate can actually catch a regression: for each
+calibrated artifact it injects a synthetic 2× slowdown (half the
+throughput, or twice the cost, same calibration) and asserts the trend
+engine returns ``fail`` against the committed baseline.  A gate that
+passes everything — including the injected regression — is a broken
+gate, and the selftest makes that a test failure rather than a latent
+hole.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.perf.calibrate import MachineCalibration
+from repro.perf.trend import (
+    VERDICTS,
+    TrendPolicy,
+    TrendReport,
+    trend_vs_previous,
+)
+
+#: JSON scalar type groups the schema table speaks in.  ``bool`` is a
+#: subclass of ``int`` in Python, so integer checks must exclude it.
+_NUMBER = ("number",)
+_INT = ("int",)
+_STR = ("str",)
+_OPT_STR = ("str", "null")
+
+
+def _type_ok(value, kinds: tuple[str, ...]) -> bool:
+    for kind in kinds:
+        if kind == "null" and value is None:
+            return True
+        if kind == "int" and isinstance(value, int) and not isinstance(value, bool):
+            return True
+        if kind == "number" and isinstance(value, (int, float)) and not isinstance(value, bool):
+            return True
+        if kind == "str" and isinstance(value, str):
+            return True
+        if kind == "bool" and isinstance(value, bool):
+            return True
+        if kind == "list" and isinstance(value, list):
+            return True
+        if kind == "dict" and isinstance(value, Mapping):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class ArtifactSchema:
+    """The golden shape of one perf artifact plus its trend policy."""
+
+    name: str
+    key_fields: tuple[str, ...]
+    entry_fields: Mapping[str, tuple[str, ...]]
+    payload_fields: Mapping[str, tuple[str, ...]]
+    policy: TrendPolicy
+    #: Entries may omit measurement fields when they carry this marker
+    #: (a skipped measurement recorded with its reason, never silently).
+    skip_marker: str = "skipped_reason"
+
+    def trend(
+        self,
+        entries: Sequence[Mapping],
+        previous,
+        *,
+        calibration: MachineCalibration | None = None,
+    ) -> TrendReport:
+        """The shared trend engine bound to this artifact's keys/policy."""
+        return trend_vs_previous(
+            entries,
+            previous,
+            key_fields=self.key_fields,
+            policy=self.policy,
+            calibration=calibration,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self, payload) -> list[str]:
+        """Every way ``payload`` deviates from this schema (empty = valid)."""
+        errors: list[str] = []
+        if not isinstance(payload, Mapping):
+            return [f"payload must be a mapping, got {type(payload).__name__}"]
+        for name, kinds in self.payload_fields.items():
+            if name not in payload:
+                errors.append(f"missing top-level key {name!r}")
+            elif not _type_ok(payload[name], kinds):
+                errors.append(
+                    f"top-level key {name!r} must be {'/'.join(kinds)}, "
+                    f"got {type(payload[name]).__name__}"
+                )
+        errors.extend(self._validate_calibration(payload.get("calibration")))
+        entries = payload.get("entries")
+        if not isinstance(entries, list) or not entries:
+            errors.append("'entries' must be a non-empty list")
+        else:
+            for index, entry in enumerate(entries):
+                errors.extend(self._validate_entry(index, entry))
+        errors.extend(self._validate_trend(payload.get("trend")))
+        return errors
+
+    def _validate_entry(self, index: int, entry) -> list[str]:
+        where = f"entries[{index}]"
+        if not isinstance(entry, Mapping):
+            return [f"{where} must be a mapping, got {type(entry).__name__}"]
+        errors = []
+        for name in self.key_fields:
+            if name not in entry:
+                errors.append(f"{where} is missing key field {name!r}")
+        if self.skip_marker in entry:
+            # A skipped measurement: the key fields plus the reason is the
+            # whole contract — measurement fields are legitimately absent.
+            if not isinstance(entry[self.skip_marker], str) or not entry[self.skip_marker]:
+                errors.append(f"{where}.{self.skip_marker} must be a non-empty string")
+            return errors
+        for name, kinds in self.entry_fields.items():
+            if name not in entry:
+                errors.append(f"{where} is missing field {name!r}")
+            elif not _type_ok(entry[name], kinds):
+                errors.append(
+                    f"{where}.{name} must be {'/'.join(kinds)}, "
+                    f"got {type(entry[name]).__name__}"
+                )
+        return errors
+
+    def _validate_calibration(self, block) -> list[str]:
+        if block is None:
+            return ["missing 'calibration' block (artifact is uncalibrated)"]
+        try:
+            MachineCalibration.from_dict(block)
+        except (ValueError, TypeError) as exc:
+            return [f"invalid 'calibration' block: {exc}"]
+        return []
+
+    def _validate_trend(self, block) -> list[str]:
+        if not isinstance(block, Mapping):
+            return ["missing or non-mapping 'trend' block"]
+        errors = []
+        if block.get("baseline") not in (None, "committed"):
+            errors.append("trend.baseline must be 'committed' or null")
+        try:
+            TrendPolicy.from_dict(block.get("policy") or {})
+        except (KeyError, ValueError, TypeError) as exc:
+            errors.append(f"trend.policy is malformed: {exc}")
+        comparisons = block.get("comparisons")
+        if not isinstance(comparisons, list):
+            errors.append("trend.comparisons must be a list")
+            comparisons = []
+        for index, comparison in enumerate(comparisons):
+            where = f"trend.comparisons[{index}]"
+            if not isinstance(comparison, Mapping):
+                errors.append(f"{where} must be a mapping")
+                continue
+            if not isinstance(comparison.get("key"), Mapping):
+                errors.append(f"{where}.key must be a mapping")
+            if comparison.get("verdict") not in VERDICTS:
+                errors.append(
+                    f"{where}.verdict must be one of {VERDICTS}, "
+                    f"got {comparison.get('verdict')!r}"
+                )
+            ratio = comparison.get("ratio")
+            if ratio is not None and not _type_ok(ratio, _NUMBER):
+                errors.append(f"{where}.ratio must be a number")
+        if block.get("verdict") not in VERDICTS:
+            errors.append(f"trend.verdict must be one of {VERDICTS}")
+        if not isinstance(block.get("warnings"), list):
+            errors.append("trend.warnings must be a list")
+        return errors
+
+
+_THROUGHPUT_LATENCY_FIELDS = {
+    "rounds": _INT,
+    "n_reports": _INT,
+    "n_batches": _INT,
+    "seconds": _NUMBER,
+    "reports_per_sec": _NUMBER,
+    "p50_ms": _NUMBER,
+    "p95_ms": _NUMBER,
+    "p99_ms": _NUMBER,
+    "upload_bytes": _INT,
+}
+
+#: The golden schemas, one per committed perf artifact (keyed by file stem).
+ARTIFACT_SCHEMAS: dict[str, ArtifactSchema] = {
+    schema.name: schema
+    for schema in (
+        ArtifactSchema(
+            name="service_throughput",
+            key_fields=("oracle", "batch_size"),
+            entry_fields={
+                "oracle": _STR,
+                "batch_size": _INT,
+                "n_users": _INT,
+                "n_batches": _INT,
+                "seconds": _NUMBER,
+                "reports_per_sec": _NUMBER,
+                "peak_batch_bytes": _INT,
+                "tracemalloc_peak_bytes": _INT,
+                "accumulator_bytes": _INT,
+                "wire_bytes": _INT,
+            },
+            payload_fields={
+                "backend": _STR,
+                "max_workers": _OPT_STR,
+                "domain_size": _INT,
+                "entries": ("list",),
+                "trend": ("dict",),
+                "calibration": ("dict",),
+            },
+            policy=TrendPolicy(value="reports_per_sec", direction="higher"),
+        ),
+        ArtifactSchema(
+            name="net_throughput",
+            key_fields=("connections",),
+            entry_fields={"connections": _INT, **_THROUGHPUT_LATENCY_FIELDS},
+            payload_fields={
+                "backend": _STR,
+                "max_workers": _OPT_STR,
+                "level": _INT,
+                "batch_size": _INT,
+                "users_per_round": _INT,
+                "entries": ("list",),
+                "trend": ("dict",),
+                "calibration": ("dict",),
+            },
+            policy=TrendPolicy(value="reports_per_sec", direction="higher"),
+        ),
+        ArtifactSchema(
+            name="cluster_throughput",
+            key_fields=("shards",),
+            entry_fields={
+                "shards": _INT,
+                "connections": _INT,
+                **_THROUGHPUT_LATENCY_FIELDS,
+            },
+            payload_fields={
+                "backend": _STR,
+                "max_workers": _OPT_STR,
+                "level": _INT,
+                "batch_size": _INT,
+                "users_per_round": _INT,
+                "connections": _INT,
+                "entries": ("list",),
+                "trend": ("dict",),
+                "calibration": ("dict",),
+            },
+            policy=TrendPolicy(value="reports_per_sec", direction="higher"),
+        ),
+        ArtifactSchema(
+            name="engine_speedup",
+            key_fields=("measure",),
+            entry_fields={
+                "measure": _STR,
+                "backend": _STR,
+                "n_cells": _INT,
+                "seconds": _NUMBER,
+                "cost_ratio": _NUMBER,
+            },
+            payload_fields={
+                "cpu_count": _INT,
+                "effective_cores": _INT,
+                "entries": ("list",),
+                "trend": ("dict",),
+                "calibration": ("dict",),
+            },
+            # cost_ratio is already work-normalized (seconds × calibrated
+            # ops / sweep cells), so the trend compares it raw: dividing
+            # by ops_per_sec again would put the machine back in.
+            policy=TrendPolicy(value="cost_ratio", direction="lower", normalize=False),
+        ),
+    )
+}
+
+
+# --------------------------------------------------------------------------- #
+# Gate
+# --------------------------------------------------------------------------- #
+@dataclass
+class GateArtifact:
+    """One artifact's fate under the gate."""
+
+    name: str
+    path: str
+    kind: str  # "perf" | "bench-records" | "unknown"
+    errors: list[str] = field(default_factory=list)
+    verdict: str = "pass"
+    comparisons: list[dict] = field(default_factory=list)
+    skips: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "kind": self.kind,
+            "errors": list(self.errors),
+            "verdict": self.verdict,
+            "comparisons": list(self.comparisons),
+            "skips": list(self.skips),
+        }
+
+
+@dataclass
+class GateReport:
+    """The full gate outcome; ``repro bench gate`` renders and emits this."""
+
+    results_dir: str
+    artifacts: list[GateArtifact] = field(default_factory=list)
+    selftest: dict | None = None
+
+    @property
+    def verdict(self) -> str:
+        if any(a.verdict == "fail" for a in self.artifacts):
+            return "fail"
+        if self.selftest is not None and not self.selftest.get("ok", False):
+            return "fail"
+        return "pass"
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.verdict == "pass" else 1
+
+    def to_dict(self) -> dict:
+        out = {
+            "results_dir": self.results_dir,
+            "verdict": self.verdict,
+            "artifacts": [a.to_dict() for a in self.artifacts],
+        }
+        if self.selftest is not None:
+            out["selftest"] = self.selftest
+        return out
+
+    def render(self) -> str:
+        lines = [f"perf gate over {self.results_dir}: {self.verdict.upper()}"]
+        for artifact in self.artifacts:
+            lines.append(f"  {artifact.name}: {artifact.verdict} ({artifact.kind})")
+            for error in artifact.errors:
+                lines.append(f"    schema: {error}")
+            for comparison in artifact.comparisons:
+                key = " ".join(f"{k}={v}" for k, v in comparison["key"].items())
+                ratio = comparison.get("ratio")
+                detail = f"ratio {ratio:.2f}" if ratio is not None else \
+                    comparison.get("reason", "")
+                lines.append(f"    {key}: {comparison['verdict']} ({detail})")
+            for skip in artifact.skips:
+                lines.append(f"    skip: {skip}")
+        if self.selftest is not None:
+            status = "ok" if self.selftest.get("ok") else "FAILED"
+            lines.append(f"  selftest (injected 2x slowdown): {status}")
+            for entry in self.selftest.get("artifacts", []):
+                lines.append(
+                    f"    {entry['name']}: injected regression "
+                    f"{'caught' if entry['caught'] else 'MISSED'} "
+                    f"(verdict {entry['verdict']})"
+                )
+        return "\n".join(lines)
+
+
+def _load_json(path: Path):
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _check_perf_artifact(path: Path, payload, schema: ArtifactSchema) -> GateArtifact:
+    """Validate one perf artifact and re-check its embedded trend."""
+    artifact = GateArtifact(name=schema.name, path=str(path), kind="perf")
+    artifact.errors = schema.validate(payload)
+    if artifact.errors:
+        artifact.verdict = "fail"
+        return artifact
+    # Re-check: recompute each comparison's verdict from its recorded
+    # ratio under the *gate's* policy — tolerances can tighten without
+    # regenerating artifacts, and a hand-edited verdict cannot sneak by.
+    worst = "pass"
+    severity = {"pass": 0, "new": 0, "skip": 0, "warn": 1, "fail": 2}
+    for comparison in payload["trend"]["comparisons"]:
+        ratio = comparison.get("ratio")
+        recorded = comparison["verdict"]
+        if ratio is not None and recorded in ("pass", "warn", "fail"):
+            verdict = schema.policy.verdict_for(float(ratio))
+        else:
+            verdict = recorded
+        rechecked = dict(comparison, verdict=verdict)
+        artifact.comparisons.append(rechecked)
+        if verdict == "skip":
+            key = " ".join(f"{k}={v}" for k, v in comparison["key"].items())
+            artifact.skips.append(f"{key}: {comparison.get('reason', 'no reason')}")
+        if severity[verdict] > severity[worst]:
+            worst = verdict
+    for entry in payload["entries"]:
+        if schema.skip_marker in entry:
+            key = " ".join(f"{k}={entry.get(k)}" for k in schema.key_fields)
+            artifact.skips.append(f"{key}: {entry[schema.skip_marker]}")
+    artifact.verdict = worst
+    return artifact
+
+
+def _check_records_artifact(path: Path, payload) -> GateArtifact:
+    """Loosely validate a ``repro bench -o`` records document."""
+    artifact = GateArtifact(name=path.stem, path=str(path), kind="bench-records")
+    if not isinstance(payload.get("records"), list):
+        artifact.errors.append("'records' must be a list")
+    if not isinstance(payload.get("settings"), Mapping):
+        artifact.errors.append("'settings' must be a mapping")
+    if artifact.errors:
+        artifact.verdict = "fail"
+    return artifact
+
+
+def run_gate(results_dir: str | Path) -> GateReport:
+    """Validate and trend-check every ``*.json`` under ``results_dir``."""
+    results_dir = Path(results_dir)
+    report = GateReport(results_dir=str(results_dir))
+    if not results_dir.is_dir():
+        report.artifacts.append(
+            GateArtifact(
+                name=str(results_dir), path=str(results_dir), kind="unknown",
+                errors=["results directory does not exist"], verdict="fail",
+            )
+        )
+        return report
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            payload = _load_json(path)
+        except ValueError as exc:
+            report.artifacts.append(
+                GateArtifact(
+                    name=path.stem, path=str(path), kind="unknown",
+                    errors=[f"invalid JSON: {exc}"], verdict="fail",
+                )
+            )
+            continue
+        schema = ARTIFACT_SCHEMAS.get(path.stem)
+        if schema is not None:
+            report.artifacts.append(_check_perf_artifact(path, payload, schema))
+        elif isinstance(payload, Mapping) and "target" in payload:
+            report.artifacts.append(_check_records_artifact(path, payload))
+        else:
+            report.artifacts.append(
+                GateArtifact(
+                    name=path.stem, path=str(path), kind="unknown",
+                    errors=["no golden schema registered for this artifact"],
+                    verdict="fail",
+                )
+            )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# Selftest: inject a synthetic 2× slowdown, the gate must catch it
+# --------------------------------------------------------------------------- #
+def inject_slowdown(entries: Sequence[Mapping], schema: ArtifactSchema, factor: float = 2.0) -> list[dict]:
+    """Entries as if the machine ran ``factor``× slower on the same work."""
+    degraded = []
+    for entry in entries:
+        value = entry.get(schema.policy.value)
+        if value is None:
+            degraded.append(dict(entry))
+            continue
+        if schema.policy.direction == "higher":
+            degraded.append(dict(entry, **{schema.policy.value: float(value) / factor}))
+        else:
+            degraded.append(dict(entry, **{schema.policy.value: float(value) * factor}))
+    return degraded
+
+
+def run_selftest(results_dir: str | Path, *, factor: float = 2.0) -> dict:
+    """Prove the gate catches a ``factor``× regression on every artifact.
+
+    For each committed perf artifact that carries a calibration and at
+    least one measured entry, degrade the entries by ``factor`` and run
+    the shared trend engine against the committed payload itself (same
+    calibration on both sides — a pure code slowdown, no machine excuse).
+    The selftest is ``ok`` only if *every* eligible artifact yields a
+    ``fail`` verdict and at least one artifact was eligible.
+    """
+    results_dir = Path(results_dir)
+    outcomes = []
+    for name, schema in sorted(ARTIFACT_SCHEMAS.items()):
+        path = results_dir / f"{name}.json"
+        if not path.exists():
+            continue
+        try:
+            payload = _load_json(path)
+        except ValueError:
+            continue
+        if schema.validate(payload):
+            continue  # schema failures already fail the main gate
+        calibration = MachineCalibration.from_dict(payload["calibration"])
+        entries = [e for e in payload["entries"] if schema.policy.value in e]
+        if not entries:
+            continue
+        injected = inject_slowdown(entries, schema, factor)
+        trend = schema.trend(injected, payload, calibration=calibration)
+        outcomes.append(
+            {
+                "name": name,
+                "factor": factor,
+                "verdict": trend.verdict,
+                "caught": trend.verdict == "fail",
+            }
+        )
+    return {
+        "factor": factor,
+        "artifacts": outcomes,
+        "ok": bool(outcomes) and all(o["caught"] for o in outcomes),
+    }

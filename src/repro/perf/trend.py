@@ -1,0 +1,319 @@
+"""The one trend engine: current entries vs the last committed artifact.
+
+Every throughput benchmark used to carry its own copy of a warn-only
+``_trend_vs_previous`` helper; the copies drifted (different keys,
+different messages, no verdicts).  This module is the single shared
+implementation: :func:`trend_vs_previous` compares the entries a
+benchmark just measured against the entries of the last *committed*
+artifact, entry by entry, and emits a structured :class:`TrendReport`
+the benchmark embeds in its JSON payload.
+
+Comparisons are **calibrated** whenever both sides recorded a
+:class:`~repro.perf.calibrate.MachineCalibration`: the compared quantity
+is the machine-normalized value (``value / ops_per_sec`` for
+higher-is-better throughputs), so a slower runner does not read as a
+regression and a faster one does not mask a real slowdown.  A baseline
+written before the perf gate existed (no calibration block) yields
+``skip`` verdicts with the reason recorded — never a silent pass and
+never a false alarm.
+
+Verdicts per comparison — ``ratio`` is always oriented so ≥ 1.0 means
+"at least as good as the baseline":
+
+* ``pass`` — ``ratio >= warn_ratio``;
+* ``warn`` — ``fail_ratio < ratio < warn_ratio``;
+* ``fail`` — ``ratio <= fail_ratio``;
+* ``new``  — the baseline has no entry under this key;
+* ``skip`` — incomparable, with the reason (uncalibrated baseline,
+  missing value, skipped measurement).
+
+Benchmarks *record* the report and print its warnings but never assert —
+shared runners are noisy and tier-1 must not flake.  Enforcement belongs
+to ``repro bench gate`` (:mod:`repro.perf.gate`), which re-checks the
+embedded reports against the committed artifacts and exits non-zero on a
+``fail``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.perf.calibrate import MachineCalibration
+
+#: Every verdict a comparison (or a whole report) may carry.
+VERDICTS: tuple[str, ...] = ("pass", "warn", "fail", "new", "skip")
+
+#: Severity order for folding per-comparison verdicts into one.
+_SEVERITY = {"pass": 0, "new": 0, "skip": 0, "warn": 1, "fail": 2}
+
+
+@dataclass(frozen=True)
+class TrendPolicy:
+    """How one artifact's entries are compared: which value, how strictly.
+
+    ``direction`` declares whether ``value`` is higher-is-better
+    (throughput) or lower-is-better (a cost ratio); the engine orients
+    every ratio so ≥ 1.0 always means "no regression".  ``normalize``
+    selects calibrated comparison — set it ``False`` only for values that
+    are *already* machine-normalized (e.g. a work-normalized cost ratio),
+    where dividing by ``ops_per_sec`` again would re-introduce the
+    machine.
+    """
+
+    value: str = "reports_per_sec"
+    direction: str = "higher"
+    warn_ratio: float = 0.75
+    fail_ratio: float = 0.5
+    normalize: bool = True
+
+    def __post_init__(self):
+        if self.direction not in ("higher", "lower"):
+            raise ValueError(
+                f"direction must be 'higher' or 'lower', got {self.direction!r}"
+            )
+        if not (0.0 < self.fail_ratio <= self.warn_ratio <= 1.0):
+            raise ValueError(
+                "tolerances must satisfy 0 < fail_ratio <= warn_ratio <= 1, "
+                f"got fail_ratio={self.fail_ratio}, warn_ratio={self.warn_ratio}"
+            )
+
+    def verdict_for(self, ratio: float) -> str:
+        """The verdict a performance ratio (≥ 1 = good) earns under this policy."""
+        if ratio <= self.fail_ratio:
+            return "fail"
+        if ratio < self.warn_ratio:
+            return "warn"
+        return "pass"
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "direction": self.direction,
+            "warn_ratio": self.warn_ratio,
+            "fail_ratio": self.fail_ratio,
+            "normalize": self.normalize,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TrendPolicy":
+        return cls(
+            value=str(data["value"]),
+            direction=str(data["direction"]),
+            warn_ratio=float(data["warn_ratio"]),
+            fail_ratio=float(data["fail_ratio"]),
+            normalize=bool(data.get("normalize", True)),
+        )
+
+
+@dataclass(frozen=True)
+class TrendComparison:
+    """One entry's fate: its key, the two values, the ratio, the verdict."""
+
+    key: dict
+    verdict: str
+    current: float | None = None
+    previous: float | None = None
+    ratio: float | None = None
+    reason: str | None = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"key": dict(self.key), "verdict": self.verdict}
+        if self.current is not None:
+            out["current"] = self.current
+        if self.previous is not None:
+            out["previous"] = self.previous
+        if self.ratio is not None:
+            out["ratio"] = round(float(self.ratio), 4)
+        if self.reason is not None:
+            out["reason"] = self.reason
+        return out
+
+    def describe(self, value_name: str) -> str:
+        key = " ".join(f"{k}={v}" for k, v in self.key.items())
+        if self.ratio is None:
+            return f"{key}: {self.verdict} ({self.reason})"
+        return (
+            f"{key}: {value_name} is {self.ratio:.2f}x the last committed "
+            f"run (calibrated) — {self.verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """The structured outcome benchmarks embed under their ``trend`` key."""
+
+    baseline: str | None
+    policy: TrendPolicy
+    comparisons: tuple[TrendComparison, ...] = field(default_factory=tuple)
+
+    @property
+    def verdict(self) -> str:
+        """The worst per-comparison verdict (``pass`` when nothing compared)."""
+        worst = "pass"
+        for comparison in self.comparisons:
+            if _SEVERITY[comparison.verdict] > _SEVERITY[worst]:
+                worst = comparison.verdict
+        return worst
+
+    @property
+    def warnings(self) -> list[str]:
+        """Printable messages for every warn/fail comparison."""
+        return [
+            comparison.describe(self.policy.value)
+            for comparison in self.comparisons
+            if comparison.verdict in ("warn", "fail")
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline,
+            "policy": self.policy.to_dict(),
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "verdict": self.verdict,
+            "warnings": self.warnings,
+        }
+
+
+def _load_previous(previous) -> Mapping | None:
+    """The last committed payload: a mapping, a path, or nothing."""
+    if previous is None:
+        return None
+    if isinstance(previous, Mapping):
+        return previous
+    try:
+        data = json.loads(Path(previous).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, Mapping) else None
+
+
+def _entry_key(entry: Mapping, key_fields: Sequence[str]) -> tuple:
+    return tuple(entry.get(f) for f in key_fields)
+
+
+def _calibration_ops(payload: Mapping | None) -> float | None:
+    """``ops_per_sec`` of a payload's calibration block, if it has one."""
+    if payload is None:
+        return None
+    block = payload.get("calibration")
+    if not isinstance(block, Mapping):
+        return None
+    try:
+        return MachineCalibration.from_dict(block).ops_per_sec
+    except (ValueError, TypeError):
+        return None
+
+
+def trend_vs_previous(
+    entries: Sequence[Mapping],
+    previous,
+    *,
+    key_fields: Sequence[str],
+    policy: TrendPolicy,
+    calibration: MachineCalibration | None = None,
+) -> TrendReport:
+    """Compare measured ``entries`` against the last committed artifact.
+
+    Parameters
+    ----------
+    entries:
+        The entry dicts this run just measured (each carries the
+        ``key_fields`` and, unless skipped, ``policy.value``).
+    previous:
+        The committed artifact: a path to the JSON file (read before this
+        run overwrites it), an already-loaded payload mapping, or ``None``
+        (first run — every entry reports ``new``/no baseline).
+    key_fields:
+        Entry fields forming the identity a baseline entry is matched on
+        (e.g. ``("oracle", "batch_size")``).
+    policy:
+        Tolerances, direction, and whether to normalize by calibration.
+    calibration:
+        This run's :class:`MachineCalibration`.  Required for
+        ``policy.normalize`` comparisons; without it (or without one in
+        the baseline) those comparisons ``skip`` with the reason recorded.
+    """
+    previous_payload = _load_previous(previous)
+    baseline = "committed" if previous_payload is not None else None
+    previous_entries: dict[tuple, Mapping] = {}
+    if previous_payload is not None:
+        for entry in previous_payload.get("entries", ()):
+            if isinstance(entry, Mapping):
+                previous_entries[_entry_key(entry, key_fields)] = entry
+    previous_ops = _calibration_ops(previous_payload)
+    current_ops = calibration.ops_per_sec if calibration is not None else None
+
+    comparisons: list[TrendComparison] = []
+    for entry in entries:
+        key = {f: entry.get(f) for f in key_fields}
+        value = entry.get(policy.value)
+        if value is None:
+            comparisons.append(
+                TrendComparison(
+                    key=key,
+                    verdict="skip",
+                    reason=entry.get("skipped_reason") or f"no {policy.value} measured",
+                )
+            )
+            continue
+        value = float(value)
+        old_entry = previous_entries.get(_entry_key(entry, key_fields))
+        old_value = old_entry.get(policy.value) if old_entry is not None else None
+        if old_entry is None or old_value is None:
+            comparisons.append(
+                TrendComparison(
+                    key=key, verdict="new", current=value,
+                    reason="no baseline entry",
+                )
+            )
+            continue
+        old_value = float(old_value)
+        if policy.normalize:
+            if current_ops is None:
+                comparisons.append(
+                    TrendComparison(
+                        key=key, verdict="skip", current=value, previous=old_value,
+                        reason="run is uncalibrated",
+                    )
+                )
+                continue
+            if previous_ops is None:
+                comparisons.append(
+                    TrendComparison(
+                        key=key, verdict="skip", current=value, previous=old_value,
+                        reason="baseline is uncalibrated (pre-perf-gate artifact)",
+                    )
+                )
+                continue
+            current_norm = value / current_ops
+            previous_norm = old_value / previous_ops
+        else:
+            current_norm = value
+            previous_norm = old_value
+        if previous_norm <= 0 or current_norm <= 0:
+            comparisons.append(
+                TrendComparison(
+                    key=key, verdict="skip", current=value, previous=old_value,
+                    reason="non-positive value",
+                )
+            )
+            continue
+        if policy.direction == "higher":
+            ratio = current_norm / previous_norm
+        else:
+            ratio = previous_norm / current_norm
+        comparisons.append(
+            TrendComparison(
+                key=key,
+                verdict=policy.verdict_for(ratio),
+                current=value,
+                previous=old_value,
+                ratio=ratio,
+            )
+        )
+    return TrendReport(
+        baseline=baseline, policy=policy, comparisons=tuple(comparisons)
+    )

@@ -1,0 +1,69 @@
+"""Golden-schema lock on every committed ``benchmarks/results/*.json``.
+
+Tier-1 protection against artifact drift: each committed perf artifact
+must parse, match its registered :class:`~repro.perf.gate.ArtifactSchema`
+exactly (fields, types, calibration block, trend-report shape), and
+every registered schema must agree with what the corresponding benchmark
+actually writes.  When benchmarks ran earlier in the same pytest session
+(the default ``python -m pytest`` collects ``benchmarks/`` first) this
+validates the freshly-written files — i.e. the writers themselves.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.calibrate import MachineCalibration
+from repro.perf.gate import ARTIFACT_SCHEMAS
+from repro.perf.trend import VERDICTS, TrendPolicy
+
+RESULTS_DIR = Path(__file__).parent.parent / "benchmarks" / "results"
+
+PERF_ARTIFACTS = sorted(ARTIFACT_SCHEMAS)
+
+
+def _load(name: str) -> dict:
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.fail(f"committed perf artifact {path} is missing")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("name", PERF_ARTIFACTS)
+def test_committed_artifact_matches_golden_schema(name):
+    payload = _load(name)
+    errors = ARTIFACT_SCHEMAS[name].validate(payload)
+    assert not errors, f"{name}.json drifted from its golden schema:\n" + "\n".join(errors)
+
+
+@pytest.mark.parametrize("name", PERF_ARTIFACTS)
+def test_committed_artifact_blocks_parse_into_the_real_types(name):
+    """The calibration and policy blocks round-trip through their classes."""
+    payload = _load(name)
+    calibration = MachineCalibration.from_dict(payload["calibration"])
+    assert calibration.ops_per_sec > 0
+    policy = TrendPolicy.from_dict(payload["trend"]["policy"])
+    assert policy == ARTIFACT_SCHEMAS[name].policy
+    assert payload["trend"]["verdict"] in VERDICTS
+
+
+def test_every_results_json_is_accounted_for():
+    """No orphan artifacts: every ``*.json`` is a perf artifact with a
+    registered schema or a ``repro bench -o`` records document."""
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if path.stem in ARTIFACT_SCHEMAS:
+            continue
+        assert isinstance(payload, dict) and "target" in payload, (
+            f"{path.name} has no golden schema registered in "
+            "repro.perf.gate.ARTIFACT_SCHEMAS and is not a bench records "
+            "document — register a schema for it or it will fail the gate"
+        )
+
+
+@pytest.mark.parametrize("name", PERF_ARTIFACTS)
+def test_committed_artifact_has_no_embedded_fail(name):
+    """The committed trajectory itself must be regression-free."""
+    payload = _load(name)
+    assert payload["trend"]["verdict"] != "fail", payload["trend"]["warnings"]

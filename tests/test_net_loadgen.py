@@ -102,6 +102,57 @@ class TestDatasetWorkloads:
         assert "reports/s" in report.render()
 
 
+class TestAdaptiveLoadgen:
+    def test_adaptive_controller_drives_and_traces(self, gateway):
+        report = run_loadgen(
+            gateway.address, dataset="rdb", scale="tiny", level=4,
+            connections=2, rounds=3, batch_size=256, backend="serial", seed=0,
+            adaptive={"target_p95_ms": 500.0, "min_batch_size": 128,
+                      "max_batch_size": 1024},
+        )
+        payload = report.to_dict()
+        assert payload["adaptive"]["target_p95_ms"] == 500.0
+        for entry in payload["per_connection"]:
+            trace = entry["controller"]
+            assert len(trace) == 3  # one decision per round
+            for decision in trace:
+                assert 128 <= decision["batch_size"] <= 1024
+                assert decision["action"] in (
+                    "probe", "increase", "decrease", "hold", "converged"
+                )
+        # The run is still complete and correct under moving batch sizes.
+        assert report.n_reports == sum(
+            entry["n_reports"] for entry in report.per_connection
+        )
+
+    def test_adaptive_off_keeps_report_shape_unchanged(self, gateway):
+        report = run_loadgen(
+            gateway.address, dataset="rdb", scale="tiny", level=4,
+            connections=1, backend="serial", seed=0,
+        )
+        payload = report.to_dict()
+        assert "adaptive" not in payload
+        assert "controller" not in payload["per_connection"][0]
+
+    def test_adaptive_wire_bytes_unchanged(self, gateway):
+        """The controller only re-slices batches — bytes on the wire are
+        batch-size-dependent (per-batch headers), but reports are not."""
+        kwargs = dict(dataset="rdb", scale="tiny", dataset_seed=0, level=4,
+                      connections=1, rounds=2, backend="serial", seed=5)
+        fixed = run_loadgen(gateway.address, batch_size=256, **kwargs)
+        adaptive = run_loadgen(
+            gateway.address, batch_size=256, adaptive=True, **kwargs
+        )
+        assert adaptive.n_reports == fixed.n_reports
+
+    def test_adaptive_rejects_junk(self, gateway):
+        with pytest.raises(ValueError, match="adaptive"):
+            run_loadgen(
+                gateway.address, dataset="rdb", scale="tiny",
+                connections=1, backend="serial", adaptive="turbo",
+            )
+
+
 class TestScenarioReplay:
     def test_each_connection_replays_the_arrival_stream(self, gateway):
         spec = _tiny_scenario()

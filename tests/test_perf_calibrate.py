@@ -1,0 +1,117 @@
+"""Machine calibration (:mod:`repro.perf.calibrate`).
+
+The property the whole perf gate stands on: work-normalized cost ratios
+are invariant under machine speed.  A fake clock that ticks k× slower
+models a k× slower machine exactly, so the invariance is testable as
+pure arithmetic — no real timing, no flakes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.calibrate import KERNEL_NAME, MachineCalibration, calibrate, effective_cores
+
+
+class TickClock:
+    """A deterministic clock advancing ``step`` seconds per call."""
+
+    def __init__(self, step: float):
+        self.step = float(step)
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_calibrate_returns_valid_calibration():
+    calibration = calibrate(min_seconds=0.01)
+    assert calibration.ops_per_sec > 0
+    assert calibration.repetitions >= 1
+    assert calibration.work_units == calibration.repetitions * 4096 * 32
+    assert calibration.kernel == KERNEL_NAME
+    assert calibration.effective_cores == effective_cores()
+    assert calibration.elapsed_seconds >= 0.01
+
+
+def test_calibrate_with_fake_clock_is_exact_arithmetic():
+    # One clock() for start, then one per repetition: 0.02s/rep means a
+    # 0.1s budget is met after exactly 5 repetitions.
+    calibration = calibrate(min_seconds=0.1, clock=TickClock(0.02))
+    assert calibration.repetitions == 5
+    assert calibration.elapsed_seconds == pytest.approx(0.1)
+    assert calibration.ops_per_sec == pytest.approx(5 * 4096 * 32 / 0.1)
+
+
+def test_round_trip_through_dict():
+    calibration = calibrate(min_seconds=0.01)
+    restored = MachineCalibration.from_dict(calibration.to_dict())
+    assert restored.kernel == calibration.kernel
+    assert restored.work_units == calibration.work_units
+    assert restored.ops_per_sec == pytest.approx(calibration.ops_per_sec, rel=1e-6)
+
+
+def test_from_dict_rejects_junk():
+    with pytest.raises(ValueError, match="mapping"):
+        MachineCalibration.from_dict("not a mapping")
+    with pytest.raises(ValueError, match="missing key"):
+        MachineCalibration.from_dict({"ops_per_sec": 1.0})
+    with pytest.raises(ValueError, match="positive"):
+        MachineCalibration.from_dict(
+            {
+                "ops_per_sec": -1.0,
+                "elapsed_seconds": 0.1,
+                "work_units": 10,
+                "repetitions": 1,
+                "cpu_count": 1,
+                "effective_cores": 1,
+            }
+        )
+
+
+def test_normalized_cost_rejects_nonpositive_work():
+    calibration = calibrate(min_seconds=0.01, clock=TickClock(0.01))
+    with pytest.raises(ValueError, match="work_units"):
+        calibration.normalized_cost(1.0, 0)
+
+
+@given(
+    step=st.floats(min_value=1e-4, max_value=0.05, allow_nan=False),
+    slowdown=st.floats(min_value=1.5, max_value=20.0, allow_nan=False),
+    seconds=st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+    work=st.integers(min_value=1, max_value=10**6),
+)
+@settings(max_examples=25, deadline=None)
+def test_cost_ratio_invariant_under_machine_speed(step, slowdown, seconds, work):
+    """The tentpole property: cost ratios do not depend on machine speed.
+
+    A machine that is ``slowdown``× slower calibrates to ``ops_per_sec /
+    slowdown`` and takes ``seconds × slowdown`` for the same work; the
+    two factors cancel exactly in the normalized cost (and rate).
+    """
+    fast = calibrate(min_seconds=0.1, clock=TickClock(step))
+    slow = calibrate(min_seconds=0.1, clock=TickClock(step * slowdown))
+    # The fake clock quantises elapsed time to whole ticks, so the
+    # measured speed ratio matches the modelled slowdown only up to the
+    # rounding of repetitions; compare through the *measured* ratio.
+    speed_ratio = fast.ops_per_sec / slow.ops_per_sec
+    assert speed_ratio > 1.0
+    cost_fast = fast.normalized_cost(seconds, work)
+    cost_slow = slow.normalized_cost(seconds * speed_ratio, work)
+    assert cost_slow == pytest.approx(cost_fast, rel=1e-9)
+    rate_fast = fast.normalized_rate(1000.0)
+    rate_slow = slow.normalized_rate(1000.0 / speed_ratio)
+    assert rate_slow == pytest.approx(rate_fast, rel=1e-9)
+
+
+def test_reference_buffer_is_fixed_and_frozen():
+    from repro.perf.calibrate import _reference_buffer
+
+    buffer = _reference_buffer()
+    assert buffer.shape == (4096, 32)
+    assert buffer.dtype == np.uint8
+    assert not buffer.flags.writeable
+    # Same seeded content on every call — the kernel's work is constant.
+    assert _reference_buffer() is buffer

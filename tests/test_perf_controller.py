@@ -1,0 +1,171 @@
+"""The adaptive latency controller (:mod:`repro.perf.controller`).
+
+Determinism (identical latencies → identical traces, stamp for stamp),
+convergence of the bracketing search under monotone latency models, the
+knob clamps, and the ``adaptive`` knob resolution used by the loadgen.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.controller import (
+    AdaptiveController,
+    ControllerConfig,
+    resolve_adaptive,
+)
+
+
+class TickClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def _drive(controller: AdaptiveController, latency_model, rounds: int, batches: int = 8):
+    """Feed ``rounds`` rounds of model latencies; returns the decisions."""
+    for _ in range(rounds):
+        for _ in range(batches):
+            controller.observe(latency_model(controller.batch_size))
+        controller.end_round()
+    return controller.decisions
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="target_p95_ms"):
+        ControllerConfig(target_p95_ms=0)
+    with pytest.raises(ValueError, match="batch bounds"):
+        ControllerConfig(min_batch_size=1024, max_batch_size=512)
+    with pytest.raises(ValueError, match="credit bounds"):
+        ControllerConfig(min_credits=4, max_credits=2)
+    with pytest.raises(ValueError, match="max_workers_cap"):
+        ControllerConfig(max_workers_cap=0)
+    with pytest.raises(ValueError, match="unknown"):
+        ControllerConfig.from_dict({"target_p95_ms": 10, "bogus": 1})
+
+
+def test_converges_under_linear_latency():
+    """latency = batch/400 ms, target 10 ms → best power-of-two is 2048."""
+    config = ControllerConfig(
+        target_p95_ms=10.0, min_batch_size=256, max_batch_size=8192
+    )
+    controller = AdaptiveController(config, cores=1, clock=TickClock())
+    decisions = _drive(controller, lambda b: b / 400 / 1e3, rounds=8)
+    assert controller.converged
+    assert controller.batch_size == 2048
+    actions = [d.action for d in decisions]
+    # Probes up the doubling ladder, one breach, then settled.
+    assert actions[:3] == ["probe", "probe", "probe"]
+    assert "decrease" in actions
+    assert actions[-1] == "converged"
+    # Once converged the batch never moves again.
+    assert {d.batch_size for d in decisions[-2:]} == {2048}
+
+
+def test_identical_latencies_identical_traces():
+    config = ControllerConfig(target_p95_ms=5.0, min_batch_size=256, max_batch_size=4096)
+
+    def run():
+        controller = AdaptiveController(config, cores=2, clock=TickClock())
+        _drive(controller, lambda b: b / 1000 / 1e3, rounds=6, batches=5)
+        return controller.trace()
+
+    assert run() == run()
+
+
+def test_pinned_at_floor_when_even_floor_breaches():
+    config = ControllerConfig(target_p95_ms=0.001, min_batch_size=256, max_batch_size=4096)
+    controller = AdaptiveController(config, cores=1, clock=TickClock())
+    _drive(controller, lambda b: 1.0, rounds=3)  # 1000 ms every batch
+    assert controller.batch_size == config.min_batch_size
+    assert controller.converged
+
+
+def test_empty_round_holds_every_knob():
+    controller = AdaptiveController(cores=1, clock=TickClock())
+    before = controller.batch_size
+    decision = controller.end_round()
+    assert decision.action == "hold"
+    assert decision.p50_ms == decision.p95_ms == 0.0
+    assert controller.batch_size == before
+
+
+def test_credits_track_p95_over_p50():
+    config = ControllerConfig(target_p95_ms=1e9, min_credits=1, max_credits=8)
+    controller = AdaptiveController(config, cores=1, clock=TickClock())
+    controller.observe_many([0.010] * 9 + [0.055])  # p50 10ms, p95 ~34ms
+    decision = controller.end_round()
+    assert 1 <= decision.credits <= 8
+    assert decision.credits == controller.credits == max(1, int(decision.p95_ms // decision.p50_ms))
+
+
+def test_max_workers_clamped_to_cap_and_cores():
+    config = ControllerConfig(max_workers_cap=4)
+    assert AdaptiveController(config, cores=16, clock=TickClock()).max_workers == 4
+    assert AdaptiveController(config, cores=2, clock=TickClock()).max_workers == 2
+    assert AdaptiveController(config, cores=0, clock=TickClock()).max_workers == 1
+
+
+def test_initial_batch_size_is_clamped():
+    config = ControllerConfig(min_batch_size=512, max_batch_size=2048)
+    assert AdaptiveController(config, initial_batch_size=64, cores=1).batch_size == 512
+    assert AdaptiveController(config, initial_batch_size=1 << 20, cores=1).batch_size == 2048
+
+
+def test_trace_is_json_safe():
+    controller = AdaptiveController(cores=1, clock=TickClock())
+    controller.observe(0.001)
+    controller.end_round()
+    (entry,) = controller.trace()
+    assert entry["round_index"] == 1
+    assert entry["at"] == 1.0  # the injected clock stamps decisions
+    assert set(entry) == {
+        "round_index", "batch_size", "credits", "max_workers",
+        "p50_ms", "p95_ms", "action", "at",
+    }
+
+
+def test_resolve_adaptive_forms():
+    assert resolve_adaptive(None) is None
+    assert resolve_adaptive(False) is None
+    assert resolve_adaptive(True) == ControllerConfig()
+    config = ControllerConfig(target_p95_ms=7.0)
+    assert resolve_adaptive(config) is config
+    assert resolve_adaptive({"target_p95_ms": 7.0}) == config
+    with pytest.raises(ValueError, match="bool or a controller-config"):
+        resolve_adaptive("yes")
+    with pytest.raises(ValueError, match="unknown"):
+        resolve_adaptive({"nope": 1})
+
+
+@given(
+    slope=st.floats(min_value=1e-7, max_value=1e-3, allow_nan=False),
+    target=st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+    batches=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_always_converges_under_monotone_latency(slope, target, batches):
+    """The bracket closes within log2(max/min)+2 rounds of any linear model.
+
+    Afterwards the chosen batch meets the target whenever *any* batch in
+    bounds can (otherwise it is pinned at the floor), and it never moves
+    again.
+    """
+    config = ControllerConfig(
+        target_p95_ms=target, min_batch_size=256, max_batch_size=65536
+    )
+    controller = AdaptiveController(config, cores=1, clock=TickClock())
+    rounds = 12  # log2(65536/256) = 8 doublings, plus breach + settle slack
+    _drive(controller, lambda b: b * slope, rounds=rounds, batches=batches)
+    assert controller.converged
+    settled = controller.batch_size
+    _drive(controller, lambda b: b * slope, rounds=2, batches=batches)
+    assert controller.batch_size == settled
+    floor_ms = config.min_batch_size * slope * 1e3
+    if floor_ms <= target:
+        assert settled * slope * 1e3 <= target
+    else:
+        assert settled == config.min_batch_size

@@ -1,0 +1,234 @@
+"""The perf gate (:mod:`repro.perf.gate`) and its CLI face.
+
+Schema validation catches drift, the trend re-check catches regressions
+(and hand-edited verdicts), the selftest proves the gate catches an
+injected 2× slowdown — and a selftest that catches nothing is itself a
+failure.  CLI cases drive ``repro bench gate`` through the real
+entry point and assert process exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.calibrate import MachineCalibration
+from repro.perf.gate import (
+    ARTIFACT_SCHEMAS,
+    GateReport,
+    inject_slowdown,
+    run_gate,
+    run_selftest,
+)
+
+
+def _calibration(ops_per_sec: float = 1e6) -> MachineCalibration:
+    return MachineCalibration(
+        ops_per_sec=ops_per_sec,
+        elapsed_seconds=0.1,
+        work_units=1000,
+        repetitions=1,
+        cpu_count=1,
+        effective_cores=1,
+    )
+
+
+def _service_entry(**overrides) -> dict:
+    entry = {
+        "oracle": "krr",
+        "batch_size": 2048,
+        "n_users": 1000,
+        "n_batches": 1,
+        "seconds": 0.1,
+        "reports_per_sec": 10_000.0,
+        "peak_batch_bytes": 128,
+        "tracemalloc_peak_bytes": 256,
+        "accumulator_bytes": 520,
+        "wire_bytes": 64,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _service_payload(entries=None, previous=None, calibration=None) -> dict:
+    calibration = calibration or _calibration()
+    entries = entries if entries is not None else [_service_entry()]
+    schema = ARTIFACT_SCHEMAS["service_throughput"]
+    trend = schema.trend(entries, previous, calibration=calibration)
+    return {
+        "backend": "serial",
+        "max_workers": None,
+        "domain_size": 65,
+        "entries": entries,
+        "trend": trend.to_dict(),
+        "calibration": calibration.to_dict(),
+    }
+
+
+def _write(results_dir, name, payload):
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"{name}.json").write_text(json.dumps(payload, indent=2))
+
+
+def test_gate_passes_valid_artifacts(tmp_path):
+    _write(tmp_path, "service_throughput", _service_payload())
+    report = run_gate(tmp_path)
+    assert report.verdict == "pass"
+    assert report.exit_code == 0
+    (artifact,) = report.artifacts
+    assert artifact.kind == "perf"
+    assert not artifact.errors
+
+
+def test_gate_fails_on_missing_results_dir(tmp_path):
+    report = run_gate(tmp_path / "nope")
+    assert report.exit_code == 1
+    assert "does not exist" in report.artifacts[0].errors[0]
+
+
+def test_gate_fails_on_schema_drift(tmp_path):
+    payload = _service_payload()
+    del payload["entries"][0]["reports_per_sec"]
+    _write(tmp_path, "service_throughput", payload)
+    report = run_gate(tmp_path)
+    assert report.exit_code == 1
+    assert any("reports_per_sec" in e for e in report.artifacts[0].errors)
+
+
+def test_gate_fails_on_unregistered_artifact(tmp_path):
+    _write(tmp_path, "mystery_numbers", {"entries": []})
+    report = run_gate(tmp_path)
+    assert report.exit_code == 1
+    assert "no golden schema" in report.artifacts[0].errors[0]
+
+
+def test_gate_fails_on_invalid_json(tmp_path):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "service_throughput.json").write_text("{not json")
+    report = run_gate(tmp_path)
+    assert report.exit_code == 1
+    assert "invalid JSON" in report.artifacts[0].errors[0]
+
+
+def test_gate_accepts_bench_records_documents(tmp_path):
+    _write(tmp_path, "table3", {"target": "table3", "records": [], "settings": {},
+                                "text": ""})
+    report = run_gate(tmp_path)
+    assert report.exit_code == 0
+    assert report.artifacts[0].kind == "bench-records"
+
+
+def test_gate_recheck_catches_embedded_fail(tmp_path):
+    """A run whose trend block recorded a fail ratio fails the gate."""
+    baseline = _service_payload()
+    degraded = _service_payload(
+        entries=[_service_entry(reports_per_sec=2_000.0)], previous=baseline
+    )
+    assert degraded["trend"]["verdict"] == "fail"
+    _write(tmp_path, "service_throughput", degraded)
+    report = run_gate(tmp_path)
+    assert report.exit_code == 1
+    assert report.artifacts[0].verdict == "fail"
+
+
+def test_gate_recheck_overrides_hand_edited_verdict(tmp_path):
+    """A doctored 'pass' verdict cannot sneak a fail ratio past the gate."""
+    baseline = _service_payload()
+    degraded = _service_payload(
+        entries=[_service_entry(reports_per_sec=2_000.0)], previous=baseline
+    )
+    for comparison in degraded["trend"]["comparisons"]:
+        comparison["verdict"] = "pass"
+    degraded["trend"]["verdict"] = "pass"
+    degraded["trend"]["warnings"] = []
+    _write(tmp_path, "service_throughput", degraded)
+    report = run_gate(tmp_path)
+    assert report.exit_code == 1
+
+
+def test_gate_surfaces_skips_with_reasons(tmp_path):
+    entries = [
+        _service_entry(),
+        {"oracle": "olh", "batch_size": 2048, "skipped_reason": "needs >=2 cores"},
+    ]
+    _write(tmp_path, "service_throughput", _service_payload(entries=entries))
+    report = run_gate(tmp_path)
+    assert report.exit_code == 0
+    assert any("needs >=2 cores" in skip for skip in report.artifacts[0].skips)
+
+
+def test_inject_slowdown_respects_direction():
+    schema = ARTIFACT_SCHEMAS["service_throughput"]
+    (degraded,) = inject_slowdown([_service_entry(reports_per_sec=100.0)], schema)
+    assert degraded["reports_per_sec"] == pytest.approx(50.0)
+    engine = ARTIFACT_SCHEMAS["engine_speedup"]
+    (degraded,) = inject_slowdown([{"measure": "serial", "cost_ratio": 3.0}], engine)
+    assert degraded["cost_ratio"] == pytest.approx(6.0)
+    # Entries without the value (skips) pass through untouched.
+    (skipped,) = inject_slowdown([{"measure": "x", "skipped_reason": "r"}], engine)
+    assert skipped == {"measure": "x", "skipped_reason": "r"}
+
+
+def test_selftest_catches_injected_regression(tmp_path):
+    _write(tmp_path, "service_throughput", _service_payload())
+    selftest = run_selftest(tmp_path)
+    assert selftest["ok"]
+    (outcome,) = selftest["artifacts"]
+    assert outcome["name"] == "service_throughput"
+    assert outcome["caught"] and outcome["verdict"] == "fail"
+
+
+def test_selftest_with_nothing_eligible_is_not_ok(tmp_path):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    selftest = run_selftest(tmp_path)
+    assert not selftest["ok"]
+    assert selftest["artifacts"] == []
+    # ... and folds into a failing gate verdict.
+    report = GateReport(results_dir=str(tmp_path), selftest=selftest)
+    assert report.exit_code == 1
+
+
+def test_gate_cli_exit_codes_and_report(tmp_path, capsys):
+    _write(tmp_path / "results", "service_throughput", _service_payload())
+    out_dir = tmp_path / "out"
+    code = main(
+        ["bench", "gate", "--results", str(tmp_path / "results"),
+         "--selftest", "-o", str(out_dir)]
+    )
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "PASS" in stdout and "selftest" in stdout
+    report = json.loads((out_dir / "gate_report.json").read_text())
+    assert report["verdict"] == "pass"
+    assert report["selftest"]["ok"]
+
+
+def test_gate_cli_fails_on_regression(tmp_path, capsys):
+    baseline = _service_payload()
+    degraded = _service_payload(
+        entries=[_service_entry(reports_per_sec=2_000.0)], previous=baseline
+    )
+    _write(tmp_path / "results", "service_throughput", degraded)
+    code = main(["bench", "gate", "--results", str(tmp_path / "results")])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_committed_artifacts_pass_the_real_gate():
+    """The repo's own committed artifacts must keep the gate green.
+
+    This is the tier-1 anchor of the perf trajectory: a PR that lands a
+    regression (or drifts a schema) goes red here, not in a nightly.
+    Runs against the files the benchmarks (re)wrote earlier in this
+    pytest session — benchmarks/ collects before tests/ — or, under a
+    tests-only run, against the committed files themselves.
+    """
+    from pathlib import Path
+
+    results_dir = Path(__file__).parent.parent / "benchmarks" / "results"
+    report = run_gate(results_dir)
+    detail = "\n".join(
+        f"{artifact.name}: {artifact.verdict} {artifact.errors}"
+        for artifact in report.artifacts
+    )
+    assert report.exit_code == 0, f"perf gate failed:\n{detail}"

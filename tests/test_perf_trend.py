@@ -1,0 +1,251 @@
+"""The shared trend engine (:mod:`repro.perf.trend`).
+
+Covers the verdict ladder, ratio orientation for both directions,
+calibrated (machine-normalized) comparison, and every skip path — each
+skip must carry its reason, never silence.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.calibrate import MachineCalibration
+from repro.perf.trend import TrendPolicy, TrendReport, trend_vs_previous
+
+
+def _calibration(ops_per_sec: float) -> MachineCalibration:
+    return MachineCalibration(
+        ops_per_sec=ops_per_sec,
+        elapsed_seconds=0.1,
+        work_units=1000,
+        repetitions=1,
+        cpu_count=1,
+        effective_cores=1,
+    )
+
+
+POLICY = TrendPolicy(value="reports_per_sec", direction="higher")
+KEY = ("oracle",)
+
+
+def _payload(entries, ops_per_sec=1e6):
+    return {"entries": entries, "calibration": _calibration(ops_per_sec).to_dict()}
+
+
+def test_policy_verdict_ladder():
+    policy = TrendPolicy(warn_ratio=0.75, fail_ratio=0.5)
+    assert policy.verdict_for(1.2) == "pass"
+    assert policy.verdict_for(0.75) == "pass"
+    assert policy.verdict_for(0.74) == "warn"
+    assert policy.verdict_for(0.51) == "warn"
+    # An exact 2x slowdown is a fail, not a warn: the boundary is <=.
+    assert policy.verdict_for(0.5) == "fail"
+    assert policy.verdict_for(0.1) == "fail"
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="direction"):
+        TrendPolicy(direction="sideways")
+    with pytest.raises(ValueError, match="tolerances"):
+        TrendPolicy(warn_ratio=0.5, fail_ratio=0.75)
+    with pytest.raises(ValueError, match="tolerances"):
+        TrendPolicy(fail_ratio=0.0)
+
+
+def test_no_baseline_marks_everything_new():
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 100.0}],
+        None,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    assert report.baseline is None
+    assert [c.verdict for c in report.comparisons] == ["new"]
+    assert report.verdict == "pass"  # new is not a regression
+
+
+def test_same_machine_same_speed_passes():
+    previous = _payload([{"oracle": "krr", "reports_per_sec": 100.0}])
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 99.0}],
+        previous,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    (comparison,) = report.comparisons
+    assert comparison.verdict == "pass"
+    assert comparison.ratio == pytest.approx(0.99)
+
+
+def test_calibration_excuses_a_slower_machine():
+    """Half the throughput on a half-speed machine is NOT a regression."""
+    previous = _payload([{"oracle": "krr", "reports_per_sec": 100.0}], ops_per_sec=2e6)
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 50.0}],
+        previous,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    (comparison,) = report.comparisons
+    assert comparison.verdict == "pass"
+    assert comparison.ratio == pytest.approx(1.0)
+
+
+def test_calibration_unmasks_a_faster_machine():
+    """Same raw throughput on a 2x faster machine IS a 2x regression."""
+    previous = _payload([{"oracle": "krr", "reports_per_sec": 100.0}], ops_per_sec=1e6)
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 100.0}],
+        previous,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(2e6),
+    )
+    (comparison,) = report.comparisons
+    assert comparison.verdict == "fail"
+    assert comparison.ratio == pytest.approx(0.5)
+    assert report.verdict == "fail"
+    assert report.warnings  # fail comparisons render printable messages
+
+
+def test_lower_is_better_direction_orients_ratio():
+    policy = TrendPolicy(value="cost_ratio", direction="lower", normalize=False)
+    previous = {"entries": [{"measure": "serial", "cost_ratio": 10.0}]}
+    report = trend_vs_previous(
+        [{"measure": "serial", "cost_ratio": 5.0}],  # cost halved: good
+        previous,
+        key_fields=("measure",),
+        policy=policy,
+    )
+    (comparison,) = report.comparisons
+    assert comparison.ratio == pytest.approx(2.0)
+    assert comparison.verdict == "pass"
+    report = trend_vs_previous(
+        [{"measure": "serial", "cost_ratio": 20.0}],  # cost doubled: fail
+        previous,
+        key_fields=("measure",),
+        policy=policy,
+    )
+    assert report.comparisons[0].verdict == "fail"
+
+
+def test_uncalibrated_baseline_skips_with_reason():
+    previous = {"entries": [{"oracle": "krr", "reports_per_sec": 100.0}]}
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 1.0}],
+        previous,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    (comparison,) = report.comparisons
+    assert comparison.verdict == "skip"
+    assert "uncalibrated" in comparison.reason
+    assert report.verdict == "pass"  # a skip is not a regression
+
+
+def test_uncalibrated_run_skips_with_reason():
+    previous = _payload([{"oracle": "krr", "reports_per_sec": 100.0}])
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 1.0}],
+        previous,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=None,
+    )
+    assert report.comparisons[0].verdict == "skip"
+    assert "run is uncalibrated" in report.comparisons[0].reason
+
+
+def test_skipped_entry_carries_its_reason_through():
+    report = trend_vs_previous(
+        [{"oracle": "olh", "skipped_reason": "needs >=2 cores"}],
+        _payload([{"oracle": "olh", "reports_per_sec": 50.0}]),
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    (comparison,) = report.comparisons
+    assert comparison.verdict == "skip"
+    assert comparison.reason == "needs >=2 cores"
+
+
+def test_previous_may_be_a_path(tmp_path):
+    path = tmp_path / "artifact.json"
+    path.write_text(json.dumps(_payload([{"oracle": "krr", "reports_per_sec": 100.0}])))
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 100.0}],
+        path,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    assert report.baseline == "committed"
+    assert report.comparisons[0].verdict == "pass"
+    # A missing/corrupt path degrades to "no baseline", never raises.
+    report = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": 100.0}],
+        tmp_path / "missing.json",
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    assert report.baseline is None
+
+
+def test_report_round_trips_to_dict():
+    report = trend_vs_previous(
+        [
+            {"oracle": "krr", "reports_per_sec": 100.0},
+            {"oracle": "oue", "skipped_reason": "not measured"},
+        ],
+        _payload([{"oracle": "krr", "reports_per_sec": 400.0}]),
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(1e6),
+    )
+    data = report.to_dict()
+    assert data["baseline"] == "committed"
+    assert data["verdict"] == "fail"
+    assert TrendPolicy.from_dict(data["policy"]) == POLICY
+    verdicts = {c["key"]["oracle"]: c["verdict"] for c in data["comparisons"]}
+    assert verdicts == {"krr": "fail", "oue": "skip"}
+    assert data["warnings"] and "0.25x" in data["warnings"][0]
+
+
+def test_worst_verdict_wins():
+    report = TrendReport(baseline="committed", policy=POLICY, comparisons=())
+    assert report.verdict == "pass"
+
+
+@given(
+    value=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    old_value=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    ops=st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+    speed=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_ratio_is_machine_invariant(value, old_value, ops, speed):
+    """Scaling both the machine's speed and its throughput cancels out."""
+    previous = _payload([{"oracle": "krr", "reports_per_sec": old_value}], ops_per_sec=ops)
+    base = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": value}],
+        previous,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(ops),
+    ).comparisons[0]
+    scaled = trend_vs_previous(
+        [{"oracle": "krr", "reports_per_sec": value * speed}],
+        previous,
+        key_fields=KEY,
+        policy=POLICY,
+        calibration=_calibration(ops * speed),
+    ).comparisons[0]
+    assert scaled.ratio == pytest.approx(base.ratio, rel=1e-9)
+    assert scaled.verdict == base.verdict
