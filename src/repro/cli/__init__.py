@@ -10,6 +10,8 @@ Five subcommands drive the library end to end without writing Python:
   networked TCP gateway serving the wire protocol for real;
 * ``repro loadgen`` — multiprocess client load against a gateway, with
   throughput and batch-latency percentiles;
+* ``repro stats`` — scrape a live gateway's (or every cluster shard's)
+  metrics registry over the wire, schema-validated;
 * ``repro bench`` — any paper table/figure, computed fresh or re-rendered
   from persisted results.
 
@@ -23,7 +25,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.cli import bench, cluster, loadgen, run, serve, sweep
+from repro.cli import bench, cluster, loadgen, run, serve, stats, sweep
 from repro.cli.common import CLIError
 
 
@@ -40,7 +42,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
-    for module in (run, sweep, serve, cluster, loadgen, bench):
+    for module in (run, sweep, serve, cluster, loadgen, stats, bench):
         module.add_parser(subparsers)
     return parser
 
@@ -56,6 +58,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if getattr(args, "handler", None) is None:
         parser.print_help()
         return 2
+    from repro.obs.logs import configure_logging
+
+    configure_logging(
+        getattr(args, "log_level", None) or "info",
+        json_mode=bool(getattr(args, "log_json", False)),
+    )
     try:
         return args.handler(args)
     except CLIError as exc:

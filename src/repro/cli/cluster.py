@@ -18,7 +18,12 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.cli.common import CLIError, add_backend_arguments, emit_json
+from repro.cli.common import (
+    CLIError,
+    add_backend_arguments,
+    add_logging_arguments,
+    emit_json,
+)
 
 
 def add_parser(subparsers) -> argparse.ArgumentParser:
@@ -61,6 +66,7 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
         help="largest frame body each shard accepts",
     )
     add_backend_arguments(parser)
+    add_logging_arguments(parser)
     parser.add_argument(
         "-o", "--output", default=None,
         help="also write the per-shard exit summary as JSON here",
@@ -72,6 +78,9 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
 def cmd(args: argparse.Namespace) -> int:
     from repro.cluster.launcher import LauncherError, launch_cluster
     from repro.experiments.spec import SpecError, load_loadgen_spec
+    from repro.obs.logs import get_logger
+
+    log = get_logger("repro.cli.cluster")
 
     n_shards, host, spec_path = 2, "127.0.0.1", None
     if args.spec is not None:
@@ -106,11 +115,15 @@ def cmd(args: argparse.Namespace) -> int:
         raise CLIError(str(exc)) from exc
 
     with handle:
-        print(f"cluster of {handle.n_shards} shards listening on {handle.address}",
-              flush=True)
+        log.info(
+            f"cluster of {handle.n_shards} shards listening on {handle.address}",
+            n_shards=handle.n_shards, address=handle.address,
+        )
         for shard in handle.shards:
-            print(f"  shard {shard.index}: {shard.address} (log: {shard.log_path})",
-                  flush=True)
+            log.info(
+                f"  shard {shard.index}: {shard.address} (log: {shard.log_path})",
+                shard=shard.index, address=shard.address,
+            )
         if args.ready_file is not None:
             ready = Path(args.ready_file)
             ready.parent.mkdir(parents=True, exist_ok=True)
@@ -118,15 +131,16 @@ def cmd(args: argparse.Namespace) -> int:
         try:
             exit_codes = handle.wait()
         except KeyboardInterrupt:
-            print("stopping cluster...", flush=True)
+            log.info("stopping cluster...")
             exit_codes = handle.shutdown()
     summary = {
         "n_shards": handle.n_shards,
         "addresses": handle.addresses,
         "exit_codes": exit_codes,
         "run_dir": str(handle.run_dir),
+        "shards": handle.shutdown_record,
     }
-    print(f"cluster stopped: exit codes {exit_codes}")
+    log.info(f"cluster stopped: exit codes {exit_codes}", exit_codes=exit_codes)
     if args.output is not None:
         emit_json(summary, args.output)
     return 0 if all(code == 0 for code in exit_codes) else 1

@@ -74,6 +74,25 @@ def add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--log-level/--log-json``: the structured-logging seam.
+
+    Defaults reproduce the historical output byte for byte: ``info``
+    records print their bare message to stdout, warnings and errors go
+    to stderr.  ``--log-json`` switches every record to one canonical
+    JSON line on stderr.
+    """
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level of emitted log records (default: info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines on stderr instead of human text",
+    )
+
+
 def add_smoke_argument(parser: argparse.ArgumentParser) -> None:
     """``--smoke``: the canonical tiny preset (SMOKE_PRESET), used by CI."""
     parser.add_argument(

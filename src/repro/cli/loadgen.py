@@ -20,7 +20,6 @@ latency percentiles with exact wire-bit accounting:
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.core.config import DEFAULT_REPORT_BATCH_SIZE
 
@@ -28,6 +27,7 @@ from repro.cli.common import (
     CLIError,
     add_backend_arguments,
     add_dataset_arguments,
+    add_logging_arguments,
     add_smoke_argument,
     build_gateway,
     emit_json,
@@ -58,6 +58,8 @@ _FLAG_PARAMS: tuple[tuple[str, str, object], ...] = (
     ("retries", "retries", 0),
     ("timeout", "timeout", 120.0),
     ("adaptive", "adaptive", None),
+    ("telemetry", "telemetry", False),
+    ("trace_log", "trace_log", None),
 )
 
 
@@ -131,11 +133,24 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
              "(default: 120)",
     )
     parser.add_argument(
+        "--telemetry", action="store_const", const=True, default=None,
+        help="collect an obs-layer metrics picture of the run (worker "
+             "coordinator counters, fault-proxy actions, and the "
+             "gateway's wire-scraped registry) into the report",
+    )
+    parser.add_argument(
+        "--trace-log", default=None, metavar="FILE",
+        help="append every client-side trace span (client.round / "
+             "client.batch / cluster.merge_barrier) to this JSONL file, "
+             "with the trace context stamped on outgoing frames",
+    )
+    parser.add_argument(
         "--shutdown", action="store_true",
         help="send the gateway a shutdown frame after the run "
              "(for scripted --connect runs; self-hosted gateways always stop)",
     )
     add_backend_arguments(parser)
+    add_logging_arguments(parser)
     add_smoke_argument(parser)
     parser.add_argument("-o", "--output", default=None,
                         help="also write the measurement report as JSON here")
@@ -253,9 +268,10 @@ def cmd(args: argparse.Namespace) -> int:
             except Exception as exc:  # noqa: BLE001 - refusal/odd reply
                 # A refused shutdown must not discard the completed
                 # measurement: warn and fall through to the report.
-                print(
-                    f"repro: warning: gateway did not shut down: {exc}",
-                    file=sys.stderr,
+                from repro.obs.logs import get_logger
+
+                get_logger("repro.cli.loadgen").warning(
+                    f"repro: warning: gateway did not shut down: {exc}"
                 )
     finally:
         if handle is not None:

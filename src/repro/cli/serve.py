@@ -33,6 +33,7 @@ from repro.cli.common import (
     CLIError,
     add_backend_arguments,
     add_dataset_arguments,
+    add_logging_arguments,
     add_smoke_argument,
     build_gateway,
     emit_json,
@@ -144,7 +145,19 @@ def add_parser(subparsers) -> argparse.ArgumentParser:
         help="largest accepted frame body; bigger frames are rejected "
              "unread (gateway mode)",
     )
+    listen.add_argument(
+        "--telemetry-sample", type=float, default=None,
+        help="fraction of ingested batches whose latency the gateway "
+             "times into its histogram (gateway mode; default: 0, off — "
+             "counters always run)",
+    )
+    listen.add_argument(
+        "--trace-log", default=None, metavar="FILE",
+        help="append the gateway's finished trace spans to this JSONL "
+             "file (gateway mode; default: off)",
+    )
     add_backend_arguments(parser)
+    add_logging_arguments(parser)
     add_smoke_argument(parser)
     parser.add_argument("-o", "--output", default=None,
                         help="also write the accounting/robustness report as JSON here")
@@ -175,6 +188,7 @@ SCENARIO_ONLY_FLAGS: tuple[str, ...] = (
 )
 LISTEN_ONLY_FLAGS: tuple[str, ...] = (
     "ready_file", "spec", "credits", "max_inflight", "max_frame_bytes",
+    "telemetry_sample", "trace_log",
 )
 #: Flags shared by the raw and scenario modes that a gateway has no use
 #: for (it learns oracle/budget from each broadcast and never perturbs).
@@ -281,6 +295,8 @@ def _cmd_listen(args: argparse.Namespace) -> int:
         ("credits", "connection_credits"),
         ("max_inflight", "max_inflight_batches"),
         ("max_frame_bytes", "max_frame_bytes"),
+        ("telemetry_sample", "telemetry_sample"),
+        ("trace_log", "trace_log"),
     ):
         if getattr(args, flag) is not None:
             kwargs[keyword] = getattr(args, flag)
@@ -289,8 +305,12 @@ def _cmd_listen(args: argparse.Namespace) -> int:
         action="configure gateway",
     )
 
+    from repro.obs.logs import get_logger
+
+    log = get_logger("repro.cli.serve")
+
     def on_ready(address: str) -> None:
-        print(f"gateway listening on {address}", flush=True)
+        log.info(f"gateway listening on {address}", address=address)
         if args.ready_file is not None:
             ready = Path(args.ready_file)
             ready.parent.mkdir(parents=True, exist_ok=True)
@@ -305,10 +325,13 @@ def _cmd_listen(args: argparse.Namespace) -> int:
         # --ready-file): do not misreport it as a bind failure.
         raise CLIError(f"gateway failed while serving: {exc}") from exc
     stats = gateway.stats()
-    print(
+    log.info(
         f"gateway stopped: {stats['rounds_opened']} rounds, "
         f"{stats['upload_bits'] / 8e3:.1f} kB uploaded, "
-        f"{stats['connections_total']} connections"
+        f"{stats['connections_total']} connections",
+        rounds_opened=stats["rounds_opened"],
+        upload_bits=stats["upload_bits"],
+        connections_total=stats["connections_total"],
     )
     if args.output is not None:
         emit_json(stats, args.output)

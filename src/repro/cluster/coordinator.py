@@ -44,6 +44,7 @@ codes, branchable like the PR 5 codes):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.ldp.base import EstimationResult
 from repro.ldp.registry import make_oracle
 from repro.net.client import GatewayConnection, RemoteAggregationServer, parse_address
+from repro.obs.registry import METRICS_SCHEMA, MetricsRegistry
 from repro.service.protocol import RoundBroadcast, encode_broadcast, wire_bits
 from repro.service.server import ExportedShardState, ServiceError, finalize_estimate
 
@@ -127,6 +129,15 @@ class ClusterConnection:
         :class:`~repro.cluster.ring.HashRing` parameters.  Routing only
         affects *which* shard accumulates a batch, never the merged
         result — the merge algebra is partition-independent.
+    telemetry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` for the
+        coordinator's own counters (per-shard route counts, merge-barrier
+        wait).  One is created when omitted; either way
+        :meth:`metrics` returns it alongside every shard's scrape.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  Shard connections
+        share it (client round/batch spans per shard), and the finalize
+        barrier records a ``cluster.merge_barrier`` span.  Observe-only.
     """
 
     def __init__(
@@ -137,6 +148,8 @@ class ClusterConnection:
         op_timeout: float | None = None,
         ring_seed: int = 0,
         n_vnodes: int | None = None,
+        telemetry: MetricsRegistry | None = None,
+        tracer=None,
     ):
         self.addresses = parse_cluster_addresses(addresses)
         self.n_shards = len(self.addresses)
@@ -147,6 +160,16 @@ class ClusterConnection:
             seed=int(ring_seed),
             n_vnodes=int(n_vnodes) if n_vnodes else DEFAULT_VNODES,
         )
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._m_rounds_opened = self.telemetry.counter("cluster_rounds_opened_total")
+        self._m_rounds_merged = self.telemetry.counter("cluster_rounds_merged_total")
+        self._m_upload_bits = self.telemetry.counter("cluster_upload_bits_total")
+        self._m_routed = [
+            self.telemetry.counter("cluster_batches_routed_total", shard=shard)
+            for shard in range(self.n_shards)
+        ]
+        self._m_barrier_ms = self.telemetry.histogram("cluster_merge_barrier_ms")
         self._connections: list[GatewayConnection] = []
         self._rounds: dict[int, _ClusterRound] = {}
         self._next_round_id = 0
@@ -158,6 +181,7 @@ class ClusterConnection:
                             address,
                             timeout=self.timeout,
                             op_timeout=self.op_timeout,
+                            tracer=self.tracer,
                         )
                     )
                 except (OSError, EOFError) as exc:
@@ -245,6 +269,7 @@ class ClusterConnection:
             ring_version=self.ring.version,
             shard_round_ids=shard_round_ids,
         )
+        self._m_rounds_opened.inc()
         return round_id, canonical_bits
 
     def send_batch(self, round_id: int, payload: bytes) -> int:
@@ -283,7 +308,10 @@ class ClusterConnection:
         # Counters only move once the shard accepted the send: an
         # unsent batch must not inflate the totals the barrier validates.
         round_.n_batches += 1
-        round_.upload_bits += wire_bits(payload)
+        payload_bits = wire_bits(payload)
+        round_.upload_bits += payload_bits
+        self._m_routed[shard].inc()
+        self._m_upload_bits.inc(payload_bits)
         return seq
 
     def drain(self) -> None:
@@ -314,25 +342,45 @@ class ClusterConnection:
         # states export, so a half-failed barrier must not be retried
         # against already-released shards.
         round_.is_open = False
-        states: list[ExportedShardState] = []
-        for shard, conn in enumerate(self._connections):
-            states.append(
-                self._on_shard(shard, conn.export_shard, round_.shard_round_ids[shard])
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "cluster.merge_barrier",
+                round_id=round_.round_id,
+                n_shards=self.n_shards,
             )
-        self._validate_states(round_, states)
-        oracle = make_oracle(round_.oracle_name, round_.epsilon)
-        counts = np.zeros(round_.domain_size, dtype=np.int64)
-        for state in states:
-            counts = oracle.merge_counts(counts, state.counts)
-        return finalize_estimate(
-            oracle,
-            counts,
-            sum(state.n_users for state in states),
-            round_.domain_size,
-            n_batches=round_.n_batches,
-            upload_bits=round_.upload_bits,
-            broadcast_bits=round_.broadcast_bits,
-        )
+        barrier_start = time.perf_counter()
+        try:
+            states: list[ExportedShardState] = []
+            for shard, conn in enumerate(self._connections):
+                states.append(
+                    self._on_shard(
+                        shard, conn.export_shard, round_.shard_round_ids[shard]
+                    )
+                )
+            self._validate_states(round_, states)
+            oracle = make_oracle(round_.oracle_name, round_.epsilon)
+            counts = np.zeros(round_.domain_size, dtype=np.int64)
+            for state in states:
+                counts = oracle.merge_counts(counts, state.counts)
+            result = finalize_estimate(
+                oracle,
+                counts,
+                sum(state.n_users for state in states),
+                round_.domain_size,
+                n_batches=round_.n_batches,
+                upload_bits=round_.upload_bits,
+                broadcast_bits=round_.broadcast_bits,
+            )
+        except BaseException as exc:
+            if span is not None:
+                span.finish(error=f"{type(exc).__name__}: {exc}")
+            raise
+        self._m_barrier_ms.observe((time.perf_counter() - barrier_start) * 1e3)
+        self._m_rounds_merged.inc()
+        if span is not None:
+            span.finish(n_batches=round_.n_batches, n_users=result.n_users)
+        return result
 
     def _validate_states(
         self, round_: _ClusterRound, states: list[ExportedShardState]
@@ -395,6 +443,24 @@ class ClusterConnection:
         }
         return {"n_shards": self.n_shards, **summed, "shards": shards}
 
+    def metrics(self) -> dict:
+        """Cluster-wide metrics document: coordinator registry + shard scrapes.
+
+        The coordinator's own snapshot rides under ``"metrics"`` (so the
+        document validates like any other); each shard's full wire-scraped
+        document is listed under ``"shards"`` in address order.
+        """
+        shards = [
+            self._on_shard(shard, conn.metrics)
+            for shard, conn in enumerate(self._connections)
+        ]
+        return {
+            "schema": METRICS_SCHEMA,
+            "source": "cluster",
+            "metrics": self.telemetry.snapshot(),
+            "shards": shards,
+        }
+
     def shutdown_cluster(self) -> None:
         """Gracefully stop every shard gateway (already-dead shards are
         fine: shutting a cluster down twice should not fail)."""
@@ -440,6 +506,8 @@ class ClusterCoordinator(RemoteAggregationServer):
         op_timeout: float | None = None,
         ring_seed: int = 0,
         n_vnodes: int | None = None,
+        telemetry: MetricsRegistry | None = None,
+        tracer=None,
     ):
         cluster = parse_cluster_addresses(addresses)
         super().__init__(",".join(cluster), timeout=timeout)
@@ -447,6 +515,8 @@ class ClusterCoordinator(RemoteAggregationServer):
         self.op_timeout = None if op_timeout is None else float(op_timeout)
         self.ring_seed = int(ring_seed)
         self.n_vnodes = n_vnodes
+        self.telemetry = telemetry
+        self.tracer = tracer
 
     def _connect(self) -> ClusterConnection:
         return ClusterConnection(
@@ -455,7 +525,18 @@ class ClusterCoordinator(RemoteAggregationServer):
             op_timeout=self.op_timeout,
             ring_seed=self.ring_seed,
             n_vnodes=self.n_vnodes,
+            telemetry=self.telemetry,
+            tracer=self.tracer,
         )
+
+    def __getstate__(self) -> dict:
+        # Registries and tracers hold locks/file handles — they stay with
+        # the process that created them; a worker that unpickles this
+        # coordinator reconnects without telemetry.
+        state = super().__getstate__()
+        state["telemetry"] = None
+        state["tracer"] = None
+        return state
 
     def shutdown_cluster(self) -> None:
         """Gracefully stop every shard gateway, then drop the connection."""

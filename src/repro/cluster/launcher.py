@@ -55,6 +55,10 @@ class ClusterHandle:
         self.shards = shards
         self.run_dir = run_dir
         self._exit_codes: list[int] | None = None
+        #: Per-shard structured teardown records, populated by
+        #: :meth:`shutdown`: exit code, how the shard went down, and —
+        #: for shards that died early or dirtily — the tail of their log.
+        self.shutdown_record: list[dict] | None = None
 
     @property
     def addresses(self) -> list[str]:
@@ -90,33 +94,76 @@ class ClusterHandle:
         Graceful means the wire protocol's ``shutdown`` op (the gateway
         answers ``bye``, drains, and exits 0); a shard that no longer
         answers is terminated, then killed.  Idempotent.
+
+        Every shard's fate lands in :attr:`shutdown_record`: a shard that
+        had *already* died is not silently reaped — its record says so
+        (``"already_exited": true``) and carries the tail of its log, and
+        a structured warning is emitted for it.
         """
         if self._exit_codes is not None:
             return self._exit_codes
         from repro.net.client import GatewayConnection
+        from repro.obs.logs import get_logger
 
-        for shard in self.shards:
-            if shard.process.poll() is not None:
+        log = get_logger("repro.cluster").bind(run_dir=str(self.run_dir))
+        records = [
+            {
+                "shard": shard.index,
+                "address": shard.address,
+                "already_exited": shard.process.poll() is not None,
+                "graceful": False,
+                "escalation": "none",
+            }
+            for shard in self.shards
+        ]
+        for shard, record in zip(self.shards, records):
+            if record["already_exited"]:
                 continue
             try:
                 with GatewayConnection(shard.address, timeout=timeout) as conn:
                     conn.shutdown_gateway()
+                record["graceful"] = True
             except Exception:
                 # Transport death or a refused shutdown: escalate below.
                 pass
         deadline = time.monotonic() + timeout
-        for shard in self.shards:
+        for shard, record in zip(self.shards, records):
             remaining = max(0.1, deadline - time.monotonic())
             try:
                 shard.process.wait(timeout=remaining)
             except subprocess.TimeoutExpired:
+                record["escalation"] = "terminate"
                 shard.process.terminate()
                 try:
                     shard.process.wait(timeout=5.0)
                 except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                    record["escalation"] = "kill"
                     shard.process.kill()
                     shard.process.wait()
-        self._exit_codes = [shard.process.returncode for shard in self.shards]
+        for shard, record in zip(self.shards, records):
+            record["exit_code"] = shard.process.returncode
+            # A shard that had already exited *cleanly* (a remote
+            # ``shutdown`` op) is a normal teardown; only a non-zero code
+            # marks a shard that died on us.
+            if record["exit_code"] != 0:
+                record["log_tail"] = _tail(shard.log_path)
+                log.warning(
+                    f"shard {shard.index} "
+                    + ("died early" if record["already_exited"] else "exited dirty")
+                    + f" (code {record['exit_code']}); log tail:\n"
+                    + record["log_tail"],
+                    shard=shard.index,
+                    exit_code=record["exit_code"],
+                    already_exited=record["already_exited"],
+                )
+            else:
+                log.debug(
+                    f"shard {shard.index} stopped cleanly",
+                    shard=shard.index,
+                    graceful=record["graceful"],
+                )
+        self.shutdown_record = records
+        self._exit_codes = [record["exit_code"] for record in records]
         return self._exit_codes
 
     def __enter__(self) -> "ClusterHandle":

@@ -321,6 +321,8 @@ LOADGEN_GATEWAY_KEYS: tuple[str, ...] = (
     "connection_credits",
     "max_inflight_batches",
     "max_frame_bytes",
+    "telemetry_sample",
+    "trace_log",
 )
 
 #: ``workload:`` keys — what the simulated clients report.
@@ -346,6 +348,8 @@ LOADGEN_LOAD_KEYS: tuple[str, ...] = (
     "retries",
     "timeout",
     "adaptive",
+    "telemetry",
+    "trace_log",
 )
 
 

@@ -26,6 +26,7 @@ from typing import Iterable
 
 from repro.faults.profile import FaultChain, FaultProfile, as_chain
 from repro.net import framing
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["FaultProxy", "parse_proxy_target"]
 
@@ -82,6 +83,7 @@ class FaultProxy:
         *,
         host: str = "127.0.0.1",
         max_frame_bytes: int = framing.DEFAULT_MAX_FRAME_BYTES,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.target = parse_proxy_target(target)
         self.chain = as_chain(profile)
@@ -90,6 +92,10 @@ class FaultProxy:
         self._needs_ops = any(layer.ops is not None for layer in self.chain.layers)
         self._lock = threading.Lock()
         self.counters: dict[str, int] = {}
+        #: Fault actions double as ``fault_actions_total{action=...}`` on
+        #: this registry, so a scrape sees injected chaos next to the
+        #: gateway counters it perturbed.
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         self._closed = threading.Event()
         self._conn_sockets: set[socket.socket] = set()
         self._next_connection = 0
@@ -177,10 +183,19 @@ class FaultProxy:
                 header = _read_exact(src, framing.FRAME_HEADER_SIZE)
                 if header is None:
                     break
-                length, kind = framing.parse_frame_header(header)
+                length, raw_kind = framing.parse_frame_header(header)
+                kind, has_trace = framing.split_frame_kind(raw_kind)
                 framing.check_frame_header(
                     length, kind, max_frame_bytes=self.max_frame_bytes
                 )
+                if has_trace:
+                    # The trace extension is transport, like the header
+                    # itself: it rides in front of the body, untouched by
+                    # faults (corrupt/truncate address body bytes only).
+                    trace = _read_exact(src, framing.TRACE_CONTEXT_SIZE)
+                    if trace is None:
+                        break
+                    header = header + trace
                 body = _read_exact(src, length)
                 if body is None:
                     break
@@ -305,6 +320,7 @@ class FaultProxy:
     def _count(self, action: str) -> None:
         with self._lock:
             self.counters[action] = self.counters.get(action, 0) + 1
+        self.telemetry.counter("fault_actions_total", action=action).inc()
 
 
 # ---------------------------------------------------------------------- #

@@ -39,14 +39,18 @@ from repro.net.framing import (
     FRAME_ESTIMATE,
     FRAME_REPORT_BATCH,
     FRAME_ROUND_CONTROL,
+    FRAME_STATS,
     Frame,
     FrameError,
     OversizeFrameError,
     decode_estimate,
+    decode_metrics_frame,
     encode_estimate,
     encode_frame,
+    encode_metrics_frame,
     error_to_exception,
     exception_to_error,
+    split_frame_kind,
 )
 from repro.net.gateway import (
     AggregationGateway,
@@ -64,6 +68,7 @@ __all__ = [
     "FRAME_ESTIMATE",
     "FRAME_REPORT_BATCH",
     "FRAME_ROUND_CONTROL",
+    "FRAME_STATS",
     "Frame",
     "FrameError",
     "GatewayConnection",
@@ -72,11 +77,14 @@ __all__ = [
     "OversizeFrameError",
     "RemoteAggregationServer",
     "decode_estimate",
+    "decode_metrics_frame",
     "encode_estimate",
     "encode_frame",
+    "encode_metrics_frame",
     "error_to_exception",
     "exception_to_error",
     "parse_address",
+    "split_frame_kind",
     "run_gateway_forever",
     "run_loadgen",
     "run_over_network",

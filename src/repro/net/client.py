@@ -41,6 +41,8 @@ from repro.net.framing import (
     FRAME_REPORT_BATCH,
     FRAME_ROUND_CONTROL,
     FRAME_SHARD_STATE,
+    FRAME_STATS,
+    TRACE_CONTEXT_SIZE,
     Frame,
     FrameError,
     OversizeFrameError,
@@ -111,6 +113,7 @@ class GatewayConnection:
         *,
         timeout: float = 60.0,
         op_timeout: float | None = None,
+        tracer=None,
     ):
         host, port = parse_address(address)
         self.address = f"{host}:{port}"
@@ -126,6 +129,10 @@ class GatewayConnection:
         self.duplicate_acks = 0
         self.credits = 1
         self.max_frame_bytes = DEFAULT_MAX_FRAME_BYTES
+        self.tracer = tracer
+        self._trace_wire = False
+        self._round_spans: dict[int, object] = {}
+        self._batch_spans: dict[int, object] = {}
         try:
             welcome = self._expect_control("welcome")
         except BaseException:
@@ -138,6 +145,10 @@ class GatewayConnection:
             welcome.get("max_frame_bytes", DEFAULT_MAX_FRAME_BYTES)
         )
         self.protocol = int(welcome.get("protocol", 0))
+        # The trace extension is negotiated: frames are stamped only when
+        # a tracer is attached AND the welcome announced support, so a
+        # peer that predates the extension never sees a flagged kind byte.
+        self._trace_wire = tracer is not None and bool(welcome.get("trace"))
 
     # ------------------------------------------------------------------ #
     # Frame plumbing
@@ -180,7 +191,8 @@ class GatewayConnection:
         return data
 
     def _read_frame(self) -> Frame:
-        length, kind = framing.parse_frame_header(self._read_exact(FRAME_HEADER_SIZE))
+        length, raw_kind = framing.parse_frame_header(self._read_exact(FRAME_HEADER_SIZE))
+        kind, has_trace = framing.split_frame_kind(raw_kind)
         # ``self.max_frame_bytes`` is the gateway's *ingress* bound (what
         # we may upload); frames the gateway sends back — estimate frames
         # scale with the domain, not with batches — are only sanity-capped
@@ -188,6 +200,7 @@ class GatewayConnection:
         framing.check_frame_header(
             length, kind, max_frame_bytes=DEFAULT_MAX_FRAME_BYTES
         )
+        trace = self._read_exact(TRACE_CONTEXT_SIZE) if has_trace else None
         body = self._read_exact(length) if length else b""
         if kind == FRAME_ERROR:
             # A batch-level rejection carries the failed seq: return its
@@ -197,10 +210,13 @@ class GatewayConnection:
             seq = framing.decode_control(body).get("seq")
             if seq is not None:
                 self._sent_at.pop(int(seq), None)
+                span = self._batch_spans.pop(int(seq), None)
+                if span is not None:
+                    span.finish(error="rejected")
             raise framing.decode_error(body)
-        return Frame(kind=kind, body=body)
+        return Frame(kind=kind, body=body, trace=trace)
 
-    def _send(self, kind: int, body: bytes) -> None:
+    def _send(self, kind: int, body: bytes, *, trace: bytes | None = None) -> None:
         if len(body) > self.max_frame_bytes:
             # Fail locally with the structured error instead of pushing a
             # body the gateway will refuse on its header — whose error
@@ -209,7 +225,7 @@ class GatewayConnection:
                 f"frame of {len(body)} bytes exceeds the gateway's "
                 f"{self.max_frame_bytes}-byte bound (shrink batch_size)"
             )
-        self._sock.sendall(framing.encode_frame(kind, body))
+        self._sock.sendall(framing.encode_frame(kind, body, trace=trace))
 
     def _record_ack(self, message: dict) -> None:
         seq = int(message.get("seq", -1))
@@ -222,6 +238,9 @@ class GatewayConnection:
             return
         sent = self._sent_at.pop(seq)
         self.latencies.append(time.perf_counter() - sent)
+        span = self._batch_spans.pop(seq, None)
+        if span is not None:
+            span.finish(n=message.get("n"))
 
     def _next_message(self) -> Frame:
         """Next non-ack frame; stray batch acks are absorbed on the way."""
@@ -258,9 +277,24 @@ class GatewayConnection:
 
     def open_round(self, broadcast: RoundBroadcast) -> tuple[int, int]:
         """Open a round on the gateway; ``(round_id, broadcast_bits)``."""
-        self._send(FRAME_BROADCAST_REQUEST, encode_broadcast(broadcast))
+        span = None
+        trace = None
+        if self.tracer is not None:
+            # The root span of everything this round causes; its context
+            # rides the broadcast frame so the gateway's open_round span
+            # joins the same trace.
+            span = self.tracer.start_span(
+                "client.round", party=broadcast.party, level=broadcast.level
+            )
+            if self._trace_wire:
+                trace = span.context.to_bytes()
+        self._send(FRAME_BROADCAST_REQUEST, encode_broadcast(broadcast), trace=trace)
         message = self._expect_control("round_open")
-        return int(message["round_id"]), int(message["broadcast_bits"])
+        round_id = int(message["round_id"])
+        if span is not None:
+            span.set(round_id=round_id)
+            self._round_spans[round_id] = span
+        return round_id, int(message["broadcast_bits"])
 
     def send_batch(self, round_id: int, payload: bytes) -> int:
         """Pipeline one encoded report batch; returns its sequence number.
@@ -272,12 +306,29 @@ class GatewayConnection:
             self._receive_ack()
         seq = self._next_seq
         self._next_seq += 1
+        span = None
+        trace = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "client.batch",
+                parent=self._round_spans.get(round_id),
+                round_id=round_id,
+                seq=seq,
+            )
+            if self._trace_wire:
+                trace = span.context.to_bytes()
         start = time.perf_counter()
         # Record only after the frame is actually away: a refused send
         # (local oversize check) must not leave a phantom outstanding
         # batch whose ack the ledger would wait for forever.
-        self._send(FRAME_REPORT_BATCH, framing.encode_report_frame(round_id, seq, payload))
+        self._send(
+            FRAME_REPORT_BATCH,
+            framing.encode_report_frame(round_id, seq, payload),
+            trace=trace,
+        )
         self._sent_at[seq] = start
+        if span is not None:
+            self._batch_spans[seq] = span
         return seq
 
     def _receive_ack(self) -> None:
@@ -333,6 +384,9 @@ class GatewayConnection:
                 raise FrameError(
                     f"estimate answers round {echoed}, expected {round_id}"
                 )
+            span = self._round_spans.pop(int(round_id), None)
+            if span is not None:
+                span.finish(op="finalize", n_users=estimate.n_users)
             return estimate
 
     def export_shard(self, round_id: int, *, deadline: float | None = None):
@@ -363,6 +417,9 @@ class GatewayConnection:
                 raise FrameError(
                     f"shard state answers round {echoed}, expected {round_id}"
                 )
+            span = self._round_spans.pop(int(round_id), None)
+            if span is not None:
+                span.finish(op="export_shard", n_users=state.n_users)
             return state
 
     def stats(self) -> dict:
@@ -374,6 +431,24 @@ class GatewayConnection:
         message.pop("op", None)
         return message
 
+    def metrics(self) -> dict:
+        """Scrape the gateway's full telemetry document (``op: metrics``).
+
+        The answer is a :data:`~repro.obs.registry.METRICS_SCHEMA` frame:
+        the gateway's metric registry snapshot (gateway + service series)
+        plus its classic :meth:`stats` counters — what ``repro stats``
+        pretty-prints.
+        """
+        with self._operation_deadline(self.op_timeout):
+            self.drain()
+            self._send(FRAME_ROUND_CONTROL, framing.encode_control({"op": "metrics"}))
+            frame = self._next_message()
+            if frame.kind != FRAME_STATS:
+                raise FrameError(
+                    f"expected a stats frame, got frame kind {frame.kind}"
+                )
+            return framing.decode_metrics_frame(frame.body)
+
     def shutdown_gateway(self) -> None:
         """Ask the gateway to stop serving (it answers ``bye`` first)."""
         self.drain()
@@ -381,6 +456,14 @@ class GatewayConnection:
         self._expect_control("bye")
 
     def close(self) -> None:
+        # Spans a fault cut short still get a record (the trace would
+        # otherwise silently lose its tail).
+        for span in list(self._batch_spans.values()):
+            span.finish(error="connection_closed")
+        self._batch_spans.clear()
+        for span in list(self._round_spans.values()):
+            span.finish(error="connection_closed")
+        self._round_spans.clear()
         try:
             self._fp.close()
         finally:

@@ -25,7 +25,19 @@ and the body of each kind wraps the existing canonical codecs **unchanged**:
   :class:`~repro.service.server.ExportedShardState` encoding
   (:func:`encode_shard_state`): a shard gateway's raw, **unestimated**
   accumulator counts, the coordinator's round-close barrier collects
-  one of these per shard and merges them before estimating once.
+  one of these per shard and merges them before estimating once;
+* ``FRAME_STATS`` — a canonical-JSON telemetry document
+  (:data:`repro.obs.registry.METRICS_SCHEMA`): the gateway's answer to a
+  ``{"op": "metrics"}`` control message, what ``repro stats`` scrapes.
+
+**Trace extension.**  The kind byte's high bit
+(:data:`FRAME_FLAG_TRACE`) marks a frame that carries a
+:data:`TRACE_CONTEXT_SIZE`-byte span context *between header and body*
+(``repro.obs.trace.SpanContext``).  The extension is negotiated — a
+client only stamps frames after the gateway's welcome announced
+``"trace": true`` — so old peers never see a flagged kind byte, and the
+extension bytes are **not counted** in the u32 body length: the body (and
+with it every wire-bit total) is byte-identical with tracing on or off.
 
 Because the payload inside a frame is byte-for-byte what the in-memory
 service accounts, the frame header is pure transport: wire-bit totals of a
@@ -58,6 +70,7 @@ FRAME_BROADCAST_REQUEST = 3
 FRAME_ERROR = 4
 FRAME_ESTIMATE = 5
 FRAME_SHARD_STATE = 6
+FRAME_STATS = 7
 
 FRAME_KINDS: tuple[int, ...] = (
     FRAME_ROUND_CONTROL,
@@ -66,7 +79,40 @@ FRAME_KINDS: tuple[int, ...] = (
     FRAME_ERROR,
     FRAME_ESTIMATE,
     FRAME_SHARD_STATE,
+    FRAME_STATS,
 )
+
+#: Human-readable kind names, for metric labels and span attributes.
+FRAME_KIND_NAMES: dict[int, str] = {
+    FRAME_ROUND_CONTROL: "round_control",
+    FRAME_REPORT_BATCH: "report_batch",
+    FRAME_BROADCAST_REQUEST: "broadcast_request",
+    FRAME_ERROR: "error",
+    FRAME_ESTIMATE: "estimate",
+    FRAME_SHARD_STATE: "shard_state",
+    FRAME_STATS: "stats",
+}
+
+
+def frame_kind_name(kind: int) -> str:
+    """The label a metric uses for ``kind`` (``"kind_<n>"`` if unknown)."""
+    return FRAME_KIND_NAMES.get(int(kind), f"kind_{int(kind)}")
+
+
+#: High bit of the kind byte: this frame carries a span context between
+#: header and body.  Negotiated via the welcome message, so peers that
+#: predate it are never sent a flagged kind.
+FRAME_FLAG_TRACE = 0x80
+FRAME_KIND_MASK = 0x7F
+
+#: Wire size of the span-context frame extension
+#: (:data:`repro.obs.trace.CONTEXT_SIZE`): 16-byte trace id + 8-byte span id.
+TRACE_CONTEXT_SIZE = 24
+
+
+def split_frame_kind(raw_kind: int) -> tuple[int, bool]:
+    """``(kind, has_trace)`` from a kind byte as read off the wire."""
+    return int(raw_kind) & FRAME_KIND_MASK, bool(raw_kind & FRAME_FLAG_TRACE)
 
 #: Default bound on one frame's body.  Generous for report batches (the
 #: widest in-repo batch, OUE at the default 65 536-report bound over a
@@ -92,19 +138,32 @@ class OversizeFrameError(FrameError):
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame: its kind tag and raw body bytes."""
+    """One decoded frame: kind tag, raw body bytes, optional span context."""
 
     kind: int
     body: bytes
+    trace: bytes | None = None
 
 
-def encode_frame(kind: int, body: bytes) -> bytes:
-    """Serialise one frame (length prefix + kind tag + body)."""
+def encode_frame(kind: int, body: bytes, *, trace: bytes | None = None) -> bytes:
+    """Serialise one frame (length prefix + kind tag + body).
+
+    ``trace`` (exactly :data:`TRACE_CONTEXT_SIZE` bytes) rides between
+    header and body under the :data:`FRAME_FLAG_TRACE` kind bit; the u32
+    length prefix still counts the body alone, so the frame's accounted
+    payload is byte-identical with or without it.
+    """
     if kind not in FRAME_KINDS:
         raise FrameError(f"unknown frame kind {kind!r}")
     if len(body) > 0xFFFFFFFF:  # pragma: no cover - 4 GiB frame
         raise FrameError(f"frame body of {len(body)} bytes exceeds the u32 prefix")
-    return _HEADER.pack(len(body), kind) + body
+    if trace is None:
+        return _HEADER.pack(len(body), kind) + body
+    if len(trace) != TRACE_CONTEXT_SIZE:
+        raise FrameError(
+            f"trace context must be {TRACE_CONTEXT_SIZE} bytes, got {len(trace)}"
+        )
+    return _HEADER.pack(len(body), kind | FRAME_FLAG_TRACE) + trace + body
 
 
 def check_frame_header(length: int, kind: int, *, max_frame_bytes: int) -> None:
@@ -437,3 +496,24 @@ def decode_shard_state_frame(body: bytes) -> tuple[int, ExportedShardState]:
         raise FrameError("shard-state frame body misses its round id")
     (round_id,) = _ESTIMATE_PREFIX.unpack_from(body)
     return int(round_id), decode_shard_state(body[_ESTIMATE_PREFIX.size :])
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry frames (canonical-JSON metrics documents)
+# --------------------------------------------------------------------------- #
+def encode_metrics_frame(document: dict) -> bytes:
+    """Body of a ``FRAME_STATS``: one canonical-JSON metrics document."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_metrics_frame(body: bytes) -> dict:
+    """Parse a metrics document; anything but a JSON mapping is a frame error."""
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"metrics body does not parse: {exc}") from exc
+    if not isinstance(document, dict):
+        raise FrameError(
+            f"metrics body must be a JSON object, got {type(document).__name__}"
+        )
+    return document

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
@@ -69,11 +70,16 @@ from repro.net.framing import (
     FRAME_ERROR,
     FRAME_ESTIMATE,
     FRAME_HEADER_SIZE,
+    FRAME_KINDS,
     FRAME_REPORT_BATCH,
     FRAME_ROUND_CONTROL,
+    TRACE_CONTEXT_SIZE,
     Frame,
     FrameError,
+    frame_kind_name,
 )
+from repro.obs.registry import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.trace import SpanContext, Tracer
 from repro.service.columnar import BatchSummary, summarize_report_payload
 from repro.service.protocol import (
     WireFormatError,
@@ -118,10 +124,12 @@ async def read_frame(
         if not chunk:
             raise FrameError("connection closed mid frame header")
         header += chunk
-    length, kind = framing.parse_frame_header(header)
+    length, raw_kind = framing.parse_frame_header(header)
+    kind, has_trace = framing.split_frame_kind(raw_kind)
     framing.check_frame_header(length, kind, max_frame_bytes=max_frame_bytes)
+    trace = await reader.readexactly(TRACE_CONTEXT_SIZE) if has_trace else None
     body = await reader.readexactly(length) if length else b""
-    return Frame(kind=kind, body=body)
+    return Frame(kind=kind, body=body, trace=trace)
 
 
 @dataclass
@@ -133,6 +141,7 @@ class _Connection:
     pending: set = field(default_factory=set)
     n_batches: int = 0
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    on_error: object = None  # callable(exc) counting errors by code
 
     async def send(self, kind: int, body: bytes) -> None:
         async with self.write_lock:
@@ -143,6 +152,8 @@ class _Connection:
         await self.send(FRAME_ROUND_CONTROL, framing.encode_control(message))
 
     async def send_error(self, exc: BaseException, *, seq: int | None = None) -> None:
+        if self.on_error is not None:
+            self.on_error(exc)
         try:
             await self.send(FRAME_ERROR, framing.encode_error(exc, seq=seq))
         except (ConnectionError, RuntimeError):  # peer already gone
@@ -187,6 +198,22 @@ class AggregationGateway:
         merges counts; when False, workers return decoded report batches
         and the accumulator ingests them (the reference path the
         equivalence tests compare against).
+    metrics:
+        A :class:`~repro.obs.registry.MetricsRegistry` to instrument into
+        (default: the gateway creates its own).  The registry is shared
+        with the inner server, so ``service_*`` and ``gateway_*`` series
+        land in one snapshot — what the ``{"op": "metrics"}`` control
+        message (and ``repro stats``) scrapes.
+    tracer / trace_log:
+        Span tracing: pass a live :class:`~repro.obs.trace.Tracer`, or a
+        JSONL path the gateway opens (and closes on :meth:`stop`).  Off
+        by default.  Batch frames stamped with the trace extension parent
+        the gateway's ingest spans, linking client → gateway → shard.
+    telemetry_sample:
+        Fraction of ingests that get wall-clock timing
+        (``gateway_batch_ms``).  0 (the default) keeps clock reads off
+        the hot path entirely; counters are always on (they cost one
+        integer add).
     """
 
     def __init__(
@@ -202,6 +229,10 @@ class AggregationGateway:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         allow_shutdown: bool = True,
         columnar_decode: bool = True,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        trace_log: str | None = None,
+        telemetry_sample: float = 0.0,
     ):
         check_positive("connection_credits", connection_credits)
         check_positive("max_inflight_batches", max_inflight_batches)
@@ -213,13 +244,39 @@ class AggregationGateway:
         self.max_frame_bytes = int(max_frame_bytes)
         self.allow_shutdown = bool(allow_shutdown)
         self.columnar_decode = bool(columnar_decode)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._owns_tracer = tracer is None and trace_log is not None
+        self.tracer = tracer if tracer is not None else (
+            Tracer(trace_log) if trace_log is not None else None
+        )
+        sample = float(telemetry_sample)
+        # Sampling is deterministic (every Nth ingest), so it never reads
+        # an RNG: N = round(1/fraction), 0 disables timing entirely.
+        self._sample_every = 0 if sample <= 0 else max(1, round(1.0 / sample))
         self._engine = get_backend(decode_backend, decode_workers)
         # The engine instance is shared with the server (instance-passed
         # engines stay caller-owned), so OLH decode shards and frame
         # decoding draw from one worker pool.
         self.server = AggregationServer(
-            decode_backend=self._engine, n_decode_shards=n_decode_shards
+            decode_backend=self._engine,
+            n_decode_shards=n_decode_shards,
+            metrics=self.metrics,
         )
+        m = self.metrics
+        self._m_connections_total = m.counter("gateway_connections_total")
+        self._m_connections_live = m.gauge("gateway_connections_live")
+        self._m_frames = {
+            kind: m.counter("gateway_frames_total", kind=frame_kind_name(kind))
+            for kind in FRAME_KINDS
+        }
+        self._m_frames_rejected = m.counter("gateway_frames_rejected_total")
+        self._m_batches = m.counter("gateway_batches_ingested_total")
+        self._m_reports = m.counter("gateway_reports_ingested_total")
+        self._m_inflight = m.gauge("gateway_inflight_batches")
+        self._m_batch_ms = m.histogram("gateway_batch_ms")
+        self._m_rounds_opened = m.counter("gateway_rounds_opened_total")
+        self._m_rounds_finalized = m.counter("gateway_rounds_finalized_total")
+        self._m_shards_exported = m.counter("gateway_shards_exported_total")
         # All mutations of the inner server run on this one worker — the
         # serialization the accounting needs — while the event loop stays
         # free to read frames and send acks even when an accumulate blocks
@@ -274,6 +331,8 @@ class AggregationGateway:
         self._accumulator.shutdown(wait=True)
         self._engine.shutdown()
         self.server.shutdown()
+        if self._owns_tracer and self.tracer is not None:
+            self.tracer.close()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -300,7 +359,13 @@ class AggregationGateway:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
         self.n_connections_total += 1
-        state = _Connection(writer=writer, credits=self.connection_credits)
+        self._m_connections_total.inc()
+        self._m_connections_live.inc()
+        state = _Connection(
+            writer=writer,
+            credits=self.connection_credits,
+            on_error=self._count_error,
+        )
         try:
             await state.send_control(
                 {
@@ -308,6 +373,7 @@ class AggregationGateway:
                     "protocol": PROTOCOL_VERSION,
                     "credits": self.connection_credits,
                     "max_frame_bytes": self.max_frame_bytes,
+                    "trace": True,
                 }
             )
             while True:
@@ -319,10 +385,14 @@ class AggregationGateway:
                     # Framing is unrecoverable: the stream position is
                     # untrusted, so report and hang up.
                     self.n_frames_rejected += 1
+                    self._m_frames_rejected.inc()
                     await state.send_error(exc)
                     break
                 if frame is None:
                     break
+                counter = self._m_frames.get(frame.kind)
+                if counter is not None:
+                    counter.inc()
                 try:
                     proceed = await self._dispatch(state, frame)
                 except asyncio.CancelledError:
@@ -348,6 +418,7 @@ class AggregationGateway:
             # Teardown must never let an exception (including a cancel from
             # gateway stop) escape the handler task: asyncio.streams would
             # log each one as an unretrieved connection error.
+            self._m_connections_live.dec()
             try:
                 await state.drain_pending()
             except asyncio.CancelledError:
@@ -361,21 +432,41 @@ class AggregationGateway:
     async def _dispatch(self, state: _Connection, frame: Frame) -> bool:
         """Route one frame; returns False when the connection must close."""
         if frame.kind == FRAME_REPORT_BATCH:
-            return await self._on_report_batch(state, frame.body)
+            return await self._on_report_batch(state, frame)
         if frame.kind == FRAME_BROADCAST_REQUEST:
-            await self._on_broadcast_request(state, frame.body)
+            await self._on_broadcast_request(state, frame)
             return True
         if frame.kind == FRAME_ROUND_CONTROL:
             return await self._on_control(state, frame.body)
         # Clients never send ERROR/ESTIMATE; treat them as framing abuse.
         self.n_frames_rejected += 1
+        self._m_frames_rejected.inc()
         await state.send_error(FrameError(f"unexpected frame kind {frame.kind}"))
         return False
+
+    def _count_error(self, exc: BaseException) -> None:
+        """Count one outbound error frame under its structured code."""
+        code, _ = framing.exception_to_error(exc)
+        self.metrics.counter("gateway_errors_total", code=code).inc()
+
+    def _frame_span(self, name: str, frame: Frame, **attrs):
+        """A span for handling ``frame``, parented on its trace extension."""
+        if self.tracer is None:
+            return None
+        parent = None
+        if frame.trace is not None:
+            try:
+                parent = SpanContext.from_bytes(frame.trace)
+            except ValueError:  # pragma: no cover - read_frame sizes it
+                parent = None
+        return self.tracer.start_span(name, parent=parent, **attrs)
 
     # ------------------------------------------------------------------ #
     # Round opening
     # ------------------------------------------------------------------ #
-    async def _on_broadcast_request(self, state: _Connection, body: bytes) -> None:
+    async def _on_broadcast_request(self, state: _Connection, frame: Frame) -> None:
+        body = frame.body
+        span = self._frame_span("gateway.open_round", frame)
         try:
             broadcast = decode_broadcast(body)
             n_prefixes = len(broadcast.prefixes)
@@ -413,8 +504,13 @@ class AggregationGateway:
                 message = str(exc.args[0]) if exc.args else str(exc)
                 raise WireFormatError(message) from exc
         except (WireFormatError, ServiceError) as exc:
+            if span is not None:
+                span.finish(error=f"{type(exc).__name__}: {exc}")
             await state.send_error(exc)
             return
+        self._m_rounds_opened.inc()
+        if span is not None:
+            span.finish(round_id=round_id, party=broadcast.party, level=broadcast.level)
         await state.send_control(
             {
                 "op": "round_open",
@@ -426,9 +522,9 @@ class AggregationGateway:
     # ------------------------------------------------------------------ #
     # Batch ingestion (pipelined)
     # ------------------------------------------------------------------ #
-    async def _on_report_batch(self, state: _Connection, body: bytes) -> bool:
+    async def _on_report_batch(self, state: _Connection, frame: Frame) -> bool:
         try:
-            round_id, seq, payload = framing.decode_report_frame(body)
+            round_id, seq, payload = framing.decode_report_frame(frame.body)
         except FrameError as exc:
             await state.send_error(exc)
             return False
@@ -457,16 +553,26 @@ class AggregationGateway:
             return False
         assert self._inflight is not None
         await self._inflight.acquire()  # global cap: stop reading when full
+        self._m_inflight.inc()
+        # Sampled wall-clock timing plus the (optional) ingest span: both
+        # decided here, after admission, so rejected batches never pay a
+        # clock read and span counts match ingested batches exactly.
+        t0 = (
+            time.perf_counter()
+            if self._sample_every and self._m_batches.value % self._sample_every == 0
+            else None
+        )
+        span = self._frame_span("gateway.ingest", frame, round_id=round_id, seq=seq)
         decode = summarize_report_payload if self.columnar_decode else decode_report_batch
         future = self._engine.submit(decode, payload)
         task = asyncio.get_running_loop().create_task(
-            self._ingest(state, round_id, seq, wire_bits(payload), future)
+            self._ingest(state, round_id, seq, wire_bits(payload), future, t0, span)
         )
         state.pending.add(task)
         task.add_done_callback(state.pending.discard)
         return True
 
-    async def _ingest(self, state, round_id, seq, payload_bits, future) -> None:
+    async def _ingest(self, state, round_id, seq, payload_bits, future, t0=None, span=None) -> None:
         try:
             try:
                 batch = await asyncio.wrap_future(future)
@@ -489,14 +595,25 @@ class AggregationGateway:
                 )
             finally:
                 self._inflight.release()
+                self._m_inflight.dec()
         except asyncio.CancelledError:  # pragma: no cover - teardown
+            if span is not None:
+                span.finish(error="cancelled")
             raise
         except Exception as exc:  # noqa: BLE001 - every failure crosses the wire
             # WireFormatError/ServiceError keep their structured code; any
             # other failure ships as "internal" instead of killing the loop.
+            if span is not None:
+                span.finish(error=f"{type(exc).__name__}: {exc}")
             await state.send_error(exc, seq=seq)
             return
         state.n_batches += 1
+        self._m_batches.inc()
+        self._m_reports.inc(n)
+        if t0 is not None:
+            self._m_batch_ms.observe((time.perf_counter() - t0) * 1e3)
+        if span is not None:
+            span.finish(n=n, payload_bits=payload_bits)
         # Release the credit BEFORE the ack crosses the wire: once the
         # client reads the ack it may immediately send another batch, and
         # the admission check must never see the acked task still pending
@@ -527,6 +644,7 @@ class AggregationGateway:
                 estimate = await asyncio.get_running_loop().run_in_executor(
                     self._accumulator, self.server.finalize_round, round_id
                 )
+                self._m_rounds_finalized.inc()
                 await state.send(
                     FRAME_ESTIMATE,
                     framing.encode_estimate_frame(round_id, estimate),
@@ -541,9 +659,22 @@ class AggregationGateway:
                 exported = await asyncio.get_running_loop().run_in_executor(
                     self._accumulator, self.server.export_shard, round_id
                 )
+                self._m_shards_exported.inc()
                 await state.send(
                     framing.FRAME_SHARD_STATE,
                     framing.encode_shard_state_frame(round_id, exported),
+                )
+                return True
+            if op == "metrics":
+                await state.drain_pending()
+                # Through the accumulator, like "stats": the registry's
+                # own locks make instrument reads safe, but the embedded
+                # stats() scan walks the rounds dict.
+                document = await asyncio.get_running_loop().run_in_executor(
+                    self._accumulator, self.metrics_snapshot
+                )
+                await state.send(
+                    framing.FRAME_STATS, framing.encode_metrics_frame(document)
                 )
                 return True
             if op == "stats":
@@ -598,6 +729,15 @@ class AggregationGateway:
             "credits_per_connection": self.connection_credits,
             "max_inflight_batches": self.max_inflight_batches,
             "max_frame_bytes": self.max_frame_bytes,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The schema-tagged telemetry document ``repro stats`` scrapes."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "source": "gateway",
+            "metrics": self.metrics.snapshot(),
+            "stats": self.stats(),
         }
 
 

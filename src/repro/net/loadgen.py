@@ -34,6 +34,13 @@ from repro.engine import get_backend
 from repro.ldp.registry import make_oracle
 from repro.net.client import GatewayConnection
 from repro.net.framing import WireFormatError
+from repro.obs.registry import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    latency_summary,
+    merge_snapshots,
+)
+from repro.obs.trace import Tracer
 from repro.perf.controller import AdaptiveController, ControllerConfig, resolve_adaptive
 from repro.service.clients import ClientPool
 from repro.service.protocol import RoundBroadcast, encode_report_batch, wire_bits
@@ -70,10 +77,18 @@ class _PoolTask:
     ring_vnodes: int | None = None
     retries: int = 0
     adaptive: ControllerConfig | None = None
+    telemetry: bool = False
+    trace: bool = False
 
 
 def _open_connection(
-    address: str, *, timeout: float, ring_seed: int = 0, ring_vnodes: int | None = None
+    address: str,
+    *,
+    timeout: float,
+    ring_seed: int = 0,
+    ring_vnodes: int | None = None,
+    telemetry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ):
     """One client connection: a comma-separated address is a shard cluster.
 
@@ -84,9 +99,14 @@ def _open_connection(
         from repro.cluster.coordinator import ClusterConnection
 
         return ClusterConnection(
-            address, timeout=timeout, ring_seed=ring_seed, n_vnodes=ring_vnodes
+            address,
+            timeout=timeout,
+            ring_seed=ring_seed,
+            n_vnodes=ring_vnodes,
+            telemetry=telemetry,
+            tracer=tracer,
         )
-    return GatewayConnection(str(address), timeout=timeout)
+    return GatewayConnection(str(address), timeout=timeout, tracer=tracer)
 
 
 def _run_round(task: _PoolTask, pool: ClientPool, domain, connection, round_seed) -> dict:
@@ -143,6 +163,11 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
         if task.adaptive is not None
         else None
     )
+    # Telemetry/tracing live for the whole pool run — reconnects after a
+    # fault keep accumulating into the same registry and span list, which
+    # both ship back to the parent as plain picklable dicts.
+    telemetry = MetricsRegistry() if task.telemetry else None
+    tracer = Tracer() if task.trace else None
 
     def _open():
         return _open_connection(
@@ -150,6 +175,8 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
             timeout=task.timeout,
             ring_seed=task.ring_seed,
             ring_vnodes=task.ring_vnodes,
+            telemetry=telemetry,
+            tracer=tracer,
         )
 
     connection = _open()
@@ -207,23 +234,16 @@ def _drive_pool(task: _PoolTask, seed: int) -> dict:
     }
     if controller is not None:
         result["controller"] = controller.trace()
+    if telemetry is not None:
+        result["telemetry"] = telemetry.snapshot()
+    if tracer is not None:
+        result["spans"] = tracer.drain()
     return result
 
 
-def _latency_summary(latencies_s: list[float]) -> dict:
-    """p50/p95/p99/mean/max of batch latencies, in milliseconds."""
-    if not latencies_s:
-        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
-    ms = np.asarray(latencies_s, dtype=np.float64) * 1e3
-    p50, p95, p99 = np.percentile(ms, [50.0, 95.0, 99.0])
-    return {
-        "count": int(ms.size),
-        "p50": round(float(p50), 3),
-        "p95": round(float(p95), 3),
-        "p99": round(float(p99), 3),
-        "mean": round(float(ms.mean()), 3),
-        "max": round(float(ms.max()), 3),
-    }
+#: One shared home for the p50/p95/p99 math (satellite of the obs layer):
+#: the summary is byte-identical to the private helper this module carried.
+_latency_summary = latency_summary
 
 
 @dataclass
@@ -253,6 +273,8 @@ class LoadgenReport:
     n_retries: int = 0
     faults: dict | None = None
     adaptive: dict | None = None
+    telemetry: dict | None = None
+    trace_log: str | None = None
 
     def to_dict(self) -> dict:
         out = {f: getattr(self, f) for f in self.__dataclass_fields__}
@@ -277,6 +299,12 @@ class LoadgenReport:
         # stay byte-identical to those written before it existed.
         if self.adaptive is None:
             del out["adaptive"]
+        # And for the observability layer: telemetry-off reports carry
+        # neither field and stay byte-identical to pre-telemetry reports.
+        if self.telemetry is None:
+            del out["telemetry"]
+        if self.trace_log is None:
+            del out["trace_log"]
         return out
 
     def render(self) -> str:
@@ -347,6 +375,8 @@ def run_loadgen(
     faults=None,
     retries: int = 0,
     adaptive=None,
+    telemetry: bool = False,
+    trace_log=None,
 ) -> LoadgenReport:
     """Drive simulated client pools against a gateway; measure everything.
 
@@ -404,6 +434,19 @@ def run_loadgen(
         observed p50/p95 after every round; the per-connection decision
         trace lands under ``per_connection[i]["controller"]``.  Off by
         default: fixed-knob runs stay bit-identical to earlier releases.
+    telemetry:
+        Collect an :mod:`repro.obs` metrics picture of the run: every
+        worker's coordinator registry and every fault proxy's action
+        counters merge (shard algebra) into ``report.telemetry``, and —
+        when gateway stats are probed — the gateway/cluster's own
+        wire-scraped metrics document lands under
+        ``telemetry["gateway"]``.  Observe-only: a fixed-seed run is
+        bit-identical with it on or off.
+    trace_log:
+        Path of a JSONL span log.  Every worker traces its client spans
+        (``client.round`` / ``client.batch`` / ``cluster.merge_barrier``)
+        with the wire context stamped on outgoing frames, and the parent
+        appends all finished spans here.
     """
     check_positive("connections", connections)
     check_positive("rounds", rounds)
@@ -488,6 +531,8 @@ def run_loadgen(
             ring_vnodes=ring_vnodes,
             retries=int(retries),
             adaptive=adaptive_config,
+            telemetry=bool(telemetry),
+            trace=trace_log is not None,
         )
         for name, items in pools
     ]
@@ -515,6 +560,28 @@ def run_loadgen(
             "n_faults": sum(injected.values()),
         }
 
+    # Pull telemetry and spans out of the worker results before they land
+    # in per_connection — they aggregate at report level, like latencies.
+    telemetry_doc = None
+    if telemetry:
+        snapshots = [r.pop("telemetry") for r in results if "telemetry" in r]
+        snapshots += [proxy.telemetry.snapshot() for proxy in proxies]
+        telemetry_doc = {
+            "schema": METRICS_SCHEMA,
+            "source": "loadgen",
+            "metrics": merge_snapshots(*snapshots),
+        }
+    if trace_log is not None:
+        import json
+
+        with open(trace_log, "a", encoding="utf-8") as fp:
+            for entry in results:
+                for record in entry.pop("spans", []):
+                    fp.write(
+                        json.dumps(record, sort_keys=True, separators=(",", ":"))
+                        + "\n"
+                    )
+
     n_reports = sum(r["n_reports"] for r in results)
     all_latencies = [lat for r in results for lat in r["latencies"]]
     gateway_stats = None
@@ -524,6 +591,8 @@ def run_loadgen(
             address, timeout=timeout, ring_seed=ring_seed, ring_vnodes=ring_vnodes
         ) as probe:
             gateway_stats = probe.stats()
+            if telemetry_doc is not None:
+                telemetry_doc["gateway"] = probe.metrics()
     return LoadgenReport(
         address=str(address),
         workload=workload,
@@ -548,4 +617,6 @@ def run_loadgen(
         n_retries=sum(r.get("n_retries", 0) for r in results),
         faults=faults_summary,
         adaptive=adaptive_config.to_dict() if adaptive_config is not None else None,
+        telemetry=telemetry_doc,
+        trace_log=None if trace_log is None else str(trace_log),
     )

@@ -1,0 +1,49 @@
+"""Observability layer: metrics registry, structured logs, span tracing.
+
+Three small, dependency-free building blocks the networked runtime wires
+through every layer:
+
+* :mod:`repro.obs.registry` — thread-safe Counter/Gauge/Histogram
+  instruments with fixed log2 latency buckets, deterministic snapshots,
+  and an exact merge algebra (histograms merge like shards: integer
+  bucket counts add);
+* :mod:`repro.obs.logs` — structured logging with bound context and a
+  ``--log-level/--log-json`` CLI seam whose human mode is byte-identical
+  to the bare prints it replaced;
+* :mod:`repro.obs.trace` — lightweight span tracing whose 24-byte
+  trace context rides an optional frame-header extension
+  (:data:`repro.net.framing.FRAME_FLAG_TRACE`), so one report batch can
+  be followed client → gateway decode → shard accumulate → cluster
+  merge, exported as a JSONL span log.
+
+The invariant every instrument obeys: telemetry is **observe-only**.
+Fixed-seed discovery is bit-identical — estimates, transcripts, exact
+wire bits — whether telemetry is enabled or not
+(``tests/test_obs_telemetry.py`` pins this over a live gateway).
+"""
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.registry import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    histogram_quantile,
+    latency_summary,
+    merge_snapshots,
+    quantiles,
+    validate_metrics_document,
+)
+from repro.obs.trace import SpanContext, Tracer
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "SpanContext",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "histogram_quantile",
+    "latency_summary",
+    "merge_snapshots",
+    "quantiles",
+    "validate_metrics_document",
+]

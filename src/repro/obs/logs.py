@@ -1,0 +1,108 @@
+"""Structured logging with bound context, behind a ``--log-level`` seam.
+
+Two output modes, selected once per process by :func:`configure_logging`
+(the ``--log-level`` / ``--log-json`` CLI flags):
+
+* **human** (the default) — ``info`` records print their message to
+  stdout (flushed, exactly the bytes the bare ``print`` calls they
+  replaced produced — existing CI greps keep working), ``warning`` and
+  above go to stderr.  Bound context is carried but not printed.
+* **JSON** — every record is one canonical-JSON line on **stderr**
+  (stdout stays reserved for reports and rendered tables), carrying the
+  level, logger name, message, and every bound/field key::
+
+      {"level":"info","logger":"repro.cli.serve","msg":"gateway listening
+       on 127.0.0.1:4242","address":"127.0.0.1:4242","ts":1770000000.0}
+
+:meth:`StructuredLogger.bind` derives a child logger with extra context
+(connection id, round, shard, tenant label) attached to every record —
+the pattern the gateway and cluster layers use to stamp their records.
+
+Streams are resolved at emit time (``sys.stdout``/``sys.stderr``), so
+pytest's capture and shell redirection both see every record.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: Process-wide logging state; mutated only by :func:`configure_logging`.
+_STATE = {"threshold": _LEVELS["info"], "json": False, "clock": time.time}
+
+
+def configure_logging(
+    level: str = "info", *, json_mode: bool = False, clock=None
+) -> None:
+    """Set the process-wide log level and output mode (the CLI seam).
+
+    ``level`` is one of ``debug/info/warning/error``; ``json_mode``
+    switches every record to canonical-JSON lines on stderr; ``clock``
+    overrides the timestamp source (tests pin it for byte-stable output).
+    """
+    name = str(level).lower()
+    if name not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; pick one of {'/'.join(_LEVELS)}"
+        )
+    _STATE["threshold"] = _LEVELS[name]
+    _STATE["json"] = bool(json_mode)
+    _STATE["clock"] = clock if clock is not None else time.time
+
+
+class StructuredLogger:
+    """A named logger with immutable bound context."""
+
+    __slots__ = ("name", "context")
+
+    def __init__(self, name: str, context: dict | None = None):
+        self.name = str(name)
+        self.context = dict(context or {})
+
+    def bind(self, **context) -> "StructuredLogger":
+        """A child logger whose records carry these extra keys."""
+        merged = dict(self.context)
+        merged.update(context)
+        return StructuredLogger(self.name, merged)
+
+    # ------------------------------------------------------------------ #
+    # Emission
+    # ------------------------------------------------------------------ #
+    def _emit(self, level: str, message: str, fields: dict) -> None:
+        if _LEVELS[level] < _STATE["threshold"]:
+            return
+        if _STATE["json"]:
+            record = {"level": level, "logger": self.name, "msg": str(message)}
+            record.update(self.context)
+            record.update(fields)
+            record["ts"] = round(float(_STATE["clock"]()), 6)
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+            print(line, file=sys.stderr, flush=True)
+            return
+        # Human mode is byte-identical to the bare prints it replaced:
+        # the message alone, info to stdout (flushed), warnings up to
+        # stderr.  Bound context stays machine-readable only.
+        if _LEVELS[level] >= _LEVELS["warning"]:
+            print(str(message), file=sys.stderr, flush=True)
+        else:
+            print(str(message), flush=True)
+
+    def debug(self, message: str, **fields) -> None:
+        self._emit("debug", message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._emit("info", message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._emit("warning", message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._emit("error", message, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The logger for ``name`` (stateless: loggers are cheap value objects)."""
+    return StructuredLogger(name)

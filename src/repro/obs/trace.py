@@ -1,0 +1,190 @@
+"""Lightweight span tracing with a 24-byte wire context.
+
+A :class:`Tracer` hands out :class:`Span` objects; each span carries a
+:class:`SpanContext` — a 128-bit ``trace_id`` shared by everything that
+happened because of one root operation, plus a 64-bit ``span_id`` naming
+this particular hop.  The context serialises to exactly
+:data:`CONTEXT_SIZE` bytes, which is what rides the optional frame-header
+extension (:data:`repro.net.framing.FRAME_FLAG_TRACE`): a client stamps
+its batch frames, the gateway adopts the context for its decode/ingest
+spans, and one ``trace_id`` then links client → gateway → shard
+accumulate → cluster merge across processes in the exported JSONL log.
+
+Finished spans are appended to a JSONL file (``path=``) or kept in
+memory (:attr:`Tracer.spans`); one record per span::
+
+    {"name":"gateway.ingest","trace_id":"6f…","span_id":"a1…",
+     "parent_id":"42…","ts":1770000000.0,"duration_ms":1.25,
+     "round_id":7,"n":100}
+
+Tracing is observe-only: span ids come from the tracer's **own** RNG
+(seeded from the OS, or a fixed ``seed`` in tests), never from the
+global random state a fixed-seed run depends on, and nothing downstream
+reads a span — bit-identity with tracing on is pinned by
+``tests/test_obs_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+#: Exact wire size of one serialised span context: 16-byte trace id +
+#: 8-byte span id, both big-endian.
+CONTEXT_SIZE = 24
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of one span."""
+
+    trace_id: int
+    span_id: int
+
+    def to_bytes(self) -> bytes:
+        return self.trace_id.to_bytes(16, "big") + self.span_id.to_bytes(8, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SpanContext":
+        if len(data) != CONTEXT_SIZE:
+            raise ValueError(
+                f"span context must be {CONTEXT_SIZE} bytes, got {len(data)}"
+            )
+        return cls(
+            trace_id=int.from_bytes(data[:16], "big"),
+            span_id=int.from_bytes(data[16:], "big"),
+        )
+
+
+class Span:
+    """One timed operation; finish it (or use it as a context manager)."""
+
+    __slots__ = ("tracer", "name", "context", "parent_id", "attrs", "_start", "_ts", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str, context: SpanContext,
+                 parent_id: int | None, attrs: dict):
+        self.tracer = tracer
+        self.name = str(name)
+        self.context = context
+        self.parent_id = parent_id
+        self.attrs = dict(attrs)
+        self._ts = time.time()
+        self._start = time.perf_counter()
+        self._done = False
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span record (e.g. ``round_id=7``)."""
+        self.attrs.update(attrs)
+
+    def finish(self, **attrs) -> None:
+        """Close the span and write its record (idempotent)."""
+        if self._done:
+            return
+        self._done = True
+        self.attrs.update(attrs)
+        record = {
+            "name": self.name,
+            "trace_id": f"{self.context.trace_id:032x}",
+            "span_id": f"{self.context.span_id:016x}",
+            "parent_id": None if self.parent_id is None else f"{self.parent_id:016x}",
+            "ts": round(self._ts, 6),
+            "duration_ms": round((time.perf_counter() - self._start) * 1e3, 3),
+        }
+        record.update(self.attrs)
+        self.tracer._record(record)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self.finish()
+
+
+class Tracer:
+    """Creates spans and collects their finished records.
+
+    Parameters
+    ----------
+    path:
+        Append finished spans to this JSONL file; ``None`` keeps them in
+        memory (:attr:`spans`), which is what the load generator ships
+        back from its worker pools.
+    seed:
+        Seed for the tracer's private id RNG (tests); the default draws
+        entropy from the OS, never touching global random state.
+    """
+
+    def __init__(self, path=None, *, seed: int | None = None):
+        self.path = None if path is None else str(path)
+        self.spans: list[dict] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._fp = None
+        if self.path is not None:
+            self._fp = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Span creation
+    # ------------------------------------------------------------------ #
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: "SpanContext | Span | None" = None,
+        **attrs,
+    ) -> Span:
+        """A new span; with ``parent`` it joins that trace, else it roots one."""
+        parent_context = parent.context if isinstance(parent, Span) else parent
+        with self._lock:
+            span_id = self._rng.getrandbits(64)
+            trace_id = (
+                parent_context.trace_id
+                if parent_context is not None
+                else self._rng.getrandbits(128)
+            )
+        return Span(
+            self,
+            name,
+            SpanContext(trace_id=trace_id, span_id=span_id),
+            None if parent_context is None else parent_context.span_id,
+            attrs,
+        )
+
+    def span(self, name: str, *, parent=None, **attrs) -> Span:
+        """Alias of :meth:`start_span` reading naturally as ``with tracer.span(...)``."""
+        return self.start_span(name, parent=parent, **attrs)
+
+    # ------------------------------------------------------------------ #
+    # Record sink
+    # ------------------------------------------------------------------ #
+    def _record(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._fp is not None:
+                self._fp.write(line + "\n")
+                self._fp.flush()
+            else:
+                self.spans.append(record)
+
+    def drain(self) -> list[dict]:
+        """Hand over (and clear) the in-memory span records."""
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return spans
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fp is not None:
+                self._fp.close()
+                self._fp = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -40,6 +40,7 @@ from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from repro.obs.registry import quantiles
 from repro.perf.calibrate import effective_cores
 from repro.utils.validation import check_known_keys
 
@@ -205,8 +206,7 @@ class AdaptiveController:
         self._round += 1
         if self._window:
             ms = np.asarray(self._window, dtype=np.float64) * 1e3
-            p50 = float(np.percentile(ms, 50.0))
-            p95 = float(np.percentile(ms, 95.0))
+            p50, p95 = quantiles(ms, (50.0, 95.0))
         else:
             p50 = p95 = 0.0
         batch = self._batch

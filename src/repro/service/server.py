@@ -187,6 +187,10 @@ class AggregationServer:
         Opt-in: a defended server finalises from the robust merge of its
         wire batches, deliberately departing from the plain-sum
         bit-identity contract.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; the server
+        then mirrors its exact accounting into observe-only ``service_*``
+        counters (rounds, batches, reports, exact wire bits).
 
     Examples
     --------
@@ -220,6 +224,7 @@ class AggregationServer:
         decode_workers: int | None = None,
         n_decode_shards: int = 8,
         defense=None,
+        metrics=None,
     ):
         self.decode_backend = decode_backend
         self.decode_workers = decode_workers
@@ -232,15 +237,42 @@ class AggregationServer:
         self._broadcast_bits = 0
         self._decode_engine: ExecutionBackend | None = None
         self._owns_decode_engine = False
+        self._bind_metrics(metrics)
+
+    def _bind_metrics(self, metrics) -> None:
+        """Pre-bind the observe-only service counters (None: all no-ops).
+
+        ``metrics`` is a :class:`~repro.obs.registry.MetricsRegistry`;
+        the counters mirror the exact accounting the server already keeps
+        (same bits, same batches), so telemetry cannot change a single
+        accounted value — it only makes the running totals scrapeable.
+        """
+        self.metrics = metrics
+        if metrics is None:
+            self._m_rounds_opened = self._m_rounds_finalized = None
+            self._m_batches = self._m_reports = None
+            self._m_upload_bits = self._m_broadcast_bits = None
+            return
+        self._m_rounds_opened = metrics.counter("service_rounds_opened_total")
+        self._m_rounds_finalized = metrics.counter("service_rounds_finalized_total")
+        self._m_batches = metrics.counter("service_batches_total")
+        self._m_reports = metrics.counter("service_reports_total")
+        self._m_upload_bits = metrics.counter("service_upload_bits_total")
+        self._m_broadcast_bits = metrics.counter("service_broadcast_bits_total")
 
     def __getstate__(self):
         # Live executors don't pickle; workers re-resolve the spec lazily
         # (nested "process" requests degrade to serial there as usual).
+        # Metric instruments carry locks, which don't pickle either: a
+        # copy observes into its own fresh (unbound) state.
         state = self.__dict__.copy()
         state["_decode_engine"] = None
         state["_owns_decode_engine"] = False
         if isinstance(state["decode_backend"], ExecutionBackend):
             state["decode_backend"] = state["decode_backend"].name
+        for key in list(state):
+            if key == "metrics" or key.startswith("_m_"):
+                state[key] = None
         return state
 
     def _resolve_decode_engine(self) -> ExecutionBackend | None:
@@ -310,6 +342,9 @@ class AggregationServer:
         )
         self.rounds[round_id] = round_
         self._broadcast_bits += bits
+        if self._m_rounds_opened is not None:
+            self._m_rounds_opened.inc()
+            self._m_broadcast_bits.inc(bits)
         self._messages.append(
             Message(
                 direction=MessageDirection.SERVER_TO_PARTY,
@@ -371,6 +406,8 @@ class AggregationServer:
         self._validate_batch(round_, batch)
         n = round_.shard.ingest(batch.reports)
         self._account_batch(round_, batch.party, payload_bits)
+        if self._m_reports is not None:
+            self._m_reports.inc(n)
         return n
 
     def ingest_summary(self, round_id: int, summary, *, payload_bits: int) -> int:
@@ -387,6 +424,8 @@ class AggregationServer:
         self._validate_batch(round_, summary)
         n = round_.shard.ingest_counts(summary.counts, summary.n_users)
         self._account_batch(round_, summary.party, payload_bits)
+        if self._m_reports is not None:
+            self._m_reports.inc(n)
         return n
 
     def _account_batch(
@@ -395,6 +434,9 @@ class AggregationServer:
         round_.n_batches += 1
         round_.upload_bits += payload_bits
         self._upload_bits += payload_bits
+        if self._m_batches is not None:
+            self._m_batches.inc()
+            self._m_upload_bits.inc(payload_bits)
         self._messages.append(
             Message(
                 direction=MessageDirection.PARTY_TO_SERVER,
@@ -481,6 +523,8 @@ class AggregationServer:
         round_.is_open = False
         shard = round_.shard
         round_.shard = None
+        if self._m_rounds_finalized is not None:
+            self._m_rounds_finalized.inc()
         return finalize_estimate(
             round_.oracle,
             shard.effective_counts(),
@@ -505,6 +549,8 @@ class AggregationServer:
         round_.is_open = False
         shard = round_.shard
         round_.shard = None
+        if self._m_rounds_finalized is not None:
+            self._m_rounds_finalized.inc()
         return ExportedShardState(
             party=round_.party,
             level=round_.level,

@@ -1,0 +1,154 @@
+"""Structured logging and span tracing: output contracts, propagation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.trace import CONTEXT_SIZE, SpanContext, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    configure_logging("info", json_mode=False)
+
+
+class TestHumanMode:
+    def test_info_prints_the_bare_message_to_stdout(self, capsys):
+        """The compatibility contract: default logging is byte-identical
+        to the ``print(msg, flush=True)`` calls it replaced."""
+        configure_logging("info")
+        get_logger("repro.test").info("gateway listening on 127.0.0.1:1234")
+        captured = capsys.readouterr()
+        assert captured.out == "gateway listening on 127.0.0.1:1234\n"
+        assert captured.err == ""
+
+    def test_warnings_and_errors_go_to_stderr(self, capsys):
+        configure_logging("info")
+        log = get_logger("repro.test")
+        log.warning("shard 1 died")
+        log.error("merge failed")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "shard 1 died\nmerge failed\n"
+
+    def test_level_threshold_filters(self, capsys):
+        configure_logging("warning")
+        log = get_logger("repro.test")
+        log.debug("noise")
+        log.info("chatter")
+        log.warning("signal")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "signal\n"
+
+    def test_unknown_level_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("loud")
+
+
+class TestJsonMode:
+    def test_records_are_canonical_json_lines_on_stderr(self, capsys):
+        configure_logging("debug", json_mode=True, clock=lambda: 1700000000.25)
+        get_logger("repro.test").info("round opened", round_id=7)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        record = json.loads(captured.err)
+        assert record == {
+            "level": "info",
+            "logger": "repro.test",
+            "msg": "round opened",
+            "round_id": 7,
+            "ts": 1700000000.25,
+        }
+
+    def test_bound_context_rides_every_record(self, capsys):
+        configure_logging("info", json_mode=True, clock=lambda: 0.0)
+        log = get_logger("repro.cluster").bind(shard=2, address="h:1")
+        log.warning("late", lag_ms=12)
+        record = json.loads(capsys.readouterr().err)
+        assert record["shard"] == 2
+        assert record["address"] == "h:1"
+        assert record["lag_ms"] == 12
+        # bind() returns a child; the parent logger is untouched.
+        get_logger("repro.cluster").info("clean")
+        assert "shard" not in json.loads(capsys.readouterr().err)
+
+    def test_non_json_values_stringify_instead_of_crashing(self, capsys):
+        configure_logging("info", json_mode=True, clock=lambda: 0.0)
+        get_logger("repro.test").info("odd", payload=object())
+        record = json.loads(capsys.readouterr().err)
+        assert isinstance(record["payload"], str)
+
+
+class TestSpanContext:
+    def test_round_trips_through_wire_bytes(self):
+        context = SpanContext(trace_id=(1 << 127) + 5, span_id=(1 << 63) + 9)
+        data = context.to_bytes()
+        assert len(data) == CONTEXT_SIZE
+        assert SpanContext.from_bytes(data) == context
+
+    def test_wrong_size_is_rejected(self):
+        with pytest.raises(ValueError, match="24 bytes"):
+            SpanContext.from_bytes(b"\x00" * 23)
+
+
+class TestTracer:
+    def test_spans_link_parent_to_child(self):
+        tracer = Tracer(seed=0)
+        root = tracer.start_span("client.round", party="alpha")
+        child = tracer.start_span("client.batch", parent=root, seq=0)
+        child.finish(n=100)
+        root.finish()
+        spans = tracer.drain()
+        assert [s["name"] for s in spans] == ["client.batch", "client.round"]
+        batch, round_ = spans
+        assert batch["trace_id"] == round_["trace_id"]
+        assert batch["parent_id"] == round_["span_id"]
+        assert round_["parent_id"] is None
+        assert batch["n"] == 100 and batch["seq"] == 0
+        assert batch["duration_ms"] >= 0.0
+
+    def test_parent_accepts_a_wire_context(self):
+        tracer = Tracer(seed=1)
+        remote = SpanContext(trace_id=42, span_id=7)
+        span = tracer.start_span("gateway.ingest", parent=remote)
+        span.finish()
+        (record,) = tracer.drain()
+        assert record["trace_id"] == f"{42:032x}"
+        assert record["parent_id"] == f"{7:016x}"
+
+    def test_finish_is_idempotent_and_context_manager_records_errors(self):
+        tracer = Tracer(seed=2)
+        span = tracer.start_span("op")
+        span.finish()
+        span.finish(extra=1)  # ignored: already recorded
+        assert len(tracer.drain()) == 1
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = tracer.drain()
+        assert record["error"] == "RuntimeError: boom"
+
+    def test_jsonl_file_sink(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with Tracer(path, seed=3) as tracer:
+            tracer.start_span("a").finish()
+            tracer.start_span("b").finish()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+        # File-backed tracers keep nothing in memory.
+        assert tracer.spans == []
+
+    def test_seeded_tracers_never_touch_global_random_state(self):
+        import random
+
+        random.seed(1234)
+        before = random.random()
+        random.seed(1234)
+        tracer = Tracer(seed=None)
+        tracer.start_span("a").finish()
+        assert random.random() == before

@@ -1,0 +1,249 @@
+"""Metrics registry: bucket algebra, snapshot determinism, quantiles."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import (
+    MAX_EXP,
+    METRICS_SCHEMA,
+    MIN_EXP,
+    MetricsRegistry,
+    UNDERFLOW_EXP,
+    bucket_bounds,
+    bucket_exponent,
+    encode_snapshot,
+    histogram_quantile,
+    latency_summary,
+    merge_snapshots,
+    quantiles,
+    validate_metrics_document,
+)
+
+OBSERVATIONS = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    max_size=40,
+)
+
+
+class TestBuckets:
+    def test_bucket_invariant_over_the_positive_range(self):
+        for value in (1e-12, 0.001, 0.5, 1.0, 1.5, 2.0, 3.14, 1000.0, 2.0**40):
+            e = bucket_exponent(value)
+            assert MIN_EXP <= e <= MAX_EXP
+            low, high = bucket_bounds(e)
+            if MIN_EXP < e < MAX_EXP:
+                # Unclamped buckets satisfy the defining inequality exactly.
+                assert low <= value < high
+                assert high == 2 * low or low == 0.0
+
+    def test_boundaries_land_in_the_upper_bucket(self):
+        # 2^(e-1) <= v < 2^e: a power of two starts its own bucket.
+        assert bucket_exponent(1.0) == 1
+        assert bucket_exponent(0.5) == 0
+        assert bucket_exponent(2.0) == 2
+        assert bucket_exponent(math.nextafter(1.0, 0.0)) == 0
+
+    def test_non_positive_and_nan_underflow(self):
+        assert bucket_exponent(0.0) == UNDERFLOW_EXP
+        assert bucket_exponent(-3.0) == UNDERFLOW_EXP
+        assert bucket_exponent(float("nan")) == UNDERFLOW_EXP
+        assert bucket_bounds(UNDERFLOW_EXP) == (0.0, 0.0)
+
+    def test_clamping_pins_the_bucket_universe(self):
+        assert bucket_exponent(1e-300) == MIN_EXP
+        assert bucket_exponent(1e300) == MAX_EXP
+
+
+class TestHistogramMergeAlgebra:
+    @given(a=OBSERVATIONS, b=OBSERVATIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_observe_all(self, a, b):
+        """merge(snap(A), snap(B)) == snap(A + B), exactly for integers."""
+        left, right, union = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        for registry in (left, right, union):
+            registry.histogram("h")  # exists even with zero observations
+        for v in a:
+            left.histogram("h").observe(v)
+            union.histogram("h").observe(v)
+        for v in b:
+            right.histogram("h").observe(v)
+            union.histogram("h").observe(v)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        expect = union.snapshot()["histograms"]["h"]
+        got = merged["histograms"]["h"]
+        assert got["count"] == expect["count"]
+        assert got["buckets"] == expect["buckets"]
+        assert got["min"] == expect["min"]
+        assert got["max"] == expect["max"]
+        # Sums are floats: merge adds partial sums, observe-all adds
+        # values one by one — identical up to float associativity.
+        assert got["sum"] == pytest.approx(expect["sum"], rel=1e-12, abs=1e-12)
+
+    @given(values=OBSERVATIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_counts_always_sum_to_count(self, values):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for v in values:
+            histogram.observe(v)
+        hist = registry.snapshot()["histograms"]["h"]
+        assert sum(hist["buckets"].values()) == hist["count"] == len(values)
+
+    @given(values=OBSERVATIONS)
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_encoding_ignores_cross_instrument_interleaving(self, values):
+        """Byte-stable snapshots: each instrument sees its own observation
+        sequence; how updates interleave *across* instruments (the thread
+        schedule) and the instrument creation order must not matter."""
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        backward.counter("n")  # created before the histogram, not after
+        forward.histogram("h")
+        forward.counter("n")
+        backward.histogram("h")
+        for v in values:
+            forward.histogram("h").observe(v)
+            forward.counter("n").inc()
+        for v in values:
+            backward.counter("n").inc()
+            backward.histogram("h").observe(v)
+        assert encode_snapshot(forward.snapshot()) == encode_snapshot(
+            backward.snapshot()
+        )
+
+    def test_merge_is_associative_and_commutative(self):
+        snaps = []
+        for seed in range(3):
+            registry = MetricsRegistry()
+            rng = np.random.default_rng(seed)
+            for v in rng.uniform(0.01, 100.0, size=20):
+                registry.histogram("h").observe(float(v))
+                registry.counter("n", shard=seed).inc()
+            snaps.append(registry.snapshot())
+        a, b, c = snaps
+        abc = merge_snapshots(merge_snapshots(a, b), c)
+        cba = merge_snapshots(c, merge_snapshots(b, a))
+        assert encode_snapshot(abc) == encode_snapshot(cba)
+
+
+class TestRegistry:
+    def test_instruments_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x", a=1) is not registry.counter("x", a=2)
+        registry.counter("x", b=2, a=1).inc(3)
+        assert registry.snapshot()["counters"]["x{a=1,b=2}"] == 3
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert registry.snapshot()["gauges"]["g"] == 1.0
+        gauge.set(7.5)
+        assert registry.snapshot()["gauges"]["g"] == 7.5
+
+    def test_concurrent_increments_never_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        histogram = registry.histogram("h")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(1.5)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["n"] == 8000
+        assert snapshot["histograms"]["h"]["count"] == 8000
+        assert snapshot["histograms"]["h"]["buckets"] == {"1": 8000}
+
+
+class TestQuantiles:
+    def test_histogram_quantile_is_bucket_accurate(self):
+        registry = MetricsRegistry()
+        values = [float(v) for v in np.random.default_rng(0).uniform(1.0, 512.0, 500)]
+        for v in values:
+            registry.histogram("h").observe(v)
+        hist = registry.snapshot()["histograms"]["h"]
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(np.asarray(values), q))
+            approx = histogram_quantile(hist, q)
+            # Log2 buckets: within a factor of 2 by construction.
+            assert exact / 2 <= approx <= exact * 2
+
+    def test_histogram_quantile_clamps_to_observed_range(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(3.0)
+        hist = registry.snapshot()["histograms"]["h"]
+        assert histogram_quantile(hist, 0.0) == 3.0
+        assert histogram_quantile(hist, 1.0) == 3.0
+        assert histogram_quantile({"count": 0, "buckets": {}}, 0.5) == 0.0
+
+    def test_quantiles_match_separate_percentile_calls(self):
+        values = np.random.default_rng(1).uniform(0.0, 50.0, 101)
+        p50, p95 = quantiles(values, (50.0, 95.0))
+        assert p50 == float(np.percentile(values, 50.0))
+        assert p95 == float(np.percentile(values, 95.0))
+
+    def test_latency_summary_shape(self):
+        empty = latency_summary([])
+        assert empty == {
+            "count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0,
+        }
+        summary = latency_summary([0.001, 0.002, 0.003])
+        assert summary["count"] == 3
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 3.0
+
+
+class TestValidation:
+    def _document(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.histogram("h").observe(1.0)
+        return {
+            "schema": METRICS_SCHEMA,
+            "source": "gateway",
+            "metrics": registry.snapshot(),
+        }
+
+    def test_valid_document_passes_through(self):
+        document = self._document()
+        assert validate_metrics_document(document) is document
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d.update(schema="nope"), "schema"),
+            (lambda d: d.pop("source"), "source"),
+            (lambda d: d.pop("metrics"), "metrics"),
+            (lambda d: d["metrics"].pop("counters"), "counters"),
+            (lambda d: d["metrics"]["counters"].update(n=1.5), "integer"),
+            (lambda d: d["metrics"]["counters"].update(n=True), "integer"),
+            (lambda d: d["metrics"]["histograms"]["h"].pop("buckets"), "buckets"),
+            (
+                lambda d: d["metrics"]["histograms"]["h"]["buckets"].update({"1": 5}),
+                "sum to count",
+            ),
+        ],
+    )
+    def test_violations_raise_naming_the_problem(self, mutate, message):
+        document = self._document()
+        mutate(document)
+        with pytest.raises(ValueError, match=message):
+            validate_metrics_document(document)
